@@ -1,0 +1,44 @@
+//! Criterion benchmarks of the figure-regeneration pipelines at micro
+//! scale — one group per table/figure of the paper, so `cargo bench`
+//! exercises every experiment end to end and reports how its cost
+//! scales.
+//!
+//! (`scale = 0.05` keeps each iteration fast; absolute experiment
+//! numbers come from the `all_figures` binary, not from here.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use csmaprobe_bench::figures;
+use csmaprobe_bench::report::FigureReport;
+
+const MICRO: f64 = 0.05;
+
+fn bench_one(c: &mut Criterion, name: &str, f: fn(f64, u64) -> FigureReport) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function(name, |b| {
+        b.iter(|| {
+            let rep = f(MICRO, 1);
+            assert!(!rep.rows.is_empty());
+        })
+    });
+    g.finish();
+}
+
+fn figures_micro(c: &mut Criterion) {
+    bench_one(c, "fig01_rate_response", figures::fig01::run);
+    bench_one(c, "fig04_complete_picture", figures::fig04::run);
+    bench_one(c, "fig06_mean_access_delay", figures::fig06::run);
+    bench_one(c, "fig07_histograms", figures::fig07::run);
+    bench_one(c, "fig08_ks_profile", figures::fig08::run);
+    bench_one(c, "fig09_complex_ks", figures::fig09::run);
+    bench_one(c, "fig10_transient_length", figures::fig10::run);
+    bench_one(c, "fig13_short_trains", figures::fig13::run);
+    bench_one(c, "fig15_short_trains_fifo", figures::fig15::run);
+    bench_one(c, "fig16_packet_pair", figures::fig16::run);
+    bench_one(c, "fig17_mser", figures::fig17::run);
+    bench_one(c, "bounds_check", figures::bounds_check::run);
+    bench_one(c, "tool_bias", figures::tool_bias::run);
+}
+
+criterion_group!(benches, figures_micro);
+criterion_main!(benches);

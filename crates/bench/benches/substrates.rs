@@ -1,0 +1,94 @@
+//! Criterion benchmarks of the substrate crates: the DCF simulator,
+//! the Lindley FIFO queue, and the statistics kernels. These measure
+//! the cost of the machinery every experiment is built from.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use csmaprobe_desim::rng::SimRng;
+use csmaprobe_desim::time::{Dur, Time};
+use csmaprobe_mac::{saturated_source, WlanSim};
+use csmaprobe_phy::Phy;
+use csmaprobe_queueing::fifo::{fifo_serve, Job};
+use csmaprobe_stats::ks::two_sample_ks;
+use csmaprobe_stats::mser::mser_m;
+
+fn bench_mac_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mac_sim");
+    g.sample_size(20);
+    // One saturated station, 2000 frames: the per-packet cost of the
+    // DCF contention loop.
+    g.bench_function("saturated_1sta_2000pkt", |b| {
+        b.iter(|| {
+            let mut sim = WlanSim::new(Phy::dsss_11mbps(), 42);
+            let st = sim.add_station(saturated_source(1500, 2000));
+            let out = sim.run(Time::MAX);
+            assert_eq!(out.records(st).len(), 2000);
+        })
+    });
+    // Two contending saturated stations: collisions + freezing paths.
+    g.bench_function("saturated_2sta_2x1000pkt", |b| {
+        b.iter(|| {
+            let mut sim = WlanSim::new(Phy::dsss_11mbps(), 42);
+            let a = sim.add_station(saturated_source(1500, 1000));
+            let _b2 = sim.add_station(saturated_source(1500, 1000));
+            let out = sim.run(Time::MAX);
+            assert_eq!(out.records(a).len(), 1000);
+        })
+    });
+    g.finish();
+}
+
+fn bench_fifo_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("queueing");
+    g.sample_size(20);
+    let jobs: Vec<Job> = {
+        let mut rng = SimRng::new(7);
+        let mut t = Time::ZERO;
+        (0..100_000)
+            .map(|_| {
+                t += Dur::from_nanos(rng.below(2_000_000));
+                Job {
+                    arrival: t,
+                    service: Dur::from_micros(800 + rng.below(800)),
+                }
+            })
+            .collect()
+    };
+    g.bench_function("lindley_100k_jobs", |b| {
+        b.iter_batched(
+            || jobs.clone(),
+            |jobs| {
+                let served = fifo_serve(&jobs);
+                assert_eq!(served.len(), jobs.len());
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_stats(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stats");
+    g.sample_size(30);
+    let mut rng = SimRng::new(3);
+    let a: Vec<f64> = (0..2_000).map(|_| rng.f64()).collect();
+    let b_sample: Vec<f64> = (0..2_000).map(|_| rng.f64() * 1.1).collect();
+    g.bench_function("ks_2000_vs_2000", |bch| {
+        bch.iter(|| {
+            let out = two_sample_ks(&a, &b_sample, 0.05);
+            assert!(out.statistic > 0.0);
+        })
+    });
+    let series: Vec<f64> = (0..10_000)
+        .map(|i| (-(i as f64) / 100.0).exp() + (i as f64 * 0.37).sin().abs())
+        .collect();
+    g.bench_function("mser2_10k_series", |bch| {
+        bch.iter(|| {
+            let r = mser_m(&series, 2).unwrap();
+            assert!(r.truncate_raw <= series.len());
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_mac_sim, bench_fifo_queue, bench_stats);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Criterion benchmarks of the measurement tools: what one full
+//! measurement costs (probe trains, packet pairs, MSER correction, and
+//! the iterative available-bandwidth search).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use csmaprobe_core::link::{LinkConfig, WiredLink, WlanLink};
+use csmaprobe_probe::mser::MserProbe;
+use csmaprobe_probe::pair::PacketPairProbe;
+use csmaprobe_probe::slops::SlopsEstimator;
+use csmaprobe_probe::train::TrainProbe;
+
+fn bench_train_probe(c: &mut Criterion) {
+    let mut g = c.benchmark_group("train_probe");
+    g.sample_size(10);
+    let wlan = WlanLink::new(LinkConfig::default().contending_bps(4.5e6));
+    g.bench_function("wlan_50pkt_x20reps", |b| {
+        b.iter(|| {
+            let m = TrainProbe::new(50, 1500, 5e6).measure(&wlan, 20, 7);
+            assert!(m.output_rate_bps() > 0.0);
+        })
+    });
+    let wired = WiredLink::new(10e6, 4e6);
+    g.bench_function("wired_50pkt_x20reps", |b| {
+        b.iter(|| {
+            let m = TrainProbe::new(50, 1500, 5e6).measure(&wired, 20, 7);
+            assert!(m.output_rate_bps() > 0.0);
+        })
+    });
+    g.finish();
+}
+
+fn bench_packet_pair(c: &mut Criterion) {
+    let mut g = c.benchmark_group("packet_pair");
+    g.sample_size(10);
+    let wlan = WlanLink::new(LinkConfig::default().contending_bps(2e6));
+    g.bench_function("wlan_100pairs", |b| {
+        b.iter(|| {
+            let m = PacketPairProbe::new(1500, 100).measure(&wlan, 3);
+            assert!(m.rate_from_mean_bps() > 0.0);
+        })
+    });
+    g.finish();
+}
+
+fn bench_mser_probe(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mser_probe");
+    g.sample_size(10);
+    let wlan = WlanLink::new(LinkConfig::default().contending_bps(4.5e6));
+    g.bench_function("wlan_20pkt_x50reps_mser2", |b| {
+        b.iter(|| {
+            let m = MserProbe::new(20, 1500, 6e6, 2).measure(&wlan, 50, 5);
+            assert!(m.corrected_rate_bps() > 0.0);
+        })
+    });
+    g.finish();
+}
+
+fn bench_slops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("slops");
+    g.sample_size(10);
+    let wired = WiredLink::new(10e6, 4e6);
+    g.bench_function("wired_6iter_x3reps", |b| {
+        b.iter(|| {
+            let est = SlopsEstimator {
+                n: 60,
+                reps: 3,
+                iterations: 6,
+                ..Default::default()
+            };
+            let r = est.run(&wired, 9);
+            assert!(r.estimate_bps > 0.0);
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_train_probe,
+    bench_packet_pair,
+    bench_mser_probe,
+    bench_slops
+);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Regenerate every data figure of the paper in one run and write
+//! `experiments.json` next to the workspace root.
+//!
+//! Usage: `cargo run --release -p csmaprobe-bench --bin all_figures
+//! [--scale F] [--seed N]` — scale multiplies every experiment's
+//! replication budget.
+
+use csmaprobe_bench::figures;
+use csmaprobe_bench::report::FigureReport;
+
+fn main() {
+    let (scale, seed) = csmaprobe_bench::cli_options();
+    eprintln!("running all experiments at scale {scale} (seed {seed})...");
+    let runs: Vec<(&str, fn(f64, u64) -> FigureReport)> = vec![
+        ("fig01", figures::fig01::run),
+        ("fig04", figures::fig04::run),
+        ("fig06", figures::fig06::run),
+        ("fig07", figures::fig07::run),
+        ("fig08", figures::fig08::run),
+        ("fig09", figures::fig09::run),
+        ("fig10", figures::fig10::run),
+        ("fig13", figures::fig13::run),
+        ("fig15", figures::fig15::run),
+        ("fig16", figures::fig16::run),
+        ("fig17", figures::fig17::run),
+        ("bounds_check", figures::bounds_check::run),
+        ("tool_bias", figures::tool_bias::run),
+        ("ablation_access", figures::ablation_access::run),
+        ("ext_ofdm", figures::ext_ofdm::run),
+        ("ext_impairments", figures::ext_impairments::run),
+        ("ext_burstiness", figures::ext_burstiness::run),
+    ];
+
+    let mut reports = Vec::new();
+    for (name, f) in runs {
+        let t0 = std::time::Instant::now();
+        let rep = f(scale, seed);
+        eprintln!(
+            "{name}: {} checks, {} — {:.1}s",
+            rep.checks.len(),
+            if rep.all_passed() { "ALL PASS" } else { "FAILURES" },
+            t0.elapsed().as_secs_f64()
+        );
+        rep.print();
+        println!();
+        reports.push(rep);
+    }
+
+    let json = serde_json::to_string_pretty(&reports).expect("serialize reports");
+    std::fs::write("experiments.json", &json).expect("write experiments.json");
+    let total: usize = reports.iter().map(|r| r.checks.len()).sum();
+    let passed: usize = reports
+        .iter()
+        .flat_map(|r| &r.checks)
+        .filter(|c| c.passed)
+        .count();
+    eprintln!("== {passed}/{total} qualitative checks passed; experiments.json written ==");
+    if passed != total {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,103 @@
+//! Ablation A1 — where does the first-packet acceleration come from?
+//!
+//! DESIGN.md calls out the DCF *immediate-access* rule (transmit after
+//! DIFS when the medium is idle at arrival, no backoff) as one of the
+//! mechanisms behind §4's accelerated first packets; the other is the
+//! contention/queue build-up of the cross-traffic. This ablation reruns
+//! the Fig 6 experiment with immediate access disabled
+//! ([`csmaprobe_mac::MacOptions::without_immediate_access`]): the
+//! first-packet dip must shrink (the backoff-draw component disappears)
+//! but NOT vanish (the cross-traffic build-up remains).
+
+use crate::report::FigureReport;
+use crate::scaled;
+use crate::scenarios::FRAME;
+use csmaprobe_core::link::{LinkConfig, WlanLink};
+use csmaprobe_core::transient::TransientExperiment;
+use csmaprobe_mac::MacOptions;
+use csmaprobe_traffic::probe::ProbeTrain;
+
+/// Run the ablation.
+pub fn run(scale: f64, seed: u64) -> FigureReport {
+    let mut rep = FigureReport::new(
+        "ablation_access",
+        "Immediate-access ablation of the Fig 6 transient",
+        "disabling immediate access removes part of the first-packet acceleration \
+         (the missing backoff) but the cross-traffic build-up transient remains",
+        &[
+            "packet_index",
+            "mu_immediate_ms",
+            "mu_always_backoff_ms",
+        ],
+    );
+
+    let reps = scaled(1500, scale, 250);
+    let run_with = |mac: MacOptions, seed: u64| {
+        let exp = TransientExperiment {
+            link: WlanLink::new(
+                LinkConfig::default()
+                    .contending_bps(4_000_000.0)
+                    .mac_options(mac),
+            ),
+            train: ProbeTrain::from_rate(200, FRAME, 5e6),
+            reps,
+            seed,
+        };
+        exp.run()
+    };
+
+    let with_ia = run_with(MacOptions::default(), seed);
+    let without_ia = run_with(MacOptions::default().without_immediate_access(), seed ^ 1);
+
+    let prof_ia = with_ia.mean_profile();
+    let prof_no = without_ia.mean_profile();
+    for i in 0..60 {
+        rep.row(vec![(i + 1) as f64, prof_ia[i] * 1e3, prof_no[i] * 1e3]);
+    }
+
+    let steady_ia = with_ia.steady_mean(100);
+    let steady_no = without_ia.steady_mean(100);
+    let dip_ia = (steady_ia - prof_ia[0]) / steady_ia;
+    let dip_no = (steady_no - prof_no[0]) / steady_no;
+    rep.scalar("first_packet_dip_immediate", dip_ia);
+    rep.scalar("first_packet_dip_always_backoff", dip_no);
+
+    // Expected contribution of immediate access: the first packet
+    // skips E[backoff] ≈ 310 µs only when the medium is idle at its
+    // arrival (≈1/3 of the time at this load) — a ~3-percentage-point
+    // deepening of the dip. The rest is cross-traffic build-up.
+    rep.check(
+        "immediate access deepens the first-packet dip",
+        dip_ia > dip_no + 0.01,
+        format!("dip {dip_ia:.3} (immediate) vs {dip_no:.3} (always backoff)"),
+    );
+    rep.check(
+        "cross-traffic build-up dominates the transient",
+        dip_no > 0.5 * dip_ia,
+        format!(
+            "residual dip {dip_no:.3} is the majority of the total {dip_ia:.3}"
+        ),
+    );
+    // Steady states agree: the ablation only affects the transient
+    // (in steady contention, immediate access almost never fires).
+    rep.check(
+        "steady state unaffected",
+        (steady_ia - steady_no).abs() / steady_ia < 0.05,
+        format!(
+            "steady {:.3} ms vs {:.3} ms",
+            steady_ia * 1e3,
+            steady_no * 1e3
+        ),
+    );
+
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn ablation_holds_at_small_scale() {
+        let rep = super::run(0.3, 55);
+        assert!(rep.all_passed(), "{}", rep.render());
+    }
+}

@@ -1,0 +1,110 @@
+//! §6 bounds validation (extra experiment E12): evaluate the
+//! eqs (29)/(30) — (33)/(34) without FIFO cross-traffic — dispersion
+//! bounds from the *measured* per-index mean access delays and compare
+//! them with the *measured* mean output dispersion.
+//!
+//! Because the two bound families hold under different decompositions
+//! (see `csmaprobe_core::bounds`), the check is containment of E\[gO\]
+//! within `[min(lower, upper) − tol, max(lower, upper) + tol]` per
+//! rate, plus the §6.2 regional predictions: exactness below the knee
+//! and high-rate over-estimation.
+
+use crate::report::FigureReport;
+use crate::scaled;
+use crate::scenarios::{self, FRAME};
+use csmaprobe_core::bounds::dispersion_bounds;
+use csmaprobe_desim::rng::derive_seed;
+use csmaprobe_probe::train::TrainProbe;
+
+/// Run the experiment.
+pub fn run(scale: f64, seed: u64) -> FigureReport {
+    let mut rep = FigureReport::new(
+        "bounds_check",
+        "Measured E[gO] vs the §6 transient dispersion bounds (no FIFO cross-traffic)",
+        "E[gO] lies within the eq (33)/(34) band; bounds coincide (eq 27) below the \
+         knee and bracket the measured dispersion above it",
+        &[
+            "ri_mbps",
+            "gI_ms",
+            "measured_gO_ms",
+            "lower_bound_ms",
+            "upper_bound_ms",
+            "exact_region",
+        ],
+    );
+
+    let link = scenarios::fig1_link();
+    let n = 25;
+    let reps = scaled(600, scale, 120);
+    let rates = scenarios::rate_sweep_mbps(1.0, 10.0, 1.0);
+
+    let mut contained = 0usize;
+    let mut exact_ok = 0usize;
+    let mut exact_total = 0usize;
+    for (k, &ri) in rates.iter().enumerate() {
+        let m = TrainProbe::new(n, FRAME, ri).measure(&link, reps, derive_seed(seed, k as u64));
+        let e_mu = m.mean_mu_profile();
+        let g_i = m.train.gap.as_secs_f64();
+        let b = dispersion_bounds(&e_mu, g_i, 0.0);
+        let go = m.mean_output_gap_s();
+        let lo = b.lower.min(b.upper);
+        let hi = b.lower.max(b.upper);
+        let tol = 0.08 * go;
+        if go >= lo - tol && go <= hi + tol {
+            contained += 1;
+        }
+        if let Some(exact) = b.exact {
+            exact_total += 1;
+            if (go - exact).abs() / exact < 0.08 {
+                exact_ok += 1;
+            }
+        }
+        rep.row(vec![
+            ri / 1e6,
+            g_i * 1e3,
+            go * 1e3,
+            b.lower * 1e3,
+            b.upper * 1e3,
+            if b.exact.is_some() { 1.0 } else { 0.0 },
+        ]);
+    }
+
+    rep.check(
+        "measured dispersion within the bound band",
+        contained == rates.len(),
+        format!("{contained}/{} rates contained", rates.len()),
+    );
+    rep.check(
+        "eq (27) exact in the saturated region",
+        exact_total > 0 && exact_ok == exact_total,
+        format!("{exact_ok}/{exact_total} saturated rates within 8% of eq (27)"),
+    );
+
+    // High-rate over-estimation (§6.2.2): at the highest rates the
+    // dispersion-inferred output rate exceeds the steady-state value.
+    let steady = TrainProbe::new(1200, FRAME, 10e6)
+        .measure(&link, scaled(5, scale, 3), derive_seed(seed, 999))
+        .output_rate_bps();
+    let top = rep.rows.last().unwrap();
+    let short_rate = FRAME as f64 * 8.0 / (top[2] / 1e3);
+    rep.check(
+        "short trains optimistic at high rate",
+        short_rate > steady,
+        format!(
+            "25-pkt inferred {:.2} vs steady {:.2} Mb/s",
+            short_rate / 1e6,
+            steady / 1e6
+        ),
+    );
+
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn bounds_hold_at_small_scale() {
+        let rep = super::run(0.3, 53);
+        assert!(rep.all_passed(), "{}", rep.render());
+    }
+}

@@ -1,0 +1,82 @@
+//! Extension E15 — what the paper deliberately left out: channel
+//! impairments. "Other effects appearing as a consequence of wireless
+//! channel impairments are not dealt with in this paper."
+//!
+//! With the frame-error and RTS/CTS switches of
+//! [`csmaprobe_mac::MacOptions`], this experiment quantifies how (a)
+//! random frame corruption and (b) RTS/CTS protection shift the
+//! steady-state achievable throughput and the packet-pair estimate —
+//! the first things a tool designer would ask after reading the paper.
+
+use crate::report::FigureReport;
+use crate::scaled;
+use crate::scenarios::FRAME;
+use csmaprobe_core::link::{LinkConfig, WlanLink};
+use csmaprobe_desim::rng::derive_seed;
+use csmaprobe_mac::MacOptions;
+use csmaprobe_probe::pair::PacketPairProbe;
+use csmaprobe_probe::train::TrainProbe;
+
+/// Run the extension experiment.
+pub fn run(scale: f64, seed: u64) -> FigureReport {
+    let mut rep = FigureReport::new(
+        "ext_impairments",
+        "Achievable throughput and packet-pair bias under frame errors / RTS-CTS",
+        "frame errors lower B (retransmissions burn airtime) and widen the \
+         packet-pair bias; RTS/CTS lowers B via handshake overhead",
+        &["config", "steady_B_mbps", "packet_pair_mbps", "pair_over_B"],
+    );
+
+    let cross = 3_000_000.0;
+    let configs: Vec<(&str, MacOptions)> = vec![
+        ("baseline", MacOptions::default()),
+        ("fer_5pct", MacOptions::default().with_frame_error_rate(0.05)),
+        ("fer_20pct", MacOptions::default().with_frame_error_rate(0.20)),
+        ("rts_cts", MacOptions::default().with_rts_cts(500)),
+    ];
+
+    let mut b_values = Vec::new();
+    for (k, (_name, mac)) in configs.iter().enumerate() {
+        let link = WlanLink::new(
+            LinkConfig::default()
+                .contending_bps(cross)
+                .mac_options(*mac),
+        );
+        let b = TrainProbe::new(800, FRAME, 10e6)
+            .measure(&link, scaled(6, scale, 3), derive_seed(seed, k as u64))
+            .output_rate_bps();
+        let pair = PacketPairProbe::new(FRAME, scaled(300, scale, 60))
+            .measure(&link, derive_seed(seed, 100 + k as u64))
+            .rate_from_mean_bps();
+        b_values.push(b);
+        rep.row(vec![k as f64, b / 1e6, pair / 1e6, (pair - b) / 1e6]);
+    }
+
+    let baseline = b_values[0];
+    rep.check(
+        "5% frame errors cost a few percent of B",
+        b_values[1] < baseline && b_values[1] > 0.85 * baseline,
+        format!("B {:.2} -> {:.2} Mb/s", baseline / 1e6, b_values[1] / 1e6),
+    );
+    rep.check(
+        "20% frame errors cost much more",
+        b_values[2] < b_values[1],
+        format!("B(20%) = {:.2} Mb/s", b_values[2] / 1e6),
+    );
+    rep.check(
+        "RTS/CTS overhead lowers B",
+        b_values[3] < 0.95 * baseline,
+        format!("B(rts) = {:.2} Mb/s", b_values[3] / 1e6),
+    );
+
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn impairments_extension_holds_at_small_scale() {
+        let rep = super::run(0.3, 57);
+        assert!(rep.all_passed(), "{}", rep.render());
+    }
+}

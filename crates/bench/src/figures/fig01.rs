@@ -1,0 +1,122 @@
+//! Fig 1 — experimental steady-state rate response of probe traffic in
+//! a WLAN, versus the throughput of the contending cross-traffic flow.
+//!
+//! Paper values: C = 6.5 Mb/s, A ≈ 2 Mb/s, B ≈ 3.4 Mb/s. The probe
+//! curve follows the identity **through** A with no deviation and only
+//! flattens at the fair share B; the cross-traffic throughput starts
+//! declining once the probe rate exceeds A.
+
+use crate::report::FigureReport;
+use crate::scenarios::{self, FRAME};
+use csmaprobe_core::rate_response::achievable_from_curve;
+use csmaprobe_desim::time::Dur;
+
+/// Run the experiment. `scale` multiplies measurement duration.
+pub fn run(scale: f64, seed: u64) -> FigureReport {
+    let mut rep = FigureReport::new(
+        "fig01",
+        "Steady-state rate response vs contending cross-traffic",
+        "probe follows ri past A (~2 Mb/s), flattens at fair share B (~3.4 Mb/s); \
+         cross throughput declines once ri > A",
+        &["ri_mbps", "ro_mbps", "cross_mbps"],
+    );
+
+    let c = scenarios::capacity_bps(FRAME);
+    rep.scalar("capacity_mbps", c / 1e6);
+    let a = c - scenarios::FIG1_CROSS_BPS;
+    rep.scalar("available_mbps", a / 1e6);
+
+    let link = scenarios::fig1_link();
+    let duration = Dur::from_secs_f64((6.0 * scale).clamp(3.0, 60.0));
+    let rates = scenarios::rate_sweep_mbps(0.5, 10.0, 0.5);
+    let points = link.rate_response_curve(&rates, duration, seed);
+
+    let mut curve = Vec::new();
+    for p in &points {
+        rep.row(vec![
+            p.input_rate_bps / 1e6,
+            p.output_rate_bps / 1e6,
+            p.contending_bps[0] / 1e6,
+        ]);
+        curve.push((p.input_rate_bps, p.output_rate_bps));
+    }
+
+    let b = achievable_from_curve(&curve, 0.06);
+    rep.scalar("achievable_mbps", b / 1e6);
+
+    // Check 1: the probe curve still follows the identity just above A
+    // (no knee at the available bandwidth).
+    let just_above_a = points
+        .iter()
+        .find(|p| p.input_rate_bps > a * 1.1 && p.input_rate_bps < b * 0.9);
+    if let Some(p) = just_above_a {
+        let ratio = p.output_rate_bps / p.input_rate_bps;
+        rep.check(
+            "identity holds past A",
+            ratio > 0.93,
+            format!(
+                "ri {:.2} Mb/s (> A {:.2}): ro/ri = {ratio:.3}",
+                p.input_rate_bps / 1e6,
+                a / 1e6
+            ),
+        );
+    } else {
+        rep.check("identity holds past A", false, "no sample between A and B".into());
+    }
+
+    // Check 2: B is well above A and in the fair-share band.
+    rep.check(
+        "knee at fair share, not at A",
+        b > 1.3 * a && (2.6e6..4.2e6).contains(&b),
+        format!("B = {:.2} Mb/s vs A = {:.2} Mb/s", b / 1e6, a / 1e6),
+    );
+
+    // Check 3: cross-traffic throughput declines once ri > A.
+    let cross_low = points
+        .iter()
+        .filter(|p| p.input_rate_bps < 0.8 * a)
+        .map(|p| p.contending_bps[0])
+        .fold(f64::NAN, f64::max);
+    let cross_high = points
+        .iter()
+        .filter(|p| p.input_rate_bps > 8e6)
+        .map(|p| p.contending_bps[0])
+        .fold(f64::NAN, f64::min);
+    rep.check(
+        "cross-traffic degrades beyond A",
+        cross_high < 0.9 * cross_low,
+        format!(
+            "cross at low ri {:.2} Mb/s -> at high ri {:.2} Mb/s",
+            cross_low / 1e6,
+            cross_high / 1e6
+        ),
+    );
+
+    // Check 4: probe output saturates (flat) at high rates.
+    let ro_8 = points
+        .iter()
+        .find(|p| (p.input_rate_bps - 8e6).abs() < 1.0)
+        .map(|p| p.output_rate_bps)
+        .unwrap_or(f64::NAN);
+    let ro_10 = points
+        .iter()
+        .find(|p| (p.input_rate_bps - 10e6).abs() < 1.0)
+        .map(|p| p.output_rate_bps)
+        .unwrap_or(f64::NAN);
+    rep.check(
+        "probe flat beyond B",
+        (ro_8 - ro_10).abs() / ro_8 < 0.1,
+        format!("ro(8) = {:.2}, ro(10) = {:.2} Mb/s", ro_8 / 1e6, ro_10 / 1e6),
+    );
+
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fig01_shape_holds_at_small_scale() {
+        let rep = super::run(0.5, 42);
+        assert!(rep.all_passed(), "{}", rep.render());
+    }
+}

@@ -1,0 +1,120 @@
+//! Fig 4 — "the complete picture": rate response when the probe shares
+//! its transmission queue with FIFO cross-traffic *and* contends with
+//! another station, with the eq (4) model overlaid.
+//!
+//! Expected shape: the probe follows the identity until the aggregate
+//! probe + FIFO cross-traffic hits the station's fair share; beyond
+//! that, the probe gains queue share at the expense of the FIFO
+//! cross-traffic (which declines), while the contending flow keeps its
+//! own fair share.
+
+use crate::report::FigureReport;
+use crate::scenarios::{self, FRAME};
+use csmaprobe_core::rate_response::complete_rate_response;
+use csmaprobe_desim::time::Dur;
+use csmaprobe_probe::train::TrainProbe;
+
+/// Run the experiment.
+pub fn run(scale: f64, seed: u64) -> FigureReport {
+    let mut rep = FigureReport::new(
+        "fig04",
+        "Complete rate response with FIFO + contending cross-traffic",
+        "probe deviates when probe+FIFO aggregate reaches the fair share; FIFO \
+         cross-traffic throughput declines as ri grows; contending flow keeps its share",
+        &["ri_mbps", "ro_mbps", "contending_mbps", "fifo_cross_mbps", "eq4_model_mbps"],
+    );
+
+    let link = scenarios::fig4_link();
+    let fifo_rate = link.config().fifo_cross.unwrap().rate_bps;
+
+    // Bf: the probe's fair share against the contender with NO FIFO
+    // cross-traffic — measured with a long saturating train.
+    let bf_link = csmaprobe_core::link::WlanLink::new(
+        csmaprobe_core::link::LinkConfig::default()
+            .contending(link.config().contending[0]),
+    );
+    let bf = TrainProbe::new(800, FRAME, 10e6)
+        .measure(&bf_link, (6.0 * scale).round().max(3.0) as usize, seed ^ 0xBF)
+        .output_rate_bps();
+    // Each FIFO cross-traffic packet holds the queue head for ~L/Bf, so
+    // u_fifo ≈ rate/Bf.
+    let u_fifo = (fifo_rate / bf).min(0.95);
+    rep.scalar("bf_mbps", bf / 1e6);
+    rep.scalar("u_fifo", u_fifo);
+    let b = bf * (1.0 - u_fifo);
+    rep.scalar("b_mbps", b / 1e6);
+
+    let duration = Dur::from_secs_f64((6.0 * scale).clamp(3.0, 60.0));
+    let rates = scenarios::rate_sweep_mbps(0.5, 10.0, 0.5);
+    let points = link.rate_response_curve(&rates, duration, seed);
+
+    let mut max_model_err: f64 = 0.0;
+    for p in &points {
+        let model = complete_rate_response(p.input_rate_bps, bf, u_fifo);
+        let err = (p.output_rate_bps - model).abs() / model;
+        max_model_err = max_model_err.max(err);
+        rep.row(vec![
+            p.input_rate_bps / 1e6,
+            p.output_rate_bps / 1e6,
+            p.contending_bps[0] / 1e6,
+            p.fifo_cross_bps / 1e6,
+            model / 1e6,
+        ]);
+    }
+
+    // Check 1: identity region below B.
+    let below = points.iter().filter(|p| p.input_rate_bps < 0.8 * b);
+    let identity_ok = below
+        .map(|p| (p.output_rate_bps / p.input_rate_bps - 1.0).abs())
+        .fold(0.0, f64::max);
+    rep.check(
+        "identity below B",
+        identity_ok < 0.08,
+        format!("max |ro/ri - 1| below 0.8B = {identity_ok:.3}"),
+    );
+
+    // Check 2: FIFO cross-traffic declines as the probe rate grows.
+    let fifo_low = points[0].fifo_cross_bps;
+    let fifo_high = points.last().unwrap().fifo_cross_bps;
+    rep.check(
+        "FIFO cross-traffic squeezed out",
+        fifo_high < 0.8 * fifo_low,
+        format!(
+            "fifo tput {:.2} -> {:.2} Mb/s over the sweep",
+            fifo_low / 1e6,
+            fifo_high / 1e6
+        ),
+    );
+
+    // Check 3: eq (4) tracks the measured curve. The fluid model is
+    // least accurate right at the knee (finite trains, Poisson cross
+    // bursts), so allow 20% there; typical errors elsewhere are < 5%.
+    rep.check(
+        "eq (4) matches measurement",
+        max_model_err < 0.20,
+        format!("max relative error {max_model_err:.3}"),
+    );
+
+    // Check 4: contending station's throughput stays within its fair
+    // share band over the whole sweep (it never collapses).
+    let cmin = points
+        .iter()
+        .map(|p| p.contending_bps[0])
+        .fold(f64::INFINITY, f64::min);
+    rep.check(
+        "contending flow keeps its share",
+        cmin > 1.5e6,
+        format!("min contending tput {:.2} Mb/s", cmin / 1e6),
+    );
+
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fig04_shape_holds_at_small_scale() {
+        let rep = super::run(0.5, 43);
+        assert!(rep.all_passed(), "{}", rep.render());
+    }
+}

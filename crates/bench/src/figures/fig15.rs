@@ -1,0 +1,55 @@
+//! Fig 15 — experimental rate-response curves of short trains for the
+//! **complete system** (FIFO cross-traffic reintroduced).
+//!
+//! Same qualitative deviations as Fig 13, with the FIFO cross-traffic
+//! adding variability: the measured curve leaves the steady-state one
+//! before the achievable throughput, and short trains keep
+//! over-estimating at high rates regardless of the FIFO traffic.
+
+use crate::report::FigureReport;
+use crate::scenarios;
+
+/// Run the experiment.
+pub fn run(scale: f64, seed: u64) -> FigureReport {
+    let mut rep = FigureReport::new(
+        "fig15",
+        "Rate response of 3/10/50-packet trains, complete system (FIFO cross-traffic)",
+        "short-train deviations persist with FIFO cross-traffic; high-rate \
+         over-estimation remains, ordered 3 > 10 > 50",
+        &["ri_mbps", "steady_mbps", "train3_mbps", "train10_mbps", "train50_mbps"],
+    );
+
+    let link = scenarios::fig4_link();
+    let rates = scenarios::rate_sweep_mbps(1.0, 10.0, 1.0);
+    let rows = super::fig13::sweep(&link, &rates, &[3, 10, 50], scale, seed);
+    for row in &rows {
+        rep.row(row.clone());
+    }
+    super::fig13::shape_checks(&mut rep, &rows);
+
+    // Extra check: the FIFO cross-traffic lowers the steady-state
+    // plateau relative to the no-FIFO link of Fig 13 (B = Bf(1-u)).
+    let plateau_here = rows
+        .iter()
+        .filter(|r| r[0] >= 8.0)
+        .map(|r| r[1])
+        .sum::<f64>()
+        / rows.iter().filter(|r| r[0] >= 8.0).count() as f64;
+    rep.scalar("steady_plateau_mbps", plateau_here);
+    rep.check(
+        "plateau below the no-FIFO fair share",
+        plateau_here < 3.6,
+        format!("plateau {plateau_here:.2} Mb/s"),
+    );
+
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fig15_shape_holds_at_small_scale() {
+        let rep = super::run(0.3, 50);
+        assert!(rep.all_passed(), "{}", rep.render());
+    }
+}

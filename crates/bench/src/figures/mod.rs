@@ -1,0 +1,41 @@
+//! One module per data figure of the paper (plus two extra
+//! model-validation experiments). Each exposes
+//! `run(scale: f64, seed: u64) -> FigureReport`.
+//!
+//! | module | paper figure | what it regenerates |
+//! |---|---|---|
+//! | [`fig01`] | Fig 1 | steady-state rate response vs one contender |
+//! | [`fig04`] | Fig 4 | complete picture with FIFO cross-traffic |
+//! | [`fig06`] | Fig 6 | mean access delay vs probe packet number |
+//! | [`fig07`] | Fig 7 | access-delay histograms, packet 1 vs 500 |
+//! | [`fig08`] | Fig 8 | KS profile + contending queue size |
+//! | [`fig09`] | Fig 9 | KS profile, 4-station complex case |
+//! | [`fig10`] | Fig 10 | transient length vs offered cross load |
+//! | [`fig13`] | Fig 13 | short-train rate response, no FIFO cross |
+//! | [`fig15`] | Fig 15 | short-train rate response, complete system |
+//! | [`fig16`] | Fig 16 | packet-pair inference vs fluid response |
+//! | [`fig17`] | Fig 17 | MSER-2 corrected 20-packet trains |
+//! | [`bounds_check`] | §6 eqs (29)/(30)/(33)/(34) | measured E\[gO\] vs bounds |
+//! | [`tool_bias`] | §7.2 | SLoPS-style tool on FIFO vs CSMA/CA |
+//! | [`ablation_access`] | (ablation) | immediate-access share of the transient |
+//! | [`ext_ofdm`] | (extension) | same phenomena on 802.11g OFDM |
+//! | [`ext_impairments`] | (extension) | frame errors + RTS/CTS effects |
+//! | [`ext_burstiness`] | §6.3 claim | dispersion variability vs cross burstiness |
+
+pub mod ablation_access;
+pub mod bounds_check;
+pub mod ext_burstiness;
+pub mod ext_impairments;
+pub mod ext_ofdm;
+pub mod fig01;
+pub mod fig04;
+pub mod fig06;
+pub mod fig07;
+pub mod fig08;
+pub mod fig09;
+pub mod fig10;
+pub mod fig13;
+pub mod fig15;
+pub mod fig16;
+pub mod fig17;
+pub mod tool_bias;

@@ -1,0 +1,45 @@
+//! # csmaprobe-bench
+//!
+//! The figure-regeneration harness: one module per data figure of the
+//! paper (there are no tables), each producing a [`report::FigureReport`]
+//! with the same series the paper plots plus automated qualitative
+//! checks ("who wins, where the knee is"). Thin binaries under
+//! `src/bin/` print the reports as TSV; `all_figures` runs everything
+//! and writes `experiments.json` for `EXPERIMENTS.md`.
+//!
+//! Scaling: every experiment takes a `scale` factor multiplying its
+//! replication counts (default 1.0; the paper used up to 25 000 NS2
+//! repetitions — `scale = 10.0` gets close at proportional runtime).
+//! Set via `--scale <f>` argv or the `SCALE` env var in the binaries.
+
+pub mod figures;
+pub mod report;
+pub mod scenarios;
+
+/// Parse the common `--scale`/`SCALE` and `--seed`/`SEED` knobs.
+pub fn cli_options() -> (f64, u64) {
+    let mut scale: f64 = std::env::var("SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0);
+    let mut seed: u64 = std::env::var("SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xC5AA_2009);
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i + 1 < args.len() {
+        match args[i].as_str() {
+            "--scale" => scale = args[i + 1].parse().expect("bad --scale"),
+            "--seed" => seed = args[i + 1].parse().expect("bad --seed"),
+            _ => {}
+        }
+        i += 1;
+    }
+    (scale.max(0.01), seed)
+}
+
+/// Scale a replication count, keeping at least `min`.
+pub fn scaled(base: usize, scale: f64, min: usize) -> usize {
+    ((base as f64 * scale).round() as usize).max(min)
+}

@@ -1,0 +1,141 @@
+//! Figure reports: the common output format of every experiment.
+
+use serde::Serialize;
+use std::fmt::Write as _;
+
+/// One qualitative reproduction check ("shape" assertion).
+#[derive(Debug, Clone, Serialize)]
+pub struct Check {
+    /// Short name of the property checked.
+    pub name: String,
+    /// Whether the regenerated data satisfies it.
+    pub passed: bool,
+    /// Human-readable evidence (numbers involved).
+    pub detail: String,
+}
+
+/// The regenerated data behind one figure of the paper.
+#[derive(Debug, Clone, Serialize)]
+pub struct FigureReport {
+    /// Identifier, e.g. `"fig06"`.
+    pub id: String,
+    /// Title, e.g. `"Mean access delay vs probe packet number"`.
+    pub title: String,
+    /// What the paper's version of the figure shows (expected shape).
+    pub paper_expectation: String,
+    /// Column names of `rows`.
+    pub columns: Vec<String>,
+    /// The regenerated series.
+    pub rows: Vec<Vec<f64>>,
+    /// Scalar summary values (measured capacities, knees, …).
+    pub scalars: Vec<(String, f64)>,
+    /// Qualitative checks with outcomes.
+    pub checks: Vec<Check>,
+}
+
+impl FigureReport {
+    /// An empty report skeleton.
+    pub fn new(id: &str, title: &str, paper_expectation: &str, columns: &[&str]) -> Self {
+        FigureReport {
+            id: id.to_string(),
+            title: title.to_string(),
+            paper_expectation: paper_expectation.to_string(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+            scalars: Vec::new(),
+            checks: Vec::new(),
+        }
+    }
+
+    /// Append one data row (must match `columns` in length).
+    pub fn row(&mut self, values: Vec<f64>) {
+        debug_assert_eq!(values.len(), self.columns.len());
+        self.rows.push(values);
+    }
+
+    /// Record a named scalar (measured capacity, knee position, …).
+    pub fn scalar(&mut self, name: &str, value: f64) {
+        self.scalars.push((name.to_string(), value));
+    }
+
+    /// Record a qualitative check.
+    pub fn check(&mut self, name: &str, passed: bool, detail: String) {
+        self.checks.push(Check {
+            name: name.to_string(),
+            passed,
+            detail,
+        });
+    }
+
+    /// All checks passed?
+    pub fn all_passed(&self) -> bool {
+        self.checks.iter().all(|c| c.passed)
+    }
+
+    /// Render as TSV + check summary (what the figure binaries print).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# {} — {}", self.id, self.title);
+        let _ = writeln!(out, "# paper: {}", self.paper_expectation);
+        for (name, v) in &self.scalars {
+            let _ = writeln!(out, "# {name} = {v:.6}");
+        }
+        let _ = writeln!(out, "{}", self.columns.join("\t"));
+        for row in &self.rows {
+            let cells: Vec<String> = row.iter().map(|v| format!("{v:.6}")).collect();
+            let _ = writeln!(out, "{}", cells.join("\t"));
+        }
+        for c in &self.checks {
+            let _ = writeln!(
+                out,
+                "# CHECK [{}] {} — {}",
+                if c.passed { "PASS" } else { "FAIL" },
+                c.name,
+                c.detail
+            );
+        }
+        out
+    }
+
+    /// Print the rendered report to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_contains_everything() {
+        let mut r = FigureReport::new("figX", "Title", "expected shape", &["a", "b"]);
+        r.row(vec![1.0, 2.0]);
+        r.scalar("c_mbps", 6.2);
+        r.check("knee", true, "at 3.3".into());
+        let text = r.render();
+        assert!(text.contains("figX"));
+        assert!(text.contains("a\tb"));
+        assert!(text.contains("1.000000\t2.000000"));
+        assert!(text.contains("c_mbps"));
+        assert!(text.contains("CHECK [PASS] knee"));
+        assert!(r.all_passed());
+    }
+
+    #[test]
+    fn failed_check_flips_all_passed() {
+        let mut r = FigureReport::new("f", "t", "p", &["x"]);
+        r.check("bad", false, "nope".into());
+        assert!(!r.all_passed());
+        assert!(r.render().contains("CHECK [FAIL]"));
+    }
+
+    #[test]
+    fn serializes_to_json() {
+        let mut r = FigureReport::new("f", "t", "p", &["x"]);
+        r.row(vec![4.25]);
+        let j = serde_json::to_string(&r).unwrap();
+        assert!(j.contains("\"id\":\"f\""));
+        assert!(j.contains("4.25"));
+    }
+}

@@ -1,0 +1,98 @@
+//! Canonical experiment scenarios shared by the figure modules.
+//!
+//! The paper's testbed: 802.11b at 11 Mb/s (Prism cards, long
+//! preamble, no RTS/CTS), 1500-byte packets unless noted, Poisson
+//! cross-traffic. Its headline numbers — C ≈ 6.5, A ≈ 2, B ≈ 3.4 Mb/s
+//! (Fig 1) — correspond to ≈4.5 Mb/s of offered contending traffic; our
+//! stock-timing DCF gives C ≈ 6.2 Mb/s, so knees land a few percent
+//! lower at identical offered loads (shape-preserving; see DESIGN.md).
+
+use csmaprobe_core::link::{LinkConfig, WlanLink};
+use csmaprobe_mac::measured_standalone_capacity_bps;
+use csmaprobe_phy::Phy;
+
+/// Probe/cross packet size used throughout (bytes).
+pub const FRAME: u32 = 1500;
+
+/// The Fig 1 contending load (b/s) reproducing A ≈ 2 Mb/s on the
+/// paper's C ≈ 6.5 Mb/s channel.
+pub const FIG1_CROSS_BPS: f64 = 4_500_000.0;
+
+/// The paper's PHY.
+pub fn phy() -> Phy {
+    Phy::dsss_11mbps()
+}
+
+/// Measured stand-alone capacity C for `bytes`-byte frames (cached by
+/// callers; ~1 ms to compute).
+pub fn capacity_bps(bytes: u32) -> f64 {
+    measured_standalone_capacity_bps(&phy(), bytes, 3000, 0xCAFE)
+}
+
+/// The Fig 1 link: probe station vs one Poisson contender at
+/// [`FIG1_CROSS_BPS`].
+pub fn fig1_link() -> WlanLink {
+    WlanLink::new(LinkConfig::default().contending_bps(FIG1_CROSS_BPS))
+}
+
+/// The Fig 4 "complete picture" link: contending cross-traffic plus
+/// FIFO cross-traffic sharing the probe station's queue.
+pub fn fig4_link() -> WlanLink {
+    WlanLink::new(
+        LinkConfig::default()
+            .contending_bps(3_000_000.0)
+            .fifo_cross_bps(1_500_000.0),
+    )
+}
+
+/// The Fig 6/7 transient link: contending cross-traffic at 4 Mb/s
+/// (probe will offer 5 Mb/s).
+pub fn fig6_link() -> WlanLink {
+    WlanLink::new(LinkConfig::default().contending_bps(4_000_000.0))
+}
+
+/// The Fig 8 link: contending cross-traffic at 2 Mb/s (probe 8 Mb/s).
+pub fn fig8_link() -> WlanLink {
+    WlanLink::new(LinkConfig::default().contending_bps(2_000_000.0))
+}
+
+/// The Fig 9 complex link: 4 contending stations with packet sizes
+/// {40, 576, 1000, 1500} B at {0.1, 0.5, 0.75, 2} Mb/s.
+pub fn fig9_link() -> WlanLink {
+    use csmaprobe_core::link::CrossSpec;
+    WlanLink::new(
+        LinkConfig::default()
+            .contending(CrossSpec::poisson_sized(100_000.0, 40))
+            .contending(CrossSpec::poisson_sized(500_000.0, 576))
+            .contending(CrossSpec::poisson_sized(750_000.0, 1000))
+            .contending(CrossSpec::poisson_sized(2_000_000.0, 1500)),
+    )
+}
+
+/// Evenly spaced probing rates `lo..=hi` (Mb/s) at `step`.
+pub fn rate_sweep_mbps(lo: f64, hi: f64, step: f64) -> Vec<f64> {
+    let mut rates = Vec::new();
+    let mut r = lo;
+    while r <= hi + 1e-9 {
+        rates.push(r * 1e6);
+        r += step;
+    }
+    rates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_in_paper_band() {
+        let c = capacity_bps(FRAME);
+        assert!((5.9e6..6.6e6).contains(&c), "C = {c}");
+    }
+
+    #[test]
+    fn sweep_is_inclusive() {
+        let r = rate_sweep_mbps(1.0, 3.0, 1.0);
+        assert_eq!(r, vec![1e6, 2e6, 3e6]);
+    }
+}

@@ -1,0 +1,248 @@
+//! Multi-hop wired FIFO paths.
+//!
+//! The paper's wired baseline is a single hop; its reference \[15\]
+//! (Liu, Ravindran, Loguinov) analyses probing *asymptotics across
+//! several FIFO hops*. [`WiredPath`] chains single-hop FIFO queues —
+//! each with its own capacity and independent Poisson cross-traffic —
+//! so the tools in `csmaprobe-probe` can be exercised on multi-hop
+//! topologies too: the end-to-end available bandwidth is the minimum
+//! over hops ("tight link"), the packet-pair capacity is set by the
+//! narrow link, and each extra hop adds its own transient to short
+//! trains.
+
+use crate::link::{ProbeTarget, TrainObservation};
+use csmaprobe_desim::rng::{derive_seed, SimRng};
+use csmaprobe_desim::time::{Dur, Time};
+use csmaprobe_queueing::fifo::{fifo_serve, Job};
+use csmaprobe_traffic::probe::ProbeTrain;
+use csmaprobe_traffic::{PoissonSource, SizeModel, Source};
+
+/// One FIFO hop of a wired path.
+#[derive(Debug, Clone, Copy)]
+pub struct Hop {
+    /// Link capacity, bits/s.
+    pub capacity_bps: f64,
+    /// Poisson cross-traffic rate entering at this hop, bits/s
+    /// (single-hop-persistent: it leaves before the next hop).
+    pub cross_rate_bps: f64,
+    /// Cross-traffic packet size, bytes.
+    pub cross_bytes: u32,
+}
+
+impl Hop {
+    /// A hop with the given capacity and cross-traffic (1500 B packets).
+    pub fn new(capacity_bps: f64, cross_rate_bps: f64) -> Self {
+        Hop {
+            capacity_bps,
+            cross_rate_bps,
+            cross_bytes: 1500,
+        }
+    }
+
+    /// This hop's available bandwidth.
+    pub fn available_bps(&self) -> f64 {
+        (self.capacity_bps - self.cross_rate_bps).max(0.0)
+    }
+}
+
+/// A chain of FIFO hops with per-hop cross-traffic.
+#[derive(Debug, Clone)]
+pub struct WiredPath {
+    /// The hops, in path order.
+    pub hops: Vec<Hop>,
+    /// Probe payload size, bytes.
+    pub probe_bytes: u32,
+    /// Cross-traffic warm-up before probing begins.
+    pub warmup: Dur,
+}
+
+impl WiredPath {
+    /// A path over the given hops.
+    pub fn new(hops: Vec<Hop>) -> Self {
+        assert!(!hops.is_empty(), "a path needs at least one hop");
+        WiredPath {
+            hops,
+            probe_bytes: 1500,
+            warmup: Dur::from_millis(500),
+        }
+    }
+
+    /// The end-to-end available bandwidth: the minimum over hops.
+    pub fn available_bps(&self) -> f64 {
+        self.hops
+            .iter()
+            .map(Hop::available_bps)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// The narrow-link capacity: the minimum hop capacity.
+    pub fn capacity_bps(&self) -> f64 {
+        self.hops
+            .iter()
+            .map(|h| h.capacity_bps)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Push a probe arrival sequence through every hop in turn; probe
+    /// departures of hop `k` are its arrivals at hop `k+1`.
+    fn traverse(&self, probe: &[(Time, u32)], seed: u64) -> Vec<(Time, u32)> {
+        let mut current: Vec<(Time, u32)> = probe.to_vec();
+        for (h, hop) in self.hops.iter().enumerate() {
+            let service =
+                |bytes: u32| Dur::from_secs_f64(bytes as f64 * 8.0 / hop.capacity_bps);
+            let last = current.last().map(|&(t, _)| t).unwrap_or(Time::ZERO);
+            let horizon = last + service(self.probe_bytes) * (current.len() as u64 + 8)
+                + Dur::from_secs(2);
+            // Independent cross-traffic stream per hop.
+            let mut rng = SimRng::new(derive_seed(seed, 0xB0B + h as u64));
+            let mut cross = PoissonSource::from_bitrate(
+                hop.cross_rate_bps,
+                SizeModel::Fixed(hop.cross_bytes),
+                Time::ZERO,
+                horizon,
+            );
+            let mut jobs: Vec<(Time, u32, bool)> = Vec::new();
+            while let Some(p) = cross.next_packet(&mut rng) {
+                jobs.push((p.time, p.bytes, false));
+            }
+            for &(t, b) in &current {
+                jobs.push((t, b, true));
+            }
+            jobs.sort_by_key(|&(t, _, is_probe)| (t, !is_probe));
+            let plain: Vec<Job> = jobs
+                .iter()
+                .map(|&(t, bytes, _)| Job {
+                    arrival: t,
+                    service: service(bytes),
+                })
+                .collect();
+            let served = fifo_serve(&plain);
+            current = served
+                .iter()
+                .zip(&jobs)
+                .filter(|(_, &(_, _, is_probe))| is_probe)
+                .map(|(s, &(_, b, _))| (s.depart, b))
+                .collect();
+        }
+        current
+    }
+}
+
+impl ProbeTarget for WiredPath {
+    fn probe_train(&self, train: ProbeTrain, seed: u64) -> TrainObservation {
+        let start = Time::ZERO + self.warmup;
+        let probe: Vec<(Time, u32)> = train
+            .arrivals(start)
+            .iter()
+            .map(|p| (p.time, p.bytes))
+            .collect();
+        let arrivals: Vec<Time> = probe.iter().map(|&(t, _)| t).collect();
+        let out = self.traverse(&probe, seed);
+        TrainObservation {
+            arrivals,
+            rx_times: out.iter().map(|&(t, _)| t).collect(),
+            access_delays: None,
+            g_i: train.gap,
+            bytes: train.bytes,
+        }
+    }
+
+    fn probe_sequence(&self, offsets: &[Dur], bytes: u32, seed: u64) -> TrainObservation {
+        let start = Time::ZERO + self.warmup;
+        let probe: Vec<(Time, u32)> = offsets.iter().map(|&o| (start + o, bytes)).collect();
+        let arrivals: Vec<Time> = probe.iter().map(|&(t, _)| t).collect();
+        let out = self.traverse(&probe, seed);
+        TrainObservation {
+            arrivals,
+            rx_times: out.iter().map(|&(t, _)| t).collect(),
+            access_delays: None,
+            g_i: Dur::ZERO,
+            bytes,
+        }
+    }
+
+    fn probe_bytes(&self) -> u32 {
+        self.probe_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_metrics_are_minima() {
+        let path = WiredPath::new(vec![
+            Hop::new(100e6, 20e6),
+            Hop::new(10e6, 4e6), // tight AND narrow link
+            Hop::new(50e6, 45e6),
+        ]);
+        assert_eq!(path.capacity_bps(), 10e6);
+        assert_eq!(path.available_bps(), 5e6); // 50-45 = 5 < 6 < 80
+    }
+
+    #[test]
+    fn single_hop_path_equals_wired_link() {
+        use crate::link::WiredLink;
+        let path = WiredPath::new(vec![Hop::new(10e6, 4e6)]);
+        let link = WiredLink::new(10e6, 4e6);
+        let train = ProbeTrain::from_rate(200, 1500, 3e6);
+        let a = path.probe_train(train, 5).output_rate_bps().unwrap();
+        let b = link.probe_train(train, 5).output_rate_bps().unwrap();
+        // Different cross-traffic streams, same statistics.
+        assert!((a - b).abs() / b < 0.05, "{a} vs {b}");
+    }
+
+    #[test]
+    fn bottleneck_caps_throughput() {
+        let path = WiredPath::new(vec![Hop::new(100e6, 0.0), Hop::new(10e6, 4e6)]);
+        // Probing hard: the long-train response pins at the tight
+        // link's eq (1) value.
+        let train = ProbeTrain::from_rate(1500, 1500, 9e6);
+        let ro = path.probe_train(train, 7).output_rate_bps().unwrap();
+        let fluid = crate::rate_response::fifo_rate_response(9e6, 10e6, 6e6);
+        assert!((ro - fluid).abs() / fluid < 0.06, "ro {ro} vs fluid {fluid}");
+    }
+
+    #[test]
+    fn packet_pair_reads_narrow_link() {
+        // Pair dispersion after the narrow link survives wide
+        // downstream hops (no cross-traffic to re-compress it).
+        let path = WiredPath::new(vec![
+            Hop::new(10e6, 0.0),
+            Hop::new(100e6, 0.0),
+        ]);
+        let train = ProbeTrain::packet_pair(1500);
+        let obs = path.probe_train(train, 9);
+        let rate = obs.output_rate_bps().unwrap();
+        assert!((rate - 10e6).abs() / 10e6 < 1e-6, "pair rate {rate}");
+    }
+
+    #[test]
+    fn extra_hops_add_dispersion_noise() {
+        // Short trains across 3 loaded hops deviate more from the input
+        // rate than across 1 hop (each hop adds burstiness).
+        let one = WiredPath::new(vec![Hop::new(10e6, 5e6)]);
+        let three = WiredPath::new(vec![
+            Hop::new(10e6, 5e6),
+            Hop::new(10e6, 5e6),
+            Hop::new(10e6, 5e6),
+        ]);
+        let train = ProbeTrain::from_rate(10, 1500, 4e6);
+        let spread = |path: &WiredPath| {
+            let mut dev = 0.0;
+            for seed in 0..40u64 {
+                let ro = path.probe_train(train, seed).output_rate_bps().unwrap();
+                dev += (ro - 4e6).abs();
+            }
+            dev / 40.0
+        };
+        assert!(spread(&three) > spread(&one));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one hop")]
+    fn empty_path_rejected() {
+        WiredPath::new(vec![]);
+    }
+}

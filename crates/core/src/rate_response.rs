@@ -1,0 +1,178 @@
+//! Steady-state rate-response curves (§2 and §3 of the paper).
+//!
+//! A rate-response curve relates the input rate `ri` of a probing flow
+//! to the output rate `ro` it achieves across a path. All rates are in
+//! bits/s.
+
+/// Eq. (1) — the fluid FIFO model of the wired bandwidth-measurement
+/// literature:
+///
+/// ```text
+/// ro = ri                      ri ≤ A
+/// ro = C·ri/(ri + C − A)       ri ≥ A
+/// ```
+///
+/// `capacity` is `C`, `available` is the available bandwidth `A ≤ C`.
+pub fn fifo_rate_response(ri: f64, capacity: f64, available: f64) -> f64 {
+    debug_assert!(capacity > 0.0 && (0.0..=capacity).contains(&available));
+    if ri <= available {
+        ri
+    } else {
+        capacity * ri / (ri + capacity - available)
+    }
+}
+
+/// Eq. (3) — the contention-only CSMA/CA curve of Bredel & Fidler:
+/// `ro = min(ri, B)` with `B` the achievable throughput (fair share).
+pub fn csma_rate_response(ri: f64, achievable: f64) -> f64 {
+    ri.min(achievable)
+}
+
+/// Eq. (5) — achievable throughput when FIFO cross-traffic occupies the
+/// transmission queue a fraction `u_fifo` of the time:
+/// `B = Bf·(1 − u_fifo)`, where `Bf` is the fair share the probe would
+/// get with an otherwise empty queue.
+pub fn achievable_throughput(bf: f64, u_fifo: f64) -> f64 {
+    debug_assert!((0.0..=1.0).contains(&u_fifo));
+    bf * (1.0 - u_fifo)
+}
+
+/// Eq. (4) — the paper's complete steady-state rate-response curve for
+/// a probing flow that both shares a FIFO queue (utilisation `u_fifo`)
+/// and contends for channel access (fair share `bf`):
+///
+/// ```text
+/// ro = ri                            ri ≤ B = Bf(1−u_fifo)
+/// ro = Bf·ri/(ri + u_fifo·Bf)        ri ≥ B
+/// ```
+///
+/// ```
+/// use csmaprobe_core::rate_response::complete_rate_response;
+///
+/// let (bf, u) = (3.5e6, 0.4); // fair share 3.5 Mb/s, queue 40% busy
+/// assert_eq!(complete_rate_response(1e6, bf, u), 1e6);   // identity
+/// let knee = bf * (1.0 - u);                             // B = 2.1 Mb/s
+/// assert!(complete_rate_response(8e6, bf, u) > knee);    // probe squeezes
+/// assert!(complete_rate_response(8e6, bf, u) < bf);      // ... toward Bf
+/// ```
+pub fn complete_rate_response(ri: f64, bf: f64, u_fifo: f64) -> f64 {
+    debug_assert!(bf > 0.0 && (0.0..=1.0).contains(&u_fifo));
+    let b = achievable_throughput(bf, u_fifo);
+    if ri <= b {
+        ri
+    } else {
+        bf * ri / (ri + u_fifo * bf)
+    }
+}
+
+/// Eq. (2) — the paper's definition of achievable throughput from a
+/// measured curve: `B = sup{ ri : ro/ri = 1 }`.
+///
+/// `curve` is a list of `(ri, ro)` samples (any order); `tolerance` is
+/// the relative shortfall treated as "equal" (e.g. 0.02 accepts
+/// `ro/ri ≥ 0.98`). Returns 0.0 when no point qualifies.
+pub fn achievable_from_curve(curve: &[(f64, f64)], tolerance: f64) -> f64 {
+    curve
+        .iter()
+        .filter(|(ri, ro)| *ri > 0.0 && ro / ri >= 1.0 - tolerance)
+        .map(|(ri, _)| *ri)
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_identity_below_available() {
+        for ri in [0.1e6, 1e6, 2e6] {
+            assert_eq!(fifo_rate_response(ri, 10e6, 2e6), ri);
+        }
+    }
+
+    #[test]
+    fn fifo_saturates_toward_capacity() {
+        let c = 10e6;
+        let a = 2e6;
+        // Above A the curve is strictly below ri and approaches C.
+        let r1 = fifo_rate_response(5e6, c, a);
+        assert!(r1 < 5e6);
+        let r2 = fifo_rate_response(1e9, c, a);
+        assert!(r2 < c && r2 > 0.98 * c);
+        // Continuity at ri = A.
+        let eps = 1.0;
+        assert!((fifo_rate_response(a + eps, c, a) - a).abs() < 2.0);
+    }
+
+    #[test]
+    fn fifo_is_monotone_nondecreasing() {
+        let mut prev = 0.0;
+        for k in 1..200 {
+            let ri = k as f64 * 1e5;
+            let ro = fifo_rate_response(ri, 10e6, 3e6);
+            assert!(ro >= prev - 1e-9);
+            prev = ro;
+        }
+    }
+
+    #[test]
+    fn csma_flattens_at_fair_share() {
+        assert_eq!(csma_rate_response(1e6, 3.4e6), 1e6);
+        assert_eq!(csma_rate_response(5e6, 3.4e6), 3.4e6);
+        assert_eq!(csma_rate_response(3.4e6, 3.4e6), 3.4e6);
+    }
+
+    #[test]
+    fn complete_curve_is_continuous_at_b() {
+        let bf = 3.2e6;
+        let u = 0.3;
+        let b = achievable_throughput(bf, u);
+        let below = complete_rate_response(b * (1.0 - 1e-9), bf, u);
+        let above = complete_rate_response(b * (1.0 + 1e-9), bf, u);
+        assert!((below - above).abs() < 1.0, "{below} vs {above}");
+        assert!((below - b).abs() < 1.0);
+    }
+
+    #[test]
+    fn complete_curve_reduces_to_csma_without_fifo_cross() {
+        let bf = 3.2e6;
+        for ri in [1e6, 3e6, 5e6, 9e6] {
+            let full = complete_rate_response(ri, bf, 0.0);
+            let csma = csma_rate_response(ri, bf);
+            assert!((full - csma).abs() < 1e-6, "ri={ri}: {full} vs {csma}");
+        }
+    }
+
+    #[test]
+    fn complete_curve_approaches_bf_at_high_rate() {
+        // As ri → ∞ the probe squeezes the FIFO cross-traffic out of the
+        // queue and its throughput approaches the full fair share Bf.
+        let bf = 3.2e6;
+        let u = 0.4;
+        let ro = complete_rate_response(1e12, bf, u);
+        assert!(ro > 0.999 * bf && ro < bf);
+    }
+
+    #[test]
+    fn achievable_equals_available_in_fifo_model() {
+        // In eq (1), ro/ri = 1 exactly up to ri = A.
+        let c = 10e6;
+        let a = 2e6;
+        let curve: Vec<(f64, f64)> = (1..100)
+            .map(|k| {
+                let ri = k as f64 * 1e5;
+                (ri, fifo_rate_response(ri, c, a))
+            })
+            .collect();
+        let b = achievable_from_curve(&curve, 1e-6);
+        assert!((b - a).abs() <= 1e5, "B={b}");
+    }
+
+    #[test]
+    fn achievable_from_curve_respects_tolerance() {
+        let curve = vec![(1.0, 1.0), (2.0, 1.97), (3.0, 2.5)];
+        assert_eq!(achievable_from_curve(&curve, 0.0), 1.0);
+        assert_eq!(achievable_from_curve(&curve, 0.02), 2.0);
+        assert_eq!(achievable_from_curve(&[], 0.1), 0.0);
+    }
+}

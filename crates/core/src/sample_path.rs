@@ -1,0 +1,170 @@
+//! The §5 sample-path framework: how probe arrivals, access delays,
+//! FIFO cross-traffic workload and the intrusion residual compose into
+//! the output dispersion.
+//!
+//! All quantities here are in **seconds** (this is the
+//! analysis/measurement boundary; the simulators below it use integer
+//! nanoseconds).
+//!
+//! Notation (paper §5.1):
+//!
+//! * `gI` — input gap of the periodic probing sequence,
+//!   `a_i = a_1 + (i−1)·gI`.
+//! * `μ_i` — access delay of probe packet `i` (head-of-queue until
+//!   fully transmitted).
+//! * `W(t)` — hop workload of the FIFO cross-traffic alone.
+//! * `u_fifo(t, t+τ)` — cross-traffic utilisation of the queue.
+//! * `R_i` — intrusion residual: probe-traffic workload still in the
+//!   queue when probe packet `i` arrives (eq 13/14).
+//! * `Z_i = μ_i + R_i + W(a_i)` — queueing plus access delay (eq 15).
+
+/// Eq. (14) — the intrusion-residual recursion.
+///
+/// `g_i` is the input gap; `mu[i]` is `μ_{i+1}` (0-based storage);
+/// `u_between[i]` is `u_fifo(a_{i+1}, a_{i+2})`, the cross-traffic
+/// utilisation of the queue between consecutive probe arrivals (pass
+/// all-zeros when there is no FIFO cross-traffic). Returns
+/// `R_1..R_n` (0-based `R[i] = R_{i+1}`), with `R_1 = 0`.
+pub fn intrusion_residuals(g_i: f64, mu: &[f64], u_between: &[f64]) -> Vec<f64> {
+    assert!(
+        u_between.len() + 1 >= mu.len(),
+        "need a utilisation sample for every inter-arrival gap"
+    );
+    let mut r = Vec::with_capacity(mu.len());
+    let mut prev = 0.0;
+    for i in 0..mu.len() {
+        if i > 0 {
+            let u = u_between[i - 1];
+            prev = (mu[i - 1] + prev - (1.0 - u) * g_i).max(0.0);
+        }
+        r.push(prev);
+    }
+    r
+}
+
+/// Eq. (15) — total queueing-plus-access delay
+/// `Z_i = μ_i + R_i + W(a_i)`.
+///
+/// `w_at_arrivals[i]` is the cross-traffic workload `W(a_i⁻)` found by
+/// probe packet `i` (zeros when there is no FIFO cross-traffic).
+pub fn total_delays(mu: &[f64], residuals: &[f64], w_at_arrivals: &[f64]) -> Vec<f64> {
+    assert_eq!(mu.len(), residuals.len());
+    assert_eq!(mu.len(), w_at_arrivals.len());
+    mu.iter()
+        .zip(residuals)
+        .zip(w_at_arrivals)
+        .map(|((m, r), w)| m + r + w)
+        .collect()
+}
+
+/// Eq. (16) — output gap from receiver-side timestamps:
+/// `gO = (d_n − d_1)/(n−1)`.
+///
+/// Panics with fewer than two departures.
+pub fn output_gap(departures: &[f64]) -> f64 {
+    assert!(departures.len() >= 2, "need at least two departures");
+    (departures.last().unwrap() - departures.first().unwrap()) / (departures.len() as f64 - 1.0)
+}
+
+/// Eq. (17) — the same output gap from the delay processes:
+/// `gO = gI + (Z_n − Z_1)/(n−1)`.
+pub fn output_gap_from_delays(g_i: f64, z: &[f64]) -> f64 {
+    assert!(z.len() >= 2);
+    g_i + (z.last().unwrap() - z.first().unwrap()) / (z.len() as f64 - 1.0)
+}
+
+/// Eq. (18) — decomposition of the output gap:
+/// `gO = gI + R_n/(n−1) + (W(a_n) − W(a_1))/(n−1) + (μ_n − μ_1)/(n−1)`.
+pub fn output_gap_decomposed(
+    g_i: f64,
+    r_n: f64,
+    w_first: f64,
+    w_last: f64,
+    mu_first: f64,
+    mu_last: f64,
+    n: usize,
+) -> f64 {
+    assert!(n >= 2);
+    let d = (n - 1) as f64;
+    g_i + r_n / d + (w_last - w_first) / d + (mu_last - mu_first) / d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn residuals_zero_when_probing_slow() {
+        // gI much larger than every access delay: no residual builds up.
+        let mu = vec![1e-3; 10];
+        let u = vec![0.0; 9];
+        let r = intrusion_residuals(10e-3, &mu, &u);
+        assert!(r.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn residuals_accumulate_when_probing_fast() {
+        // gI below the access delay: every packet leaves residual
+        // behind; with u = 0, R_i = (i-1)(μ − gI).
+        let mu = vec![2e-3; 5];
+        let u = vec![0.0; 4];
+        let g = 0.5e-3;
+        let r = intrusion_residuals(g, &mu, &u);
+        for (i, &ri) in r.iter().enumerate() {
+            let expect = i as f64 * (2e-3 - 0.5e-3);
+            assert!((ri - expect).abs() < 1e-12, "R_{i} = {ri}");
+        }
+    }
+
+    #[test]
+    fn fifo_utilisation_slows_drain() {
+        // The (1-u)·gI term: with u=0.5 only half the gap drains probe
+        // residual.
+        let mu = vec![1e-3, 1e-3];
+        let g = 1.5e-3;
+        let r_free = intrusion_residuals(g, &mu, &[0.0]);
+        let r_busy = intrusion_residuals(g, &mu, &[0.5]);
+        assert_eq!(r_free[1], 0.0); // 1e-3 - 1.5e-3 < 0
+        assert!((r_busy[1] - (1e-3 - 0.75e-3)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn first_residual_is_always_zero() {
+        let r = intrusion_residuals(1e-3, &[5e-3, 5e-3, 5e-3], &[0.3, 0.9]);
+        assert_eq!(r[0], 0.0);
+    }
+
+    #[test]
+    fn total_delay_composition() {
+        let mu = vec![1.0, 2.0];
+        let r = vec![0.0, 0.5];
+        let w = vec![0.25, 0.0];
+        let z = total_delays(&mu, &r, &w);
+        assert_eq!(z, vec![1.25, 2.5]);
+    }
+
+    #[test]
+    fn gap_identities_agree() {
+        // Synthetic consistency check of eqs (16), (17), (18):
+        // build a_i and d_i from Z_i and verify all three give the same gO.
+        let g_i = 2e-3;
+        let n = 6;
+        let mu = vec![1.0e-3, 1.2e-3, 1.4e-3, 1.5e-3, 1.55e-3, 1.6e-3];
+        let u = vec![0.2; 5];
+        let w = vec![0.3e-3, 0.1e-3, 0.0, 0.2e-3, 0.0, 0.25e-3];
+        let r = intrusion_residuals(g_i, &mu, &u);
+        let z = total_delays(&mu, &r, &w);
+        let departures: Vec<f64> = (0..n).map(|i| i as f64 * g_i + z[i]).collect();
+        let g1 = output_gap(&departures);
+        let g2 = output_gap_from_delays(g_i, &z);
+        let g3 = output_gap_decomposed(g_i, r[n - 1], w[0], w[n - 1], mu[0], mu[n - 1], n);
+        assert!((g1 - g2).abs() < 1e-15);
+        assert!((g1 - g3).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn output_gap_needs_two() {
+        output_gap(&[1.0]);
+    }
+}

@@ -1,0 +1,229 @@
+//! §4 — the transient-state experiments: replicated probing trains,
+//! per-index access-delay statistics, KS profiles, and the §4.1
+//! transient-length estimator.
+//!
+//! [`TransientExperiment`] is the machinery behind Figs 6–10: it sends
+//! the same probing train through independently-seeded replicas of a
+//! [`WlanLink`] (the paper repeats 25 000 NS2 runs) and aggregates the
+//! access delay of the *i*-th packet across replications into sample
+//! *i*. [`TransientData`] then exposes the paper's analyses.
+
+use crate::link::{WlanLink, WlanTrainRun};
+use csmaprobe_desim::replicate;
+use csmaprobe_stats::ks::KsOutcome;
+use csmaprobe_stats::transient::{IndexedSeries, TransientEstimate};
+use csmaprobe_traffic::probe::ProbeTrain;
+
+/// A replicated transient-probing experiment.
+#[derive(Debug, Clone)]
+pub struct TransientExperiment {
+    /// The link (probe + cross-traffic configuration).
+    pub link: WlanLink,
+    /// The probing train sent in every replication.
+    pub train: ProbeTrain,
+    /// Number of independent replications.
+    pub reps: usize,
+    /// Master seed; replication `k` uses seed `derive(seed, k)`.
+    pub seed: u64,
+}
+
+/// Aggregated per-index data from a [`TransientExperiment`].
+#[derive(Debug, Clone)]
+pub struct TransientData {
+    /// Access delay (seconds) of packet index `i` across replications.
+    pub delays: IndexedSeries,
+    /// Queue length of the first contending station sampled at each
+    /// probe packet's arrival (empty when the link has no contenders).
+    pub queue_sizes: IndexedSeries,
+}
+
+impl TransientExperiment {
+    /// Run all replications (thread-parallel, deterministic).
+    pub fn run(&self) -> TransientData {
+        let has_contender = !self.link.config().contending.is_empty();
+        let per_rep: Vec<(Vec<f64>, Vec<f64>)> = replicate::run(self.reps, self.seed, |_, s| {
+            let run: WlanTrainRun = self.link.send_train(self.train, s);
+            let delays = run.access_delays_s();
+            let queues = if has_contender {
+                run.contending_queue_at_probe_arrivals(0)
+                    .into_iter()
+                    .map(|q| q as f64)
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            (delays, queues)
+        });
+        let mut delays = IndexedSeries::new();
+        let mut queue_sizes = IndexedSeries::new();
+        for (d, q) in &per_rep {
+            delays.push_replication(d);
+            if !q.is_empty() {
+                queue_sizes.push_replication(q);
+            }
+        }
+        TransientData {
+            delays,
+            queue_sizes,
+        }
+    }
+}
+
+impl TransientData {
+    /// Per-index mean access delay (Fig 6), seconds.
+    pub fn mean_profile(&self) -> Vec<f64> {
+        self.delays.means()
+    }
+
+    /// The pooled steady-state sample: the access delays of the last
+    /// `last_k` packet indices across all replications (the paper pools
+    /// the last 500 of 1000).
+    pub fn steady_sample(&self, last_k: usize) -> Vec<f64> {
+        let n = self.delays.len();
+        self.delays.pooled(n.saturating_sub(last_k), n)
+    }
+
+    /// Mean of the steady-state sample.
+    pub fn steady_mean(&self, last_k: usize) -> f64 {
+        let s = self.steady_sample(last_k);
+        s.iter().sum::<f64>() / s.len() as f64
+    }
+
+    /// KS statistic of each packet index against the steady-state
+    /// sample (Fig 8 top / Fig 9), at significance `alpha`.
+    pub fn ks_profile(&self, last_k: usize, alpha: f64) -> Vec<KsOutcome> {
+        let reference = self.steady_sample(last_k);
+        self.delays.ks_profile(&reference, alpha)
+    }
+
+    /// §4.1 transient length at relative `tolerance` (Fig 10): the
+    /// first packet index whose mean access delay is within tolerance
+    /// of the steady-state mean.
+    pub fn transient_length(&self, last_k: usize, tolerance: f64) -> TransientEstimate {
+        self.delays
+            .transient_length(self.steady_mean(last_k), tolerance)
+    }
+
+    /// Transient length with an **absolute** tolerance in seconds (the
+    /// paper's Fig 10 "0.1/0.01" values read as milliseconds).
+    pub fn transient_length_abs(&self, last_k: usize, tol_seconds: f64) -> TransientEstimate {
+        csmaprobe_stats::transient::transient_length_of_means_abs(
+            &self.mean_profile(),
+            self.steady_mean(last_k),
+            tol_seconds,
+        )
+    }
+
+    /// Per-index mean contending-station queue size (Fig 8 bottom).
+    pub fn queue_profile(&self) -> Vec<f64> {
+        self.queue_sizes.means()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::LinkConfig;
+
+    /// The paper's Fig 6 setting, scaled down: probe 5 Mb/s vs 4 Mb/s
+    /// contending cross-traffic. The first packets must see smaller
+    /// access delays than steady state.
+    #[test]
+    fn access_delay_shows_transient() {
+        let link = WlanLink::new(LinkConfig::default().contending_bps(4_000_000.0));
+        let exp = TransientExperiment {
+            link,
+            train: ProbeTrain::from_rate(200, 1500, 5_000_000.0),
+            reps: 400,
+            seed: 0xF16_06,
+        };
+        let data = exp.run();
+        let profile = data.mean_profile();
+        assert_eq!(profile.len(), 200);
+        let steady = data.steady_mean(100);
+        // First packet clearly accelerated.
+        assert!(
+            profile[0] < 0.9 * steady,
+            "first {} vs steady {steady}",
+            profile[0]
+        );
+        // Late packets near steady state.
+        let late = profile[150..].iter().sum::<f64>() / 50.0;
+        assert!(
+            (late - steady).abs() / steady < 0.05,
+            "late {late} vs steady {steady}"
+        );
+        // The mean profile is (noisily) increasing early on: packet 1
+        // below packet 10's level.
+        assert!(profile[0] < profile[9]);
+    }
+
+    #[test]
+    fn ks_profile_rejects_early_indices_only() {
+        let link = WlanLink::new(LinkConfig::default().contending_bps(4_000_000.0));
+        let exp = TransientExperiment {
+            link,
+            train: ProbeTrain::from_rate(150, 1500, 8_000_000.0),
+            reps: 300,
+            seed: 0xF16_08,
+        };
+        let data = exp.run();
+        let ks = data.ks_profile(75, 0.05);
+        // Index 0 differs from steady state.
+        assert!(ks[0].reject, "first packet should be off steady state");
+        // Most of the last indices do not (they ARE the reference pool,
+        // so this is a sanity check of the machinery, not a discovery).
+        let late_rejects = ks[100..].iter().filter(|o| o.reject).count();
+        assert!(late_rejects < 20, "late rejects: {late_rejects}/50");
+    }
+
+    #[test]
+    fn transient_length_reasonable() {
+        let link = WlanLink::new(LinkConfig::default().contending_bps(4_000_000.0));
+        let exp = TransientExperiment {
+            link,
+            train: ProbeTrain::from_rate(150, 1500, 5_000_000.0),
+            reps: 400,
+            seed: 0xF16_10,
+        };
+        let data = exp.run();
+        let est = data.transient_length(75, 0.1);
+        let first = est.first_within.expect("must converge at 0.1 tolerance");
+        // Paper: transient ≤ 150 packets at 0.1 tolerance; in this
+        // moderate-load setting it is tens of packets at most.
+        assert!(first < 100, "transient length {first}");
+    }
+
+    #[test]
+    fn queue_profile_tracks_contender() {
+        let link = WlanLink::new(LinkConfig::default().contending_bps(2_000_000.0));
+        let exp = TransientExperiment {
+            link,
+            train: ProbeTrain::from_rate(100, 1500, 8_000_000.0),
+            reps: 150,
+            seed: 0xF16_12,
+        };
+        let data = exp.run();
+        let q = data.queue_profile();
+        assert_eq!(q.len(), 100);
+        // The probe's load pushes the contender's queue up over the
+        // train: late mean queue exceeds the initial one.
+        let early = q[0];
+        let late = q[80..].iter().sum::<f64>() / 20.0;
+        assert!(late > early, "early {early} late {late}");
+    }
+
+    #[test]
+    fn experiment_is_deterministic() {
+        let link = WlanLink::new(LinkConfig::default().contending_bps(3_000_000.0));
+        let exp = TransientExperiment {
+            link,
+            train: ProbeTrain::from_rate(30, 1500, 5_000_000.0),
+            reps: 20,
+            seed: 1234,
+        };
+        let a = exp.run().mean_profile();
+        let b = exp.run().mean_profile();
+        assert_eq!(a, b);
+    }
+}

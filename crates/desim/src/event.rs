@@ -1,0 +1,200 @@
+//! The event calendar: a time-ordered priority queue with FIFO
+//! tie-breaking.
+//!
+//! [`EventQueue`] is deliberately minimal — it stores `(Time, E)` pairs
+//! and pops them in non-decreasing time order. Ties are broken by
+//! insertion order (a monotone sequence number), which makes simulations
+//! deterministic even when many events share a timestamp: the behaviour
+//! never depends on heap internals.
+
+use crate::time::Time;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+struct Entry<E> {
+    time: Time,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq)
+        // pops first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic discrete-event calendar.
+///
+/// ```
+/// use csmaprobe_desim::{event::EventQueue, time::Time};
+///
+/// let mut q = EventQueue::new();
+/// q.push(Time::from_micros(20), "b");
+/// q.push(Time::from_micros(10), "a");
+/// q.push(Time::from_micros(20), "c"); // same time as "b": FIFO order
+/// assert_eq!(q.pop(), Some((Time::from_micros(10), "a")));
+/// assert_eq!(q.pop(), Some((Time::from_micros(20), "b")));
+/// assert_eq!(q.pop(), Some((Time::from_micros(20), "c")));
+/// assert_eq!(q.pop(), None);
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty calendar.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// An empty calendar with pre-allocated capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedule `payload` at absolute time `time`.
+    pub fn push(&mut self, time: Time, payload: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time, seq, payload });
+    }
+
+    /// Remove and return the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(Time, E)> {
+        self.heap.pop().map(|e| (e.time, e.payload))
+    }
+
+    /// The timestamp of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Borrow the earliest pending payload, if any.
+    pub fn peek(&self) -> Option<(&E, Time)> {
+        self.heap.peek().map(|e| (&e.payload, e.time))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drop all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Dur;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        let times = [50u64, 10, 30, 20, 40];
+        for &t in &times {
+            q.push(Time::from_micros(t), t);
+        }
+        let mut out = Vec::new();
+        while let Some((_, v)) = q.pop() {
+            out.push(v);
+        }
+        assert_eq!(out, vec![10, 20, 30, 40, 50]);
+    }
+
+    #[test]
+    fn ties_are_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(Time::from_micros(7), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop().unwrap().1, i);
+        }
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_nanos(5), 'x');
+        assert_eq!(q.peek_time(), Some(Time::from_nanos(5)));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((Time::from_nanos(5), 'x')));
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_ordered() {
+        let mut q = EventQueue::new();
+        let mut now = Time::ZERO;
+        q.push(Time::from_micros(10), 0u32);
+        q.push(Time::from_micros(5), 1);
+        let (t, v) = q.pop().unwrap();
+        assert_eq!(v, 1);
+        assert!(t >= now);
+        now = t;
+        // Push an event after current time, pop everything.
+        q.push(now + Dur::from_micros(1), 2);
+        let (t2, v2) = q.pop().unwrap();
+        assert_eq!(v2, 2);
+        assert!(t2 >= now);
+        assert_eq!(q.pop().unwrap().1, 0);
+    }
+
+    #[test]
+    fn clear_empties_queue() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.push(Time::from_nanos(i), i);
+        }
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn with_capacity_behaves_like_new() {
+        let mut q = EventQueue::with_capacity(16);
+        q.push(Time::ZERO, 1);
+        assert_eq!(q.pop(), Some((Time::ZERO, 1)));
+    }
+}

@@ -1,0 +1,29 @@
+//! # csmaprobe-desim
+//!
+//! Discrete-event simulation substrate for the `csmaprobe` workspace
+//! (reproduction of *"Impact of Transient CSMA/CA Access Delays on
+//! Active Bandwidth Measurements"*, IMC 2009).
+//!
+//! This crate contains nothing about 802.11 — it is the neutral engine
+//! the protocol models are built on:
+//!
+//! * [`time`] — integer-nanosecond [`time::Time`] / [`time::Dur`]
+//!   newtypes. No floating point in scheduling.
+//! * [`event`] — a deterministic event calendar with FIFO tie-breaking.
+//! * [`rng`] — seeded, reproducible xoshiro256++ streams and SplitMix64
+//!   seed derivation.
+//! * [`replicate`] — a thread-parallel Monte-Carlo replication runner
+//!   whose output is bit-identical to a sequential run.
+//!
+//! Design note: per the workspace guides, CPU-bound simulation is kept
+//! off async runtimes entirely; parallelism is plain scoped threads over
+//! independent replications.
+
+pub mod event;
+pub mod replicate;
+pub mod rng;
+pub mod time;
+
+pub use event::EventQueue;
+pub use rng::{derive_seed, split_mix64, SimRng};
+pub use time::{Dur, Time};

@@ -1,0 +1,109 @@
+//! MAC behaviour options: ablation switches and extensions beyond the
+//! paper's baseline configuration.
+//!
+//! The paper's setup (NS2 defaults, no RTS/CTS, no channel errors) is
+//! [`MacOptions::default`]. The other settings exist for ablations and
+//! extension experiments:
+//!
+//! * `immediate_access: false` — always draw a backoff, even when a
+//!   packet arrives to an idle medium. Quantifies how much of the
+//!   first-packet acceleration (§4) is due to the DCF immediate-access
+//!   rule vs. the queue/contention build-up.
+//! * `frame_error_rate` — i.i.d. per-attempt corruption of data frames
+//!   (no ACK returned ⇒ BEB retry). The paper explicitly excludes
+//!   channel impairments; this knob lets users study how losses distort
+//!   dispersion measurements anyway.
+//! * `rts_cts_threshold` — frames with payloads strictly larger than
+//!   the threshold are protected by an RTS/CTS handshake (collisions
+//!   then cost only the RTS airtime).
+
+/// Behavioural switches of the DCF simulator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MacOptions {
+    /// Transmit immediately after DIFS when the medium is idle at
+    /// arrival (802.11 / NS2 behaviour). `false` forces a backoff draw
+    /// for every frame.
+    pub immediate_access: bool,
+    /// Probability that a data-frame attempt is corrupted (receiver
+    /// returns no ACK). 0.0 = the paper's error-free channel.
+    pub frame_error_rate: f64,
+    /// Use RTS/CTS for payloads strictly larger than this many bytes
+    /// (`None` = never, the paper's setting).
+    pub rts_cts_threshold: Option<u32>,
+}
+
+impl Default for MacOptions {
+    fn default() -> Self {
+        MacOptions {
+            immediate_access: true,
+            frame_error_rate: 0.0,
+            rts_cts_threshold: None,
+        }
+    }
+}
+
+impl MacOptions {
+    /// The paper's configuration (alias of `default`).
+    pub fn paper() -> Self {
+        Self::default()
+    }
+
+    /// Disable the immediate-access rule (ablation).
+    pub fn without_immediate_access(mut self) -> Self {
+        self.immediate_access = false;
+        self
+    }
+
+    /// Set a per-attempt frame error rate.
+    pub fn with_frame_error_rate(mut self, p: f64) -> Self {
+        assert!((0.0..1.0).contains(&p), "error rate {p} out of [0,1)");
+        self.frame_error_rate = p;
+        self
+    }
+
+    /// Protect payloads above `bytes` with RTS/CTS.
+    pub fn with_rts_cts(mut self, bytes: u32) -> Self {
+        self.rts_cts_threshold = Some(bytes);
+        self
+    }
+
+    /// Whether a frame of `payload_bytes` uses the RTS/CTS handshake.
+    pub fn uses_rts(&self, payload_bytes: u32) -> bool {
+        self.rts_cts_threshold
+            .map(|t| payload_bytes > t)
+            .unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_paper_config() {
+        let o = MacOptions::default();
+        assert!(o.immediate_access);
+        assert_eq!(o.frame_error_rate, 0.0);
+        assert_eq!(o.rts_cts_threshold, None);
+        assert_eq!(o, MacOptions::paper());
+    }
+
+    #[test]
+    fn builders_compose() {
+        let o = MacOptions::default()
+            .without_immediate_access()
+            .with_frame_error_rate(0.1)
+            .with_rts_cts(500);
+        assert!(!o.immediate_access);
+        assert_eq!(o.frame_error_rate, 0.1);
+        assert!(o.uses_rts(501));
+        assert!(!o.uses_rts(500));
+        assert!(!o.uses_rts(40));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of [0,1)")]
+    fn error_rate_validated() {
+        MacOptions::default().with_frame_error_rate(1.5);
+    }
+}

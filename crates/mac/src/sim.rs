@@ -1,0 +1,836 @@
+//! The DCF contention simulator.
+//!
+//! ## Model
+//!
+//! Time is continuous (integer nanoseconds) but contention is
+//! slot-synchronised, as in Bianchi's model and NS2: after every busy
+//! period the idle slot grid is anchored at `channel_free_at + DIFS`,
+//! and a station's backoff counter positions its (potential)
+//! transmission at `anchor + slots_left · slot`. Two stations whose
+//! counters expire on the same grid point collide. A station that
+//! starts contending in the middle of an idle period first observes
+//! DIFS of idle medium and then joins the *same* grid (its start point
+//! is rounded up to the next grid slot), which keeps the slot-level
+//! vulnerability window of real DCF.
+//!
+//! ## Per-packet lifecycle
+//!
+//! ```text
+//! arrival ──(queueing)──> head-of-queue ──(DIFS+backoff+retries)──> data on air
+//!    │                        │ head_since                             │
+//!    └─> PacketRecord.arrival └─> access delay μ starts            rx_end = data end
+//!                                                       done = ACK end (μ ends)
+//! ```
+
+use crate::options::MacOptions;
+use csmaprobe_desim::rng::{derive_seed, SimRng};
+use csmaprobe_desim::time::{Dur, Time};
+use csmaprobe_phy::Phy;
+use csmaprobe_traffic::{PacketArrival, Source};
+use std::collections::VecDeque;
+
+/// Identifier of a station inside one [`WlanSim`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StationId(pub usize);
+
+/// Full schedule of one transmitted (or dropped) packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PacketRecord {
+    /// Arrival at the transmission queue.
+    pub arrival: Time,
+    /// Instant the packet reached the head of the queue and medium
+    /// access began (the start of the paper's access delay μ).
+    pub head: Time,
+    /// End of the successful data frame on the air — the receiver-side
+    /// timestamp used for dispersion measurements. For dropped packets
+    /// this is the end of the last failed attempt.
+    pub rx_end: Time,
+    /// Completion: ACK fully received (successful) or drop declared.
+    pub done: Time,
+    /// Payload bytes.
+    pub bytes: u32,
+    /// Number of retransmission attempts (0 = first attempt succeeded).
+    pub retries: u32,
+    /// True when the retry limit was exceeded and the frame was lost.
+    pub dropped: bool,
+    /// Flow tag copied from the arrival (distinguishes probe packets
+    /// from FIFO cross-traffic sharing the same queue).
+    pub flow: u16,
+}
+
+impl PacketRecord {
+    /// The paper's access delay μ: head-of-queue to complete
+    /// transmission.
+    #[inline]
+    pub fn access_delay(&self) -> Dur {
+        self.done - self.head
+    }
+
+    /// Time spent queued behind other packets of the same station.
+    #[inline]
+    pub fn queueing_delay(&self) -> Dur {
+        self.head - self.arrival
+    }
+
+    /// Total sojourn (arrival to completion) — `Z_i` of eq. (15).
+    #[inline]
+    pub fn sojourn(&self) -> Dur {
+        self.done - self.arrival
+    }
+}
+
+/// Per-station contention state.
+struct Station {
+    source: Box<dyn Source>,
+    rng: SimRng,
+    next_arrival: Option<PacketArrival>,
+    /// FIFO transmission queue: `(arrival, bytes, flow)`; the head is
+    /// the packet currently contending.
+    queue: VecDeque<(Time, u32, u16)>,
+    /// When the current head reached the head of the queue.
+    head_since: Time,
+    /// Remaining backoff slots for the head packet.
+    slots_left: u32,
+    /// Grid-aligned instant this station's countdown (re)starts.
+    count_start: Time,
+    /// Whether the head packet currently has contention state armed.
+    contending: bool,
+    /// Backoff stage (contention window doublings so far).
+    stage: u32,
+    /// Retry count of the head packet.
+    retries: u32,
+    /// Completed packet records, in completion order.
+    records: Vec<PacketRecord>,
+}
+
+impl Station {
+    fn tx_time(&self, slot: Dur) -> Time {
+        debug_assert!(self.contending);
+        self.count_start + slot * self.slots_left as u64
+    }
+}
+
+/// One collision-domain WLAN simulation.
+///
+/// Build with [`WlanSim::new`], attach stations ([`WlanSim::add_station`]),
+/// then [`WlanSim::run`]. Each station's RNG stream is derived from the
+/// master seed and the station index, so results are a pure function of
+/// `(phy, sources, seed)`.
+pub struct WlanSim {
+    phy: Phy,
+    seed: u64,
+    options: MacOptions,
+    stations: Vec<Station>,
+    collisions: u64,
+}
+
+/// Aggregate channel airtime accounting over a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ChannelStats {
+    /// Airtime consumed by successful exchanges (data + SIFS + ACK,
+    /// plus the RTS/CTS preface when used).
+    pub success_time: Dur,
+    /// Airtime wasted on collisions (longest frame + ACK timeout).
+    pub collision_time: Dur,
+    /// Airtime wasted on corrupted frames (frame-error injection).
+    pub error_time: Dur,
+    /// Number of collision events.
+    pub collisions: u64,
+    /// Number of corrupted-frame events.
+    pub frame_errors: u64,
+}
+
+impl ChannelStats {
+    /// Total busy airtime.
+    pub fn busy_time(&self) -> Dur {
+        self.success_time + self.collision_time + self.error_time
+    }
+
+    /// Fraction of `[0, until]` the channel was busy.
+    pub fn utilisation(&self, until: Time) -> f64 {
+        if until == Time::ZERO {
+            return 0.0;
+        }
+        self.busy_time().as_secs_f64() / until.as_secs_f64()
+    }
+}
+
+/// Everything a finished simulation produced.
+pub struct SimOutput {
+    phy: Phy,
+    /// Per-station completed packet records (completion order).
+    station_records: Vec<Vec<PacketRecord>>,
+    /// Arrival times of packets still queued when the run ended.
+    unfinished: Vec<Vec<Time>>,
+    /// Number of collision events on the channel.
+    pub collisions: u64,
+    /// Channel airtime accounting.
+    pub channel: ChannelStats,
+    /// The run horizon actually used.
+    pub horizon: Time,
+    /// Time of the last completed packet across all stations.
+    pub last_done: Time,
+}
+
+impl WlanSim {
+    /// A simulation over `phy` timing with the given master seed.
+    pub fn new(phy: Phy, seed: u64) -> Self {
+        WlanSim {
+            phy,
+            seed,
+            options: MacOptions::default(),
+            stations: Vec::new(),
+            collisions: 0,
+        }
+    }
+
+    /// Override the MAC behaviour options (defaults to the paper's
+    /// configuration).
+    pub fn set_options(&mut self, options: MacOptions) {
+        self.options = options;
+    }
+
+    /// Builder-style variant of [`WlanSim::set_options`].
+    pub fn with_options(mut self, options: MacOptions) -> Self {
+        self.set_options(options);
+        self
+    }
+
+    /// Attach a station fed by `source`. Returns its id; ids are dense
+    /// indices in attach order.
+    pub fn add_station(&mut self, source: Box<dyn Source>) -> StationId {
+        let idx = self.stations.len();
+        let rng = SimRng::new(derive_seed(self.seed, idx as u64 + 1));
+        self.stations.push(Station {
+            source,
+            rng,
+            next_arrival: None,
+            queue: VecDeque::new(),
+            head_since: Time::ZERO,
+            slots_left: 0,
+            count_start: Time::ZERO,
+            contending: false,
+            stage: 0,
+            retries: 0,
+            records: Vec::new(),
+        });
+        StationId(idx)
+    }
+
+    /// Align `t` up to the idle-period slot grid anchored at `anchor`.
+    fn align_up(anchor: Time, slot: Dur, t: Time) -> Time {
+        if t <= anchor {
+            return anchor;
+        }
+        let offset = t - anchor;
+        anchor + slot * offset.div_ceil_dur(slot)
+    }
+
+    /// Run until `horizon` (exclusive) or until no event remains.
+    pub fn run(mut self, horizon: Time) -> SimOutput {
+        let slot = self.phy.slot;
+        let difs = self.phy.difs();
+        let mut channel_free_at = Time::ZERO;
+        let mut last_done = Time::ZERO;
+        let mut channel = ChannelStats::default();
+
+        // Prime every station's arrival look-ahead.
+        for st in &mut self.stations {
+            st.next_arrival = st.source.next_packet(&mut st.rng);
+        }
+
+        loop {
+            // Earliest pending arrival across stations.
+            let mut next_arr = Time::MAX;
+            let mut arr_station = usize::MAX;
+            for (i, st) in self.stations.iter().enumerate() {
+                if let Some(p) = st.next_arrival {
+                    if p.time < next_arr {
+                        next_arr = p.time;
+                        arr_station = i;
+                    }
+                }
+            }
+
+            // Earliest candidate transmission across contending stations.
+            let mut next_tx = Time::MAX;
+            for st in &self.stations {
+                if st.contending {
+                    let t = st.tx_time(slot);
+                    if t < next_tx {
+                        next_tx = t;
+                    }
+                }
+            }
+
+            let next_event = next_arr.min(next_tx);
+            if next_event == Time::MAX || next_event >= horizon {
+                break;
+            }
+
+            if next_arr <= next_tx {
+                // ---- arrival ----
+                let st = &mut self.stations[arr_station];
+                let pkt = st.next_arrival.take().unwrap();
+                st.next_arrival = st.source.next_packet(&mut st.rng);
+                debug_assert!(
+                    st.next_arrival.map(|n| n.time >= pkt.time).unwrap_or(true),
+                    "source emitted decreasing arrival times"
+                );
+                st.queue.push_back((pkt.time, pkt.bytes, pkt.flow));
+                if st.queue.len() == 1 {
+                    // New head: arm contention.
+                    st.head_since = pkt.time;
+                    st.stage = 0;
+                    st.retries = 0;
+                    st.contending = true;
+                    if pkt.time < channel_free_at {
+                        // Medium busy: classic backoff, counted from the
+                        // next idle period.
+                        st.slots_left =
+                            st.rng.range_inclusive(0, self.phy.cw_at_stage(0) as u64) as u32;
+                        st.count_start = channel_free_at + difs;
+                    } else {
+                        // Medium idle: immediate access after DIFS,
+                        // quantised onto the current idle grid (unless
+                        // the ablation switch forces a backoff draw).
+                        let anchor = channel_free_at + difs;
+                        st.slots_left = if self.options.immediate_access {
+                            0
+                        } else {
+                            st.rng.range_inclusive(0, self.phy.cw_at_stage(0) as u64) as u32
+                        };
+                        st.count_start = Self::align_up(anchor, slot, pkt.time + difs);
+                    }
+                }
+                continue;
+            }
+
+            // ---- transmission(s) at next_tx ----
+            let t = next_tx;
+            let winners: Vec<usize> = self
+                .stations
+                .iter()
+                .enumerate()
+                .filter(|(_, st)| st.contending && st.tx_time(slot) == t)
+                .map(|(i, _)| i)
+                .collect();
+            debug_assert!(!winners.is_empty());
+
+            // Freeze every other contending station.
+            for (i, st) in self.stations.iter_mut().enumerate() {
+                if !st.contending || winners.contains(&i) {
+                    continue;
+                }
+                if st.count_start <= t {
+                    let elapsed = (t - st.count_start).div_dur(slot) as u32;
+                    debug_assert!(
+                        st.slots_left > elapsed,
+                        "non-winner should not have expired"
+                    );
+                    st.slots_left -= elapsed;
+                } else if st.slots_left == 0 {
+                    // Lost its immediate-access opportunity to this busy
+                    // period: must back off like everyone else.
+                    st.slots_left =
+                        st.rng.range_inclusive(0, self.phy.cw_at_stage(st.stage) as u64) as u32;
+                }
+            }
+
+            let busy_end;
+            if winners.len() == 1 {
+                let w = winners[0];
+                let failed = self.options.frame_error_rate > 0.0
+                    && self.stations[w].rng.f64() < self.options.frame_error_rate;
+                let st = &mut self.stations[w];
+                let (arrival, bytes, flow) = *st.queue.front().expect("winner with empty queue");
+                let uses_rts = self.options.uses_rts(bytes);
+                let preface = if uses_rts {
+                    self.phy.rts_cts_preface()
+                } else {
+                    Dur::ZERO
+                };
+                let data = self.phy.data_airtime(bytes);
+                if failed {
+                    // ---- corrupted data frame: no ACK, BEB retry ----
+                    channel.frame_errors += 1;
+                    let fail_end = t + preface + data + self.phy.ack_timeout();
+                    channel.error_time += fail_end - t;
+                    let retry_limit = self.phy.retry_limit;
+                    st.retries += 1;
+                    st.stage += 1;
+                    if st.retries > retry_limit {
+                        st.records.push(PacketRecord {
+                            arrival,
+                            head: st.head_since,
+                            rx_end: t + preface + data,
+                            done: fail_end,
+                            bytes,
+                            retries: st.retries,
+                            dropped: true,
+                            flow,
+                        });
+                        last_done = last_done.max(fail_end);
+                        st.queue.pop_front();
+                        Self::rearm_after_completion(st, &self.phy, fail_end);
+                    } else {
+                        let cw = self.phy.cw_at_stage(st.stage);
+                        st.slots_left = st.rng.range_inclusive(0, cw as u64) as u32;
+                    }
+                    busy_end = fail_end;
+                } else {
+                    // ---- success ----
+                    let rx_end = t + preface + data;
+                    let done = rx_end + self.phy.sifs + self.phy.ack_airtime();
+                    channel.success_time += done - t;
+                    st.records.push(PacketRecord {
+                        arrival,
+                        head: st.head_since,
+                        rx_end,
+                        done,
+                        bytes,
+                        retries: st.retries,
+                        dropped: false,
+                        flow,
+                    });
+                    last_done = last_done.max(done);
+                    st.queue.pop_front();
+                    Self::rearm_after_completion(st, &self.phy, done);
+                    busy_end = done;
+                }
+            } else {
+                // ---- collision ----
+                self.collisions += 1;
+                channel.collisions += 1;
+                let max_frame = winners
+                    .iter()
+                    .map(|&i| {
+                        let (_, bytes, _) = *self.stations[i].queue.front().unwrap();
+                        if self.options.uses_rts(bytes) {
+                            // RTS/CTS: only the short RTS collides.
+                            self.phy.rts_airtime()
+                        } else {
+                            self.phy.data_airtime(bytes)
+                        }
+                    })
+                    .max()
+                    .unwrap();
+                // The channel is unusable for the longest frame plus the
+                // ACK/CTS-timeout the colliders observe before resuming.
+                busy_end = t + max_frame + self.phy.sifs + self.phy.ack_airtime();
+                channel.collision_time += busy_end - t;
+                for &i in &winners {
+                    let retry_limit = self.phy.retry_limit;
+                    let st = &mut self.stations[i];
+                    st.retries += 1;
+                    st.stage += 1;
+                    if st.retries > retry_limit {
+                        // Drop the frame.
+                        let (arrival, bytes, flow) = *st.queue.front().unwrap();
+                        st.records.push(PacketRecord {
+                            arrival,
+                            head: st.head_since,
+                            rx_end: t + self.phy.data_airtime(bytes),
+                            done: busy_end,
+                            bytes,
+                            retries: st.retries,
+                            dropped: true,
+                            flow,
+                        });
+                        last_done = last_done.max(busy_end);
+                        st.queue.pop_front();
+                        Self::rearm_after_completion(st, &self.phy, busy_end);
+                    } else {
+                        let cw = self.phy.cw_at_stage(st.stage);
+                        st.slots_left = st.rng.range_inclusive(0, cw as u64) as u32;
+                    }
+                }
+            }
+
+            channel_free_at = busy_end;
+            // Re-anchor every contending station on the new idle grid.
+            let anchor = channel_free_at + difs;
+            for st in &mut self.stations {
+                if st.contending {
+                    st.count_start = anchor;
+                }
+            }
+        }
+
+        SimOutput {
+            phy: self.phy,
+            station_records: self.stations.iter_mut().map(|s| std::mem::take(&mut s.records)).collect(),
+            unfinished: self
+                .stations
+                .iter()
+                .map(|s| s.queue.iter().map(|&(a, _, _)| a).collect())
+                .collect(),
+            collisions: self.collisions,
+            channel,
+            horizon,
+            last_done,
+        }
+    }
+
+    /// After the head packet completes (success or drop): reset the
+    /// contention window and arm the next head, if any, with a fresh
+    /// post-transmission backoff.
+    fn rearm_after_completion(st: &mut Station, phy: &Phy, done: Time) {
+        st.stage = 0;
+        st.retries = 0;
+        if st.queue.is_empty() {
+            st.contending = false;
+        } else {
+            st.head_since = done;
+            st.slots_left = st.rng.range_inclusive(0, phy.cw_at_stage(0) as u64) as u32;
+            st.contending = true;
+            // count_start is set by the caller's re-anchoring pass.
+        }
+    }
+}
+
+impl SimOutput {
+    /// Completed packet records of a station, in completion order.
+    pub fn records(&self, id: StationId) -> &[PacketRecord] {
+        &self.station_records[id.0]
+    }
+
+    /// Records of one flow within a station (probe vs FIFO
+    /// cross-traffic sharing the queue), in completion order.
+    pub fn flow_records(&self, id: StationId, flow: u16) -> Vec<PacketRecord> {
+        self.station_records[id.0]
+            .iter()
+            .filter(|r| r.flow == flow)
+            .copied()
+            .collect()
+    }
+
+    /// Number of stations simulated.
+    pub fn station_count(&self) -> usize {
+        self.station_records.len()
+    }
+
+    /// Access-delay sequence μ_1..μ_n of a station's completed packets,
+    /// in seconds.
+    pub fn access_delays_s(&self, id: StationId) -> Vec<f64> {
+        self.station_records[id.0]
+            .iter()
+            .map(|r| r.access_delay().as_secs_f64())
+            .collect()
+    }
+
+    /// Delivered throughput of a station over `[0, until]`, counting
+    /// frames whose data transmission completed by `until`.
+    pub fn throughput_bps(&self, id: StationId, until: Time) -> f64 {
+        let bits: u64 = self.station_records[id.0]
+            .iter()
+            .filter(|r| !r.dropped && r.rx_end <= until)
+            .map(|r| r.bytes as u64 * 8)
+            .sum();
+        if until == Time::ZERO {
+            return 0.0;
+        }
+        bits as f64 / until.as_secs_f64()
+    }
+
+    /// Throughput over an explicit window `[from, to]`.
+    pub fn throughput_bps_window(&self, id: StationId, from: Time, to: Time) -> f64 {
+        debug_assert!(to > from);
+        let bits: u64 = self.station_records[id.0]
+            .iter()
+            .filter(|r| !r.dropped && r.rx_end > from && r.rx_end <= to)
+            .map(|r| r.bytes as u64 * 8)
+            .sum();
+        bits as f64 / (to - from).as_secs_f64()
+    }
+
+    /// Queue length (packets in the station's transmission queue,
+    /// including the head in contention/service) at time `t`.
+    ///
+    /// Reconstructed from arrivals and completions; `O(log n)`.
+    pub fn queue_len_at(&self, id: StationId, t: Time) -> usize {
+        let recs = &self.station_records[id.0];
+        // Arrivals of completed packets are sorted (per-station FIFO);
+        // records are in completion order so `done` is sorted too.
+        let completed_arrived = recs.partition_point(|r| r.arrival <= t);
+        let departed = recs.partition_point(|r| r.done <= t);
+        let unfinished_arrived = self.unfinished[id.0].partition_point(|&a| a <= t);
+        completed_arrived + unfinished_arrived - departed
+    }
+
+    /// The PHY the simulation used.
+    pub fn phy(&self) -> &Phy {
+        &self.phy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{measured_standalone_capacity_bps, saturated_source, standalone_cycle};
+    use csmaprobe_traffic::{PoissonSource, SizeModel, TraceSource};
+
+    fn phy() -> Phy {
+        Phy::dsss_11mbps()
+    }
+
+    fn trace(times_us: &[u64], bytes: u32) -> Box<TraceSource> {
+        Box::new(TraceSource::new(
+            times_us
+                .iter()
+                .map(|&t| PacketArrival::new(Time::from_micros(t), bytes))
+                .collect(),
+        ))
+    }
+
+    #[test]
+    fn lone_packet_gets_immediate_access() {
+        let mut sim = WlanSim::new(phy(), 1);
+        let st = sim.add_station(trace(&[1000], 1500));
+        let out = sim.run(Time::MAX);
+        let recs = out.records(st);
+        assert_eq!(recs.len(), 1);
+        let r = &recs[0];
+        // Immediate access: DIFS (grid-aligned) + exchange; no backoff.
+        // Arrival at 1000us, grid anchor 50us + k*20us, so tx at 1050us.
+        let p = phy();
+        let expected_tx = Time::from_micros(1050);
+        assert_eq!(r.rx_end, expected_tx + p.data_airtime(1500));
+        assert_eq!(r.done, r.rx_end + p.sifs + p.ack_airtime());
+        assert_eq!(r.head, Time::from_micros(1000));
+        assert_eq!(r.retries, 0);
+        assert!(!r.dropped);
+    }
+
+    #[test]
+    fn saturated_station_backoffs_every_frame() {
+        let mut sim = WlanSim::new(phy(), 2);
+        let st = sim.add_station(saturated_source(1500, 200));
+        let out = sim.run(Time::MAX);
+        let recs = out.records(st);
+        assert_eq!(recs.len(), 200);
+        let p = phy();
+        let exchange = p.success_exchange(1500);
+        // Every frame after the first: access delay = DIFS + b*slot + exchange
+        // with b in [0, 31].
+        let mut backoffs = Vec::new();
+        for r in &recs[1..] {
+            let overhead = r.access_delay() - exchange - p.difs();
+            let slots = overhead.div_dur(p.slot);
+            assert_eq!(overhead, p.slot * slots, "backoff must be whole slots");
+            assert!(slots <= 31, "slots {slots} out of CWmin range");
+            backoffs.push(slots);
+        }
+        // Mean backoff near 15.5 slots.
+        let mean = backoffs.iter().sum::<u64>() as f64 / backoffs.len() as f64;
+        assert!((mean - 15.5).abs() < 2.0, "mean backoff {mean}");
+        // First frame: no backoff at all (immediate access).
+        assert_eq!(recs[0].access_delay(), p.difs() + exchange);
+    }
+
+    #[test]
+    fn fifo_order_and_headship() {
+        // Three packets arriving while the first is in service: each
+        // head_since equals the predecessor's completion.
+        let mut sim = WlanSim::new(phy(), 3);
+        let st = sim.add_station(trace(&[0, 10, 20], 1500));
+        let out = sim.run(Time::MAX);
+        let recs = out.records(st);
+        assert_eq!(recs.len(), 3);
+        assert_eq!(recs[0].head, Time::ZERO);
+        assert_eq!(recs[1].head, recs[0].done);
+        assert_eq!(recs[2].head, recs[1].done);
+        // Departures strictly ordered.
+        assert!(recs[0].done < recs[1].done && recs[1].done < recs[2].done);
+        // Queueing delay of packet 2 spans the service of 0 and 1.
+        assert_eq!(recs[2].queueing_delay(), recs[1].done - recs[2].arrival);
+    }
+
+    #[test]
+    fn standalone_capacity_matches_analytic_cycle() {
+        let p = phy();
+        let measured = measured_standalone_capacity_bps(&p, 1500, 2000, 42);
+        let analytic = 1500.0 * 8.0 / standalone_cycle(&p, 1500).as_secs_f64();
+        let rel = (measured - analytic).abs() / analytic;
+        assert!(
+            rel < 0.02,
+            "measured {measured:.0} vs analytic {analytic:.0} ({rel:.3})"
+        );
+        // And in the paper's ballpark (C ≈ 6.2-6.5 Mb/s).
+        assert!((5.9e6..6.6e6).contains(&measured), "{measured}");
+    }
+
+    #[test]
+    fn two_saturated_stations_share_fairly_and_collide() {
+        let mut sim = WlanSim::new(phy(), 7);
+        let a = sim.add_station(saturated_source(1500, 3000));
+        let b = sim.add_station(saturated_source(1500, 3000));
+        let out = sim.run(Time::MAX);
+        let horizon = out
+            .records(a)
+            .last()
+            .unwrap()
+            .done
+            .min(out.records(b).last().unwrap().done);
+        let ta = out.throughput_bps(a, horizon);
+        let tb = out.throughput_bps(b, horizon);
+        // Fairness within 5%.
+        let unfairness = (ta - tb).abs() / (ta + tb);
+        assert!(unfairness < 0.05, "ta {ta} tb {tb}");
+        // Aggregate slightly above stand-alone capacity (two contenders
+        // waste less idle backoff; collisions still rare at n=2).
+        let agg = ta + tb;
+        assert!((5.9e6..6.8e6).contains(&agg), "aggregate {agg}");
+        // Collisions do happen for two saturated stations.
+        assert!(out.collisions > 0);
+        // Collision probability per attempt should be near Bianchi's
+        // p = 1-(1-tau)^(n-1); for n=2, W=32, m=5: p ≈ 0.06. Count
+        // retries as a proxy.
+        let retries: u32 = out.records(a).iter().map(|r| r.retries).sum();
+        let p_est = retries as f64 / out.records(a).len() as f64;
+        assert!((0.02..0.14).contains(&p_est), "collision rate {p_est}");
+    }
+
+    #[test]
+    fn unsaturated_station_gets_its_offered_rate() {
+        let p = phy();
+        let horizon = Time::from_secs_f64(30.0);
+        let mut sim = WlanSim::new(p, 11);
+        let st = sim.add_station(Box::new(PoissonSource::from_bitrate(
+            2_000_000.0,
+            SizeModel::Fixed(1500),
+            Time::ZERO,
+            horizon,
+        )));
+        let out = sim.run(Time::MAX);
+        let tput = out.throughput_bps(st, horizon);
+        assert!(
+            (tput - 2_000_000.0).abs() / 2_000_000.0 < 0.03,
+            "throughput {tput}"
+        );
+    }
+
+    #[test]
+    fn contention_slows_access_delay() {
+        // Station A saturated alone vs saturated against a contender:
+        // mean access delay must grow.
+        let solo = {
+            let mut sim = WlanSim::new(phy(), 13);
+            let st = sim.add_station(saturated_source(1500, 500));
+            let out = sim.run(Time::MAX);
+            let d = out.access_delays_s(st);
+            d.iter().sum::<f64>() / d.len() as f64
+        };
+        let contested = {
+            let mut sim = WlanSim::new(phy(), 13);
+            let st = sim.add_station(saturated_source(1500, 500));
+            let _other = sim.add_station(saturated_source(1500, 500));
+            let out = sim.run(Time::MAX);
+            let d = out.access_delays_s(st);
+            d.iter().sum::<f64>() / d.len() as f64
+        };
+        assert!(
+            contested > solo * 1.5,
+            "solo {solo:.6} contested {contested:.6}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let mut sim = WlanSim::new(phy(), seed);
+            let a = sim.add_station(saturated_source(1500, 300));
+            let _b = sim.add_station(saturated_source(1000, 300));
+            let out = sim.run(Time::MAX);
+            out.records(a).to_vec()
+        };
+        let r1 = run(99);
+        let r2 = run(99);
+        assert_eq!(r1, r2);
+        let r3 = run(100);
+        assert_ne!(r1, r3);
+    }
+
+    #[test]
+    fn queue_len_reconstruction() {
+        let mut sim = WlanSim::new(phy(), 17);
+        let st = sim.add_station(trace(&[0, 10, 20, 30], 1500));
+        let out = sim.run(Time::MAX);
+        // All four arrive before the first completes (~1.6ms).
+        assert_eq!(out.queue_len_at(st, Time::from_micros(35)), 4);
+        let recs = out.records(st);
+        // Just after the first completion: 3 left.
+        assert_eq!(out.queue_len_at(st, recs[0].done), 3);
+        // After the last completion: empty.
+        assert_eq!(out.queue_len_at(st, recs[3].done), 0);
+        // Before anything arrives: empty.
+        assert_eq!(out.queue_len_at(st, Time::ZERO.max(Time::ZERO)), 1); // t=0 includes the t=0 arrival
+    }
+
+    #[test]
+    fn horizon_cuts_the_run() {
+        let mut sim = WlanSim::new(phy(), 19);
+        let st = sim.add_station(saturated_source(1500, 100_000));
+        let horizon = Time::from_secs_f64(0.5);
+        let out = sim.run(horizon);
+        let recs = out.records(st);
+        assert!(!recs.is_empty());
+        assert!(recs.len() < 100_000);
+        // ~0.5s / ~1.93ms per frame ≈ 259 frames.
+        assert!((200..320).contains(&recs.len()), "{}", recs.len());
+    }
+
+    #[test]
+    fn throughput_window_excludes_outside() {
+        let mut sim = WlanSim::new(phy(), 23);
+        let st = sim.add_station(saturated_source(1500, 1000));
+        let out = sim.run(Time::MAX);
+        let t_all = out.throughput_bps(st, out.last_done);
+        let t_win = out.throughput_bps_window(
+            st,
+            Time::from_secs_f64(0.2),
+            Time::from_secs_f64(0.4),
+        );
+        // Steady portion should be close to the overall average.
+        assert!((t_all - t_win).abs() / t_all < 0.1, "{t_all} vs {t_win}");
+    }
+
+    #[test]
+    fn different_frame_sizes_coexist() {
+        let mut sim = WlanSim::new(phy(), 29);
+        let small = sim.add_station(saturated_source(40, 2000));
+        let big = sim.add_station(saturated_source(1500, 2000));
+        let out = sim.run(Time::MAX);
+        let horizon = out
+            .records(small)
+            .last()
+            .unwrap()
+            .done
+            .min(out.records(big).last().unwrap().done);
+        let ts = out.throughput_bps(small, horizon);
+        let tb = out.throughput_bps(big, horizon);
+        // DCF is per-frame fair, so byte throughput favours big frames.
+        assert!(tb > 5.0 * ts, "small {ts} big {tb}");
+    }
+
+    #[test]
+    fn collision_resolution_eventually_delivers() {
+        // Two stations with identical deterministic arrival patterns;
+        // they will collide sometimes but everything must be delivered.
+        let mut sim = WlanSim::new(phy(), 31);
+        let n = 500;
+        let a = sim.add_station(saturated_source(1500, n));
+        let b = sim.add_station(saturated_source(1500, n));
+        let out = sim.run(Time::MAX);
+        let delivered = |id| {
+            out.records(id)
+                .iter()
+                .filter(|r| !r.dropped)
+                .count()
+        };
+        // Retry limit 7 with CWmax 1023 makes drops essentially
+        // impossible for 2 stations.
+        assert_eq!(delivered(a), n);
+        assert_eq!(delivered(b), n);
+    }
+}

@@ -1,0 +1,197 @@
+//! Behavioural tests of the MAC option switches: frame-error
+//! injection, RTS/CTS protection, the immediate-access ablation, and
+//! channel airtime accounting.
+
+use csmaprobe_desim::time::{Dur, Time};
+use csmaprobe_mac::{saturated_source, MacOptions, WlanSim};
+use csmaprobe_phy::Phy;
+use csmaprobe_traffic::{PacketArrival, TraceSource};
+
+fn phy() -> Phy {
+    Phy::dsss_11mbps()
+}
+
+#[test]
+fn frame_errors_cause_retries_and_slowdown() {
+    let n = 1500;
+    let clean = {
+        let mut sim = WlanSim::new(phy(), 5);
+        let st = sim.add_station(saturated_source(1500, n));
+        let out = sim.run(Time::MAX);
+        (out.records(st).last().unwrap().done, out.channel)
+    };
+    let lossy = {
+        let mut sim = WlanSim::new(phy(), 5)
+            .with_options(MacOptions::default().with_frame_error_rate(0.2));
+        let st = sim.add_station(saturated_source(1500, n));
+        let out = sim.run(Time::MAX);
+        let recs = out.records(st);
+        // With retry limit 7 and p=0.2, drops are ~1e-5: all delivered.
+        assert_eq!(recs.iter().filter(|r| !r.dropped).count(), n);
+        // Retries must actually happen, roughly p/(1-p) per packet.
+        let retries: u32 = recs.iter().map(|r| r.retries).sum();
+        let per_pkt = retries as f64 / n as f64;
+        assert!(
+            (0.18..0.35).contains(&per_pkt),
+            "retries per packet {per_pkt}"
+        );
+        (recs.last().unwrap().done, out.channel)
+    };
+    // 20% errors with full-frame waste: ~25% longer completion.
+    let slowdown = lossy.0.as_secs_f64() / clean.0.as_secs_f64();
+    assert!(
+        (1.15..1.55).contains(&slowdown),
+        "completion slowdown {slowdown}"
+    );
+    // Accounting agrees.
+    assert_eq!(clean.1.frame_errors, 0);
+    assert_eq!(clean.1.error_time, Dur::ZERO);
+    assert!(lossy.1.frame_errors > 0);
+    assert!(lossy.1.error_time > Dur::ZERO);
+}
+
+#[test]
+fn heavy_errors_eventually_drop_frames() {
+    let mut sim =
+        WlanSim::new(phy(), 7).with_options(MacOptions::default().with_frame_error_rate(0.8));
+    let st = sim.add_station(saturated_source(1500, 300));
+    let out = sim.run(Time::MAX);
+    let recs = out.records(st);
+    assert_eq!(recs.len(), 300);
+    let dropped = recs.iter().filter(|r| r.dropped).count();
+    // P(drop) = 0.8^8 ≈ 0.168.
+    let frac = dropped as f64 / 300.0;
+    assert!((0.08..0.30).contains(&frac), "drop fraction {frac}");
+    // Dropped frames carry max retries.
+    for r in recs.iter().filter(|r| r.dropped) {
+        assert_eq!(r.retries, phy().retry_limit + 1);
+    }
+}
+
+#[test]
+fn rts_cts_adds_overhead_for_lone_station() {
+    let run = |opts: MacOptions| {
+        let mut sim = WlanSim::new(phy(), 9).with_options(opts);
+        let st = sim.add_station(saturated_source(1500, 500));
+        let out = sim.run(Time::MAX);
+        let last = out.records(st).last().unwrap().done;
+        500.0 * 1500.0 * 8.0 / last.as_secs_f64()
+    };
+    let plain = run(MacOptions::default());
+    let protected = run(MacOptions::default().with_rts_cts(1000));
+    // The RTS/CTS preface costs ~2x192us PLCP + control bytes per frame:
+    // clearly lower throughput, but not catastrophically so.
+    assert!(protected < 0.9 * plain, "plain {plain} rts {protected}");
+    assert!(protected > 0.5 * plain, "plain {plain} rts {protected}");
+}
+
+#[test]
+fn rts_cts_threshold_spares_small_frames() {
+    let run = |bytes: u32| {
+        let mut sim = WlanSim::new(phy(), 11)
+            .with_options(MacOptions::default().with_rts_cts(1000));
+        let st = sim.add_station(saturated_source(bytes, 200));
+        let out = sim.run(Time::MAX);
+        let recs = out.records(st);
+        // Per-frame exchange duration from the second record on
+        // (steady backoff regime).
+        let r = &recs[10];
+        r.done - r.rx_end // SIFS + ACK, same either way
+    };
+    // The tail is identical; compare rx_end-head instead.
+    let mut sim = WlanSim::new(phy(), 11)
+        .with_options(MacOptions::default().with_rts_cts(1000));
+    let small = sim.add_station(saturated_source(576, 50));
+    let out = sim.run(Time::MAX);
+    let p = phy();
+    // A 576-byte frame is below the threshold: its rx_end - head must
+    // never include the RTS/CTS preface.
+    for r in out.records(small) {
+        let min_with_preface = p.rts_cts_preface() + p.data_airtime(576) + p.difs();
+        if r.retries == 0 && r.access_delay() < min_with_preface {
+            // At least one frame's access is too fast to contain a
+            // preface: threshold respected.
+            return;
+        }
+    }
+    let _ = run(576);
+    panic!("all small frames look RTS-protected");
+}
+
+#[test]
+fn disabling_immediate_access_slows_first_packet() {
+    // A lone packet on an idle channel: with immediate access its
+    // access delay is DIFS + exchange; without, a backoff is added.
+    let one_packet = |opts: MacOptions, seed: u64| {
+        let mut sim = WlanSim::new(phy(), seed).with_options(opts);
+        let st = sim.add_station(Box::new(TraceSource::new(vec![PacketArrival::new(
+            Time::from_millis(1),
+            1500,
+        )])));
+        let out = sim.run(Time::MAX);
+        out.records(st)[0].access_delay()
+    };
+    let p = phy();
+    let base = p.difs() + p.success_exchange(1500);
+    // Immediate: always exactly the base (grid alignment adds < 1 slot).
+    for seed in 0..20 {
+        let d = one_packet(MacOptions::default(), seed);
+        assert!(d <= base + p.slot, "immediate-access delay {d}");
+    }
+    // Without: a uniform [0, 31]-slot backoff is added; over 20 seeds at
+    // least one draw must exceed 4 slots.
+    let mut saw_backoff = false;
+    for seed in 0..20 {
+        let d = one_packet(MacOptions::default().without_immediate_access(), seed);
+        assert!(d >= base, "delay below base: {d}");
+        if d > base + p.slot * 4 {
+            saw_backoff = true;
+        }
+    }
+    assert!(saw_backoff, "no backoff observed with immediate access off");
+}
+
+#[test]
+fn channel_accounting_is_consistent() {
+    let mut sim = WlanSim::new(phy(), 13);
+    let a = sim.add_station(saturated_source(1500, 400));
+    let _b = sim.add_station(saturated_source(1500, 400));
+    let out = sim.run(Time::MAX);
+    let ch = out.channel;
+    assert_eq!(ch.collisions, out.collisions);
+    assert_eq!(ch.frame_errors, 0);
+    // Success airtime accounts for every delivered frame's exchange.
+    let p = phy();
+    let expected: u64 = [a, csmaprobe_mac::StationId(1)]
+        .iter()
+        .flat_map(|&id| out.records(id))
+        .filter(|r| !r.dropped && r.retries == 0 || !r.dropped)
+        .map(|r| (p.data_airtime(r.bytes) + p.sifs + p.ack_airtime()).as_nanos())
+        .sum();
+    assert_eq!(ch.success_time.as_nanos(), expected);
+    // Busy time below the final completion instant.
+    assert!(ch.busy_time() < out.last_done - Time::ZERO);
+    // Utilisation in (0, 1].
+    let u = ch.utilisation(out.last_done);
+    assert!((0.5..=1.0).contains(&u), "utilisation {u}");
+}
+
+#[test]
+fn rts_cts_reduces_collision_cost() {
+    // Two saturated stations: collision airtime per collision event is
+    // much smaller with RTS/CTS (only the 20-byte RTS collides).
+    let per_collision = |opts: MacOptions| {
+        let mut sim = WlanSim::new(phy(), 17).with_options(opts);
+        let _a = sim.add_station(saturated_source(1500, 2000));
+        let _b = sim.add_station(saturated_source(1500, 2000));
+        let out = sim.run(Time::MAX);
+        assert!(out.channel.collisions > 0);
+        out.channel.collision_time.as_secs_f64() / out.channel.collisions as f64
+    };
+    let plain = per_collision(MacOptions::default());
+    let protected = per_collision(MacOptions::default().with_rts_cts(1000));
+    assert!(
+        protected < 0.6 * plain,
+        "per-collision cost: plain {plain:.6}s vs rts {protected:.6}s"
+    );
+}

@@ -1,0 +1,98 @@
+//! OFDM (802.11a/g) airtime details.
+//!
+//! OFDM frames are quantised to 4 µs symbols; the PSDU is wrapped in a
+//! 16-bit SERVICE field and 6 tail bits, then padded to a whole number
+//! of symbols (802.11-2007 §17.3.2.3):
+//!
+//! ```text
+//! N_sym = ceil((16 + 8·bytes + 6) / N_dbps)
+//! ```
+
+use csmaprobe_desim::time::Dur;
+
+/// OFDM symbol duration (4 µs, including guard interval).
+pub const SYMBOL: Dur = Dur(4_000);
+
+/// Data bits per OFDM symbol for each 802.11a/g rate.
+///
+/// Returns `None` for rates that are not part of the OFDM rate set.
+pub fn data_bits_per_symbol(rate_bps: u64) -> Option<u32> {
+    Some(match rate_bps {
+        6_000_000 => 24,
+        9_000_000 => 36,
+        12_000_000 => 48,
+        18_000_000 => 72,
+        24_000_000 => 96,
+        36_000_000 => 144,
+        48_000_000 => 192,
+        54_000_000 => 216,
+        _ => return None,
+    })
+}
+
+/// The mandatory basic rate used for control responses to a frame sent
+/// at `data_rate_bps`: the highest of {6, 12, 24} Mb/s not exceeding it.
+pub fn basic_rate_for(data_rate_bps: u64) -> u64 {
+    if data_rate_bps >= 24_000_000 {
+        24_000_000
+    } else if data_rate_bps >= 12_000_000 {
+        12_000_000
+    } else {
+        6_000_000
+    }
+}
+
+/// Airtime of `mpdu_bytes` at `rate_bps`, quantised to whole OFDM
+/// symbols (PLCP preamble **not** included).
+///
+/// Panics if `rate_bps` is not an OFDM rate.
+pub fn symbol_padded_airtime(mpdu_bytes: u32, rate_bps: u64) -> Dur {
+    let ndbps = data_bits_per_symbol(rate_bps)
+        .unwrap_or_else(|| panic!("{rate_bps} bit/s is not an 802.11a/g OFDM rate"));
+    let bits = 16 + 8 * mpdu_bytes as u64 + 6;
+    let symbols = bits.div_ceil(ndbps as u64);
+    SYMBOL * symbols
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_table_complete() {
+        for r in [6, 9, 12, 18, 24, 36, 48, 54] {
+            assert!(data_bits_per_symbol(r * 1_000_000).is_some());
+        }
+        assert!(data_bits_per_symbol(11_000_000).is_none());
+    }
+
+    #[test]
+    fn symbol_padding_rounds_up() {
+        // 1500+28 bytes at 54 Mb/s: bits = 16 + 12224 + 6 = 12246;
+        // 12246 / 216 = 56.69 -> 57 symbols = 228 us.
+        assert_eq!(
+            symbol_padded_airtime(1528, 54_000_000),
+            Dur::from_micros(228)
+        );
+    }
+
+    #[test]
+    fn one_byte_is_one_symbol_at_6mbps() {
+        // bits = 16+8+6 = 30 <= 24*2, so 2 symbols.
+        assert_eq!(symbol_padded_airtime(1, 6_000_000), SYMBOL * 2);
+    }
+
+    #[test]
+    fn basic_rates() {
+        assert_eq!(basic_rate_for(54_000_000), 24_000_000);
+        assert_eq!(basic_rate_for(18_000_000), 12_000_000);
+        assert_eq!(basic_rate_for(6_000_000), 6_000_000);
+        assert_eq!(basic_rate_for(9_000_000), 6_000_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "not an 802.11a/g OFDM rate")]
+    fn non_ofdm_rate_panics() {
+        symbol_padded_airtime(100, 11_000_000);
+    }
+}

@@ -1,0 +1,222 @@
+//! The paper's §7.4 correction: treat the access-delay transient as a
+//! *simulation warm-up problem* and truncate it with MSER-m.
+//!
+//! The receiver inter-arrival series `gO_1..gO_{n−1}` of a short train
+//! carries the transient in its prefix (early, accelerated packets ⇒
+//! small gaps). MSER-m (m = 2 in the paper's Fig 17) detects how long
+//! that warm-up lasts; the flagged observations are discarded and the
+//! output gap re-estimated from the remainder. This pulls short-train
+//! rate-response curves back onto the steady-state curve **without
+//! sending more packets** — and, because FIFO queues have their own
+//! (opposite-sign) transient, it helps on wired paths too.
+//!
+//! Two application modes are provided:
+//!
+//! * [`MserMode::PooledProfile`] (default) — run MSER on the
+//!   *across-replication mean* gap profile, where the transient ramp is
+//!   clean, then truncate every replication at that common point. This
+//!   is the right estimator when a measurement aggregates many trains
+//!   (the paper's `m` probing sequences).
+//! * [`MserMode::PerReplication`] — run MSER independently on each
+//!   train's own gap series (what a single-shot tool would do). Noisier:
+//!   individual DCF backoff variance often swamps the drift.
+
+use csmaprobe_core::link::ProbeTarget;
+use csmaprobe_desim::replicate;
+use csmaprobe_stats::mser::mser_m;
+use csmaprobe_stats::online::OnlineStats;
+use csmaprobe_stats::transient::IndexedSeries;
+use csmaprobe_traffic::probe::ProbeTrain;
+
+/// How the MSER truncation point is chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MserMode {
+    /// Truncate at the point MSER finds on the across-replication mean
+    /// gap profile (recommended).
+    #[default]
+    PooledProfile,
+    /// Truncate each replication at the point MSER finds on its own
+    /// gap series.
+    PerReplication,
+}
+
+/// An MSER-corrected packet-train probe.
+#[derive(Debug, Clone, Copy)]
+pub struct MserProbe {
+    /// The underlying train shape.
+    pub train: ProbeTrain,
+    /// MSER batch size (2 in the paper).
+    pub m: usize,
+    /// Truncation-point selection mode.
+    pub mode: MserMode,
+}
+
+/// Result of an MSER-corrected measurement.
+#[derive(Debug, Clone)]
+pub struct MserMeasurement {
+    /// The train shape used.
+    pub train: ProbeTrain,
+    /// Raw output-gap statistics (no truncation), seconds.
+    pub raw_gap: OnlineStats,
+    /// MSER-truncated output-gap statistics, seconds.
+    pub corrected_gap: OnlineStats,
+    /// Mean number of raw observations truncated per replication.
+    pub mean_truncated: f64,
+}
+
+impl MserProbe {
+    /// An MSER-`m` corrected probe of `n` packets of `bytes` at
+    /// `rate_bps`, in the default pooled-profile mode.
+    pub fn new(n: usize, bytes: u32, rate_bps: f64, m: usize) -> Self {
+        MserProbe {
+            train: ProbeTrain::from_rate(n, bytes, rate_bps),
+            m,
+            mode: MserMode::PooledProfile,
+        }
+    }
+
+    /// Switch truncation mode.
+    pub fn with_mode(mut self, mode: MserMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Run `reps` replications against `target`.
+    pub fn measure<T: ProbeTarget + ?Sized>(
+        &self,
+        target: &T,
+        reps: usize,
+        seed: u64,
+    ) -> MserMeasurement {
+        let train = self.train;
+        let per_rep: Vec<Vec<f64>> = replicate::run(reps, seed, |_, s| {
+            target.probe_train(train, s).receiver_gaps_s()
+        });
+
+        let mut raw_gap = OnlineStats::new();
+        for gaps in &per_rep {
+            if !gaps.is_empty() {
+                raw_gap.push(gaps.iter().sum::<f64>() / gaps.len() as f64);
+            }
+        }
+
+        let mut corrected_gap = OnlineStats::new();
+        let mut truncated = 0usize;
+        match self.mode {
+            MserMode::PooledProfile => {
+                // Mean gap per train position across replications: the
+                // transient ramp without per-train backoff noise.
+                let mut profile = IndexedSeries::new();
+                for gaps in &per_rep {
+                    profile.push_replication(gaps);
+                }
+                let means = profile.means();
+                let cut = mser_m(&means, self.m)
+                    .map(|r| r.truncate_raw)
+                    .unwrap_or(0);
+                for gaps in &per_rep {
+                    let kept = &gaps[cut.min(gaps.len())..];
+                    if !kept.is_empty() {
+                        corrected_gap.push(kept.iter().sum::<f64>() / kept.len() as f64);
+                        truncated += cut.min(gaps.len());
+                    }
+                }
+            }
+            MserMode::PerReplication => {
+                for gaps in &per_rep {
+                    let cut = mser_m(gaps, self.m).map(|r| r.truncate_raw).unwrap_or(0);
+                    let kept = &gaps[cut..];
+                    if !kept.is_empty() {
+                        corrected_gap.push(kept.iter().sum::<f64>() / kept.len() as f64);
+                        truncated += cut;
+                    }
+                }
+            }
+        }
+
+        MserMeasurement {
+            train,
+            raw_gap,
+            corrected_gap,
+            mean_truncated: truncated as f64 / reps.max(1) as f64,
+        }
+    }
+}
+
+impl MserMeasurement {
+    /// Raw dispersion-inferred rate `L/E[gO]`, bits/s.
+    pub fn raw_rate_bps(&self) -> f64 {
+        self.train.bytes as f64 * 8.0 / self.raw_gap.mean()
+    }
+
+    /// MSER-corrected rate, bits/s — the paper's Fig 17 curve.
+    pub fn corrected_rate_bps(&self) -> f64 {
+        self.train.bytes as f64 * 8.0 / self.corrected_gap.mean()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::train::TrainProbe;
+    use csmaprobe_core::link::{LinkConfig, WlanLink};
+
+    /// Fig 17's qualitative claim: at rates above the fair share, the
+    /// MSER-2-corrected 20-packet estimate is closer to the long-train
+    /// (steady-state) value than the raw 20-packet estimate.
+    #[test]
+    fn mser_moves_short_trains_toward_steady_state() {
+        // Paper setting: heavy contention (4.5 Mb/s) maximises the
+        // transient, probing above the ~3.3 Mb/s fair share.
+        let link = WlanLink::new(LinkConfig::default().contending_bps(4.5e6));
+        let rate = 6e6;
+
+        let steady = TrainProbe::new(400, 1500, rate)
+            .measure(&link, 15, 100)
+            .output_rate_bps();
+        let short = MserProbe::new(20, 1500, rate, 2).measure(&link, 500, 100);
+        let raw_err = (short.raw_rate_bps() - steady).abs();
+        let cor_err = (short.corrected_rate_bps() - steady).abs();
+        assert!(
+            cor_err < raw_err,
+            "MSER should help: raw {} corrected {} steady {steady}",
+            short.raw_rate_bps(),
+            short.corrected_rate_bps()
+        );
+        // And it actually truncated something on average.
+        assert!(short.mean_truncated > 0.1, "{}", short.mean_truncated);
+    }
+
+    #[test]
+    fn mser_no_op_when_no_transient() {
+        // Probing well below the fair share: gaps ≈ gI throughout, the
+        // correction must not distort the estimate.
+        let link = WlanLink::new(LinkConfig::default().contending_bps(2e6));
+        let m = MserProbe::new(20, 1500, 1e6, 2).measure(&link, 60, 7);
+        let raw = m.raw_rate_bps();
+        let cor = m.corrected_rate_bps();
+        assert!((raw - cor).abs() / raw < 0.05, "raw {raw} corrected {cor}");
+        assert!((cor - 1e6).abs() / 1e6 < 0.1, "corrected {cor}");
+    }
+
+    #[test]
+    fn tiny_trains_fall_back_to_raw() {
+        let link = WlanLink::new(LinkConfig::default());
+        // 3 packets -> 2 gaps -> k = 1 batch with m=2: MSER undefined,
+        // no truncation happens.
+        let m = MserProbe::new(3, 1500, 5e6, 2).measure(&link, 20, 9);
+        assert_eq!(m.raw_gap.count(), m.corrected_gap.count());
+        assert!((m.raw_gap.mean() - m.corrected_gap.mean()).abs() < 1e-12);
+        assert_eq!(m.mean_truncated, 0.0);
+    }
+
+    #[test]
+    fn per_replication_mode_runs() {
+        let link = WlanLink::new(LinkConfig::default().contending_bps(3e6));
+        let m = MserProbe::new(20, 1500, 5e6, 2)
+            .with_mode(MserMode::PerReplication)
+            .measure(&link, 40, 13);
+        assert!(m.corrected_gap.count() > 0);
+        assert!(m.corrected_rate_bps() > 0.0);
+    }
+}

@@ -1,0 +1,146 @@
+//! Rate-response curve scanning.
+//!
+//! Sweep a set of input rates, measure the dispersion-inferred output
+//! rate at each (with trains of a configurable length), and extract
+//! bandwidth metrics from the resulting curve — the measurement behind
+//! Figs 13 and 15 and the eq (2) achievable-throughput estimator.
+
+use crate::train::{TrainMeasurement, TrainProbe};
+use csmaprobe_core::link::ProbeTarget;
+use csmaprobe_core::rate_response::achievable_from_curve;
+use csmaprobe_desim::rng::derive_seed;
+
+/// A rate-response scan configuration.
+#[derive(Debug, Clone)]
+pub struct RateScan {
+    /// Input rates to probe, bits/s.
+    pub rates_bps: Vec<f64>,
+    /// Packets per train.
+    pub n: usize,
+    /// Probe payload, bytes.
+    pub bytes: u32,
+    /// Replications per rate.
+    pub reps: usize,
+}
+
+/// One `(ri, L/E[gO])` point with its underlying measurement.
+#[derive(Debug, Clone)]
+pub struct ScanPoint {
+    /// Input rate, bits/s.
+    pub input_bps: f64,
+    /// Dispersion-inferred output rate, bits/s.
+    pub output_bps: f64,
+    /// The full measurement (CIs, μ profile, …).
+    pub measurement: TrainMeasurement,
+}
+
+impl RateScan {
+    /// A scan over `rates_bps` with `n`-packet trains of `bytes`
+    /// payload, `reps` replications each.
+    pub fn new(rates_bps: Vec<f64>, n: usize, bytes: u32, reps: usize) -> Self {
+        RateScan {
+            rates_bps,
+            n,
+            bytes,
+            reps,
+        }
+    }
+
+    /// Evenly spaced rates in `[lo, hi]` (inclusive), `points` of them.
+    pub fn linspace(lo: f64, hi: f64, points: usize, n: usize, bytes: u32, reps: usize) -> Self {
+        assert!(points >= 2 && hi > lo);
+        let rates = (0..points)
+            .map(|i| lo + (hi - lo) * i as f64 / (points - 1) as f64)
+            .collect();
+        Self::new(rates, n, bytes, reps)
+    }
+
+    /// Run the scan.
+    pub fn run<T: ProbeTarget + ?Sized>(&self, target: &T, seed: u64) -> Vec<ScanPoint> {
+        self.rates_bps
+            .iter()
+            .enumerate()
+            .map(|(i, &ri)| {
+                let m = TrainProbe::new(self.n, self.bytes, ri).measure(
+                    target,
+                    self.reps,
+                    derive_seed(seed, i as u64),
+                );
+                ScanPoint {
+                    input_bps: ri,
+                    output_bps: m.output_rate_bps(),
+                    measurement: m,
+                }
+            })
+            .collect()
+    }
+}
+
+/// Eq. (2) on a measured scan: the largest probed rate still achieving
+/// `ro/ri ≥ 1 − tolerance`.
+pub fn achievable_throughput_bps(points: &[ScanPoint], tolerance: f64) -> f64 {
+    let curve: Vec<(f64, f64)> = points
+        .iter()
+        .map(|p| (p.input_bps, p.output_bps))
+        .collect();
+    achievable_from_curve(&curve, tolerance)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csmaprobe_core::link::{LinkConfig, WiredLink, WlanLink};
+
+    #[test]
+    fn scan_on_wired_link_finds_available_bandwidth() {
+        let link = WiredLink::new(10e6, 4e6); // A = 6 Mb/s
+        let scan = RateScan::linspace(1e6, 9e6, 9, 200, 1500, 8);
+        let pts = scan.run(&link, 42);
+        assert_eq!(pts.len(), 9);
+        let b = achievable_throughput_bps(&pts, 0.05);
+        // Long trains: B should land near A = 6 Mb/s.
+        assert!((5e6..7.5e6).contains(&b), "B = {b}");
+        // Below A the curve is the identity.
+        for p in pts.iter().filter(|p| p.input_bps <= 5e6) {
+            assert!(
+                (p.output_bps - p.input_bps).abs() / p.input_bps < 0.08,
+                "ri {} ro {}",
+                p.input_bps,
+                p.output_bps
+            );
+        }
+    }
+
+    #[test]
+    fn scan_on_wlan_finds_fair_share_not_available() {
+        // Paper Fig 1 setting: 4.5 Mb/s contender ⇒ A ≈ 1.7 Mb/s but
+        // fair share B ≈ 3.3 Mb/s. The long-train curve must keep
+        // following the identity PAST the available bandwidth and only
+        // flatten at B — the key divergence from the FIFO model.
+        let link = WlanLink::new(LinkConfig::default().contending_bps(4.5e6));
+        let scan = RateScan::new(vec![1e6, 2e6, 2.5e6, 3e6, 4e6, 5e6, 7e6], 300, 1500, 6);
+        let pts = scan.run(&link, 11);
+        let b = achievable_throughput_bps(&pts, 0.07);
+        assert!((2.5e6..4.0e6).contains(&b), "B = {b}");
+        let available = 6.2e6 - 4.5e6;
+        assert!(
+            b > 1.3 * available,
+            "B {b} must exceed available {available}: tools do NOT see A"
+        );
+        // At 7 Mb/s the output pins near B, clearly below the input.
+        let top = pts.last().unwrap();
+        assert!(top.output_bps < 0.7 * top.input_bps);
+    }
+
+    #[test]
+    fn linspace_rates_are_even() {
+        let scan = RateScan::linspace(1.0, 3.0, 5, 2, 100, 1);
+        assert_eq!(scan.rates_bps, vec![1.0, 1.5, 2.0, 2.5, 3.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn linspace_rejects_single_point() {
+        RateScan::linspace(1.0, 2.0, 1, 2, 100, 1);
+    }
+}

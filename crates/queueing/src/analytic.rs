@@ -1,0 +1,91 @@
+//! Closed-form queueing results used to validate the FIFO substrate and
+//! the steady-state rate-response models.
+//!
+//! All formulas are the textbook M/M/1, M/D/1 and Pollaczek–Khinchine
+//! results for a single-server FIFO queue with Poisson arrivals.
+
+/// Mean waiting time (time in queue, excluding service) of an M/M/1
+/// queue with arrival rate `lambda` and service rate `mu` (jobs/s).
+///
+/// `Wq = ρ / (μ − λ)` for `ρ = λ/μ < 1`; returns `f64::INFINITY` for an
+/// unstable queue.
+pub fn mm1_mean_wait(lambda: f64, mu: f64) -> f64 {
+    debug_assert!(lambda >= 0.0 && mu > 0.0);
+    let rho = lambda / mu;
+    if rho >= 1.0 {
+        return f64::INFINITY;
+    }
+    rho / (mu - lambda)
+}
+
+/// Mean number in system for M/M/1: `L = ρ/(1−ρ)`.
+pub fn mm1_mean_in_system(lambda: f64, mu: f64) -> f64 {
+    let rho = lambda / mu;
+    if rho >= 1.0 {
+        return f64::INFINITY;
+    }
+    rho / (1.0 - rho)
+}
+
+/// Mean waiting time of an M/D/1 queue (deterministic service `s`
+/// seconds, Poisson arrivals at `lambda`/s):
+/// `Wq = ρ·s / (2(1−ρ))`.
+pub fn md1_mean_wait(lambda: f64, service_s: f64) -> f64 {
+    debug_assert!(lambda >= 0.0 && service_s > 0.0);
+    let rho = lambda * service_s;
+    if rho >= 1.0 {
+        return f64::INFINITY;
+    }
+    rho * service_s / (2.0 * (1.0 - rho))
+}
+
+/// Pollaczek–Khinchine mean wait for M/G/1 with service mean `es` and
+/// second moment `es2` (seconds, seconds²):
+/// `Wq = λ·E[S²] / (2(1−ρ))`.
+pub fn mg1_mean_wait(lambda: f64, es: f64, es2: f64) -> f64 {
+    debug_assert!(lambda >= 0.0 && es > 0.0 && es2 >= es * es);
+    let rho = lambda * es;
+    if rho >= 1.0 {
+        return f64::INFINITY;
+    }
+    lambda * es2 / (2.0 * (1.0 - rho))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mm1_matches_known_values() {
+        // λ=0.5, μ=1: Wq = 0.5/(1-0.5)/1 = 1.0
+        assert!((mm1_mean_wait(0.5, 1.0) - 1.0).abs() < 1e-12);
+        assert!((mm1_mean_in_system(0.5, 1.0) - 1.0).abs() < 1e-12);
+        assert!(mm1_mean_wait(2.0, 1.0).is_infinite());
+    }
+
+    #[test]
+    fn md1_is_half_of_mm1_wait() {
+        // At equal ρ, M/D/1 waits are half the M/M/1 waits.
+        let lambda = 0.6;
+        let mu = 1.0;
+        let wq_mm1 = mm1_mean_wait(lambda, mu);
+        let wq_md1 = md1_mean_wait(lambda, 1.0 / mu);
+        assert!((wq_md1 - wq_mm1 / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pk_reduces_to_mm1_and_md1() {
+        let lambda = 0.4;
+        let s = 1.0;
+        // Exponential service: E[S²] = 2s².
+        assert!((mg1_mean_wait(lambda, s, 2.0 * s * s) - mm1_mean_wait(lambda, 1.0 / s)).abs() < 1e-12);
+        // Deterministic service: E[S²] = s².
+        assert!((mg1_mean_wait(lambda, s, s * s) - md1_mean_wait(lambda, s)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unstable_queues_report_infinity() {
+        assert!(md1_mean_wait(2.0, 1.0).is_infinite());
+        assert!(mg1_mean_wait(1.5, 1.0, 1.0).is_infinite());
+    }
+}

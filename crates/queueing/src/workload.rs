@@ -1,0 +1,285 @@
+//! Sample-path processes of §5.1.4.
+//!
+//! From a cross-traffic job trace this module derives:
+//!
+//! * the **hop workload** `W(t)` — unfinished cross-traffic work at `t`
+//!   ([`WorkloadProcess::eval`]);
+//! * the **utilisation** `U(t) ∈ {0,1}` and its window averages
+//!   `u_fifo(t, t+τ)` ([`BusyIntervals::utilisation`]);
+//! * the **offered workload** `X(t)` — cumulative service time of
+//!   cross-traffic arrived by `t` — and the averaging function
+//!   `Y(t, t+τ) = (X(t+τ) − X(t))/τ` ([`WorkloadProcess::offered`],
+//!   [`WorkloadProcess::offered_rate`]).
+
+use crate::fifo::{fifo_serve, Job};
+use csmaprobe_desim::time::{Dur, Time};
+
+/// Piecewise-linear hop-workload process `W(t)` built from a job trace.
+///
+/// Between arrivals the workload drains at unit rate (the server works
+/// whenever work exists); at each arrival it jumps up by the job's
+/// service time. Evaluation is `O(log n)`.
+#[derive(Debug, Clone)]
+pub struct WorkloadProcess {
+    /// (arrival instant, workload immediately after the arrival).
+    points: Vec<(Time, Dur)>,
+    /// Cumulative offered service time after each arrival.
+    offered: Vec<Dur>,
+}
+
+impl WorkloadProcess {
+    /// Build from a time-ordered job trace.
+    pub fn from_jobs(jobs: &[Job]) -> Self {
+        let mut points = Vec::with_capacity(jobs.len());
+        let mut offered = Vec::with_capacity(jobs.len());
+        let mut w = Dur::ZERO;
+        let mut x = Dur::ZERO;
+        let mut prev = Time::ZERO;
+        for job in jobs {
+            assert!(job.arrival >= prev, "jobs must be time-ordered");
+            w = w.saturating_sub(job.arrival - prev);
+            w += job.service;
+            x += job.service;
+            points.push((job.arrival, w));
+            offered.push(x);
+            prev = job.arrival;
+        }
+        WorkloadProcess { points, offered }
+    }
+
+    /// `W(t)`: unfinished work at time `t` (right-continuous: includes
+    /// a job arriving exactly at `t`).
+    pub fn eval(&self, t: Time) -> Dur {
+        // Find the last arrival <= t.
+        let idx = self.points.partition_point(|&(a, _)| a <= t);
+        if idx == 0 {
+            return Dur::ZERO;
+        }
+        let (a, w) = self.points[idx - 1];
+        w.saturating_sub(t - a)
+    }
+
+    /// `W(t⁻)`: unfinished work just before `t` (excludes a job arriving
+    /// exactly at `t`) — the quantity probing packets observe in
+    /// eq. (13).
+    pub fn eval_left(&self, t: Time) -> Dur {
+        let idx = self.points.partition_point(|&(a, _)| a < t);
+        if idx == 0 {
+            return Dur::ZERO;
+        }
+        let (a, w) = self.points[idx - 1];
+        w.saturating_sub(t - a)
+    }
+
+    /// `X(t)`: cumulative service time of jobs arrived **at or before**
+    /// `t` (the paper's offered workload).
+    pub fn offered(&self, t: Time) -> Dur {
+        let idx = self.points.partition_point(|&(a, _)| a <= t);
+        if idx == 0 {
+            Dur::ZERO
+        } else {
+            self.offered[idx - 1]
+        }
+    }
+
+    /// `Y(t, t+τ) = (X(t+τ) − X(t)) / τ`: the offered-rate averaging
+    /// function of eq. (10), dimensionless (service seconds per second).
+    pub fn offered_rate(&self, t: Time, tau: Dur) -> f64 {
+        assert!(tau > Dur::ZERO, "window must be positive");
+        let dx = self.offered(t + tau) - self.offered(t);
+        dx.as_secs_f64() / tau.as_secs_f64()
+    }
+
+    /// Long-run average offered rate over `[0, horizon]` — the
+    /// estimator of `u¯_fifo` under stability (eq. 11).
+    pub fn mean_offered_rate(&self, horizon: Time) -> f64 {
+        if horizon == Time::ZERO {
+            return 0.0;
+        }
+        self.offered(horizon).as_secs_f64() / horizon.as_secs_f64()
+    }
+}
+
+/// The busy/idle structure of a served trace, supporting `O(log n)`
+/// window-utilisation queries `u(t, t+τ)`.
+#[derive(Debug, Clone)]
+pub struct BusyIntervals {
+    /// Disjoint, sorted `[start, end)` busy intervals.
+    intervals: Vec<(Time, Time)>,
+    /// Prefix sums of interval lengths (ns), aligned with `intervals`.
+    prefix: Vec<u64>,
+}
+
+impl BusyIntervals {
+    /// Merge the service intervals of a served FIFO trace into maximal
+    /// busy periods.
+    pub fn from_served(served: &[crate::fifo::Served]) -> Self {
+        let mut intervals: Vec<(Time, Time)> = Vec::new();
+        for s in served {
+            match intervals.last_mut() {
+                Some((_, end)) if *end >= s.start => {
+                    // Contiguous or overlapping: extend the busy period.
+                    *end = (*end).max(s.depart);
+                }
+                _ => intervals.push((s.start, s.depart)),
+            }
+        }
+        let mut prefix = Vec::with_capacity(intervals.len());
+        let mut acc = 0u64;
+        for &(a, b) in &intervals {
+            acc += (b - a).as_nanos();
+            prefix.push(acc);
+        }
+        BusyIntervals { intervals, prefix }
+    }
+
+    /// Convenience: serve `jobs` and build the busy structure.
+    pub fn from_jobs(jobs: &[Job]) -> Self {
+        Self::from_served(&fifo_serve(jobs))
+    }
+
+    /// Total busy time in `[0, t)`.
+    pub fn busy_until(&self, t: Time) -> Dur {
+        // Find the intervals entirely before t, plus a partial overlap.
+        let idx = self.intervals.partition_point(|&(_, end)| end <= t);
+        let mut ns = if idx == 0 { 0 } else { self.prefix[idx - 1] };
+        if idx < self.intervals.len() {
+            let (a, _) = self.intervals[idx];
+            if a < t {
+                ns += (t - a).as_nanos();
+            }
+        }
+        Dur::from_nanos(ns)
+    }
+
+    /// `u(t, t+τ)`: fraction of `[t, t+τ)` during which the server is
+    /// busy (eq. 9).
+    pub fn utilisation(&self, t: Time, tau: Dur) -> f64 {
+        assert!(tau > Dur::ZERO, "window must be positive");
+        let busy = self.busy_until(t + tau) - self.busy_until(t);
+        busy.as_secs_f64() / tau.as_secs_f64()
+    }
+
+    /// Long-run utilisation over `[0, horizon)` — `u¯_fifo` (eq. 8).
+    pub fn mean_utilisation(&self, horizon: Time) -> f64 {
+        if horizon == Time::ZERO {
+            return 0.0;
+        }
+        self.busy_until(horizon).as_secs_f64() / horizon.as_secs_f64()
+    }
+
+    /// The merged busy periods.
+    pub fn intervals(&self) -> &[(Time, Time)] {
+        &self.intervals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn j(a_us: u64, s_us: u64) -> Job {
+        Job {
+            arrival: Time::from_micros(a_us),
+            service: Dur::from_micros(s_us),
+        }
+    }
+
+    #[test]
+    fn workload_drains_at_unit_rate() {
+        let wp = WorkloadProcess::from_jobs(&[j(10, 20)]);
+        assert_eq!(wp.eval(Time::from_micros(5)), Dur::ZERO);
+        assert_eq!(wp.eval(Time::from_micros(10)), Dur::from_micros(20));
+        assert_eq!(wp.eval(Time::from_micros(20)), Dur::from_micros(10));
+        assert_eq!(wp.eval(Time::from_micros(30)), Dur::ZERO);
+        assert_eq!(wp.eval(Time::from_micros(99)), Dur::ZERO);
+    }
+
+    #[test]
+    fn left_limit_excludes_simultaneous_arrival() {
+        let wp = WorkloadProcess::from_jobs(&[j(10, 20)]);
+        assert_eq!(wp.eval_left(Time::from_micros(10)), Dur::ZERO);
+        assert_eq!(wp.eval(Time::from_micros(10)), Dur::from_micros(20));
+    }
+
+    #[test]
+    fn workload_accumulates_in_bursts() {
+        let wp = WorkloadProcess::from_jobs(&[j(0, 10), j(5, 10)]);
+        // At t=5: 5 of the first job remain, plus 10 new.
+        assert_eq!(wp.eval(Time::from_micros(5)), Dur::from_micros(15));
+        assert_eq!(wp.eval(Time::from_micros(20)), Dur::ZERO);
+    }
+
+    #[test]
+    fn offered_workload_is_cumulative() {
+        let wp = WorkloadProcess::from_jobs(&[j(0, 10), j(5, 10), j(100, 5)]);
+        assert_eq!(wp.offered(Time::from_micros(0)), Dur::from_micros(10));
+        assert_eq!(wp.offered(Time::from_micros(7)), Dur::from_micros(20));
+        assert_eq!(wp.offered(Time::from_micros(500)), Dur::from_micros(25));
+        // Y(0, 100us) counts arrivals in (0, 100us]: the 10us job at t=5
+        // and the 5us job at t=100 -> 15us/100us = 0.15.
+        assert!((wp.offered_rate(Time::ZERO, Dur::from_micros(100)) - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_offered_rate_estimates_utilisation() {
+        // 10us of service every 100us -> 10% offered.
+        let jobs: Vec<Job> = (0..100).map(|i| j(i * 100, 10)).collect();
+        let wp = WorkloadProcess::from_jobs(&jobs);
+        let u = wp.mean_offered_rate(Time::from_micros(100 * 100));
+        assert!((u - 0.1).abs() < 0.01, "{u}");
+    }
+
+    #[test]
+    fn busy_intervals_merge_contiguous_service() {
+        let b = BusyIntervals::from_jobs(&[j(0, 10), j(5, 10), j(50, 5)]);
+        assert_eq!(
+            b.intervals(),
+            &[
+                (Time::from_micros(0), Time::from_micros(20)),
+                (Time::from_micros(50), Time::from_micros(55)),
+            ]
+        );
+    }
+
+    #[test]
+    fn window_utilisation() {
+        let b = BusyIntervals::from_jobs(&[j(0, 10), j(50, 10)]);
+        // [0, 20): busy 10 of 20.
+        assert!((b.utilisation(Time::ZERO, Dur::from_micros(20)) - 0.5).abs() < 1e-12);
+        // [5, 55): busy 5 + 5 = 10 of 50.
+        assert!(
+            (b.utilisation(Time::from_micros(5), Dur::from_micros(50)) - 0.2).abs() < 1e-12
+        );
+        // Fully idle window.
+        assert_eq!(b.utilisation(Time::from_micros(20), Dur::from_micros(10)), 0.0);
+        // Fully busy window.
+        assert_eq!(b.utilisation(Time::from_micros(2), Dur::from_micros(5)), 1.0);
+    }
+
+    #[test]
+    fn mean_utilisation_long_run() {
+        let jobs: Vec<Job> = (0..1000).map(|i| j(i * 50, 25)).collect();
+        let b = BusyIntervals::from_jobs(&jobs);
+        let u = b.mean_utilisation(Time::from_micros(1000 * 50));
+        assert!((u - 0.5).abs() < 1e-3, "{u}");
+    }
+
+    #[test]
+    fn busy_until_handles_edges() {
+        let b = BusyIntervals::from_jobs(&[j(10, 10)]);
+        assert_eq!(b.busy_until(Time::from_micros(10)), Dur::ZERO);
+        assert_eq!(b.busy_until(Time::from_micros(15)), Dur::from_micros(5));
+        assert_eq!(b.busy_until(Time::from_micros(20)), Dur::from_micros(10));
+        assert_eq!(b.busy_until(Time::from_micros(100)), Dur::from_micros(10));
+    }
+
+    #[test]
+    fn empty_trace_zero_everything() {
+        let wp = WorkloadProcess::from_jobs(&[]);
+        assert_eq!(wp.eval(Time::from_micros(5)), Dur::ZERO);
+        assert_eq!(wp.offered(Time::from_micros(5)), Dur::ZERO);
+        let b = BusyIntervals::from_jobs(&[]);
+        assert_eq!(b.busy_until(Time::from_micros(5)), Dur::ZERO);
+    }
+}

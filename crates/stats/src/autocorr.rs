@@ -1,0 +1,141 @@
+//! Autocorrelation analysis of measurement series.
+//!
+//! Dispersion measurements average correlated samples (consecutive
+//! packets of a train share channel state), so their effective sample
+//! size is smaller than the packet count. The lag-k autocorrelation
+//! and the integrated autocorrelation time quantify that, and give a
+//! principled way to size steady-state reference windows (used when
+//! choosing the pooled "last k packets" reference of §4).
+
+use crate::online::OnlineStats;
+
+/// Lag-`k` sample autocorrelation of `xs` (biased, normalised by the
+/// lag-0 variance — the standard estimator).
+///
+/// Returns 0 for series shorter than `k + 2` or with zero variance.
+pub fn autocorrelation(xs: &[f64], k: usize) -> f64 {
+    let n = xs.len();
+    if n < k + 2 {
+        return 0.0;
+    }
+    let mean = xs.iter().sum::<f64>() / n as f64;
+    let var: f64 = xs.iter().map(|x| (x - mean) * (x - mean)).sum();
+    if var <= 0.0 {
+        return 0.0;
+    }
+    let cov: f64 = xs
+        .windows(k + 1)
+        .map(|w| (w[0] - mean) * (w[k] - mean))
+        .sum();
+    cov / var
+}
+
+/// The autocorrelation function up to `max_lag` (inclusive), starting
+/// at lag 0 (always 1 for non-degenerate series).
+pub fn acf(xs: &[f64], max_lag: usize) -> Vec<f64> {
+    (0..=max_lag).map(|k| autocorrelation(xs, k)).collect()
+}
+
+/// Integrated autocorrelation time
+/// `τ = 1 + 2·Σ_k ρ(k)`, summed with Geyer's initial-positive-sequence
+/// truncation (stop at the first non-positive pair sum). The effective
+/// sample size of an `n`-sample mean is `n/τ`.
+pub fn integrated_autocorr_time(xs: &[f64]) -> f64 {
+    let max_lag = (xs.len() / 3).max(1);
+    let rho = acf(xs, max_lag);
+    let mut tau = 1.0;
+    let mut k = 1;
+    while k + 1 < rho.len() {
+        let pair = rho[k] + rho[k + 1];
+        if pair <= 0.0 {
+            break;
+        }
+        tau += 2.0 * pair;
+        k += 2;
+    }
+    tau.max(1.0)
+}
+
+/// Effective sample size `n/τ` of a correlated series.
+pub fn effective_sample_size(xs: &[f64]) -> f64 {
+    xs.len() as f64 / integrated_autocorr_time(xs)
+}
+
+/// Standard error of the mean of a correlated series:
+/// `σ·√(τ/n)`.
+pub fn correlated_std_err(xs: &[f64]) -> f64 {
+    let s = OnlineStats::from_slice(xs);
+    s.std_dev() * (integrated_autocorr_time(xs) / xs.len() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ar1(n: usize, phi: f64, seed: u64) -> Vec<f64> {
+        // Simple LCG noise driving an AR(1) process.
+        let mut state = seed;
+        let mut unif = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        let mut xs = Vec::with_capacity(n);
+        let mut x = 0.0;
+        for _ in 0..n {
+            x = phi * x + unif();
+            xs.push(x);
+        }
+        xs
+    }
+
+    #[test]
+    fn lag_zero_is_one() {
+        let xs = ar1(500, 0.5, 1);
+        assert!((autocorrelation(&xs, 0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iid_series_has_tiny_correlation() {
+        let xs = ar1(20_000, 0.0, 2);
+        let r1 = autocorrelation(&xs, 1);
+        assert!(r1.abs() < 0.03, "rho(1) = {r1}");
+        let tau = integrated_autocorr_time(&xs);
+        assert!(tau < 1.3, "tau = {tau}");
+    }
+
+    #[test]
+    fn ar1_correlation_matches_phi() {
+        let phi = 0.7;
+        let xs = ar1(50_000, phi, 3);
+        let r1 = autocorrelation(&xs, 1);
+        assert!((r1 - phi).abs() < 0.03, "rho(1) = {r1}");
+        let r2 = autocorrelation(&xs, 2);
+        assert!((r2 - phi * phi).abs() < 0.04, "rho(2) = {r2}");
+        // τ for AR(1) is (1+φ)/(1−φ) ≈ 5.67.
+        let tau = integrated_autocorr_time(&xs);
+        assert!((4.3..7.2).contains(&tau), "tau = {tau}");
+    }
+
+    #[test]
+    fn effective_sample_size_shrinks_with_correlation() {
+        let iid = ar1(10_000, 0.0, 4);
+        let corr = ar1(10_000, 0.8, 5);
+        assert!(effective_sample_size(&corr) < 0.5 * effective_sample_size(&iid));
+    }
+
+    #[test]
+    fn correlated_std_err_exceeds_naive() {
+        let xs = ar1(5_000, 0.8, 6);
+        let naive = OnlineStats::from_slice(&xs).std_err();
+        assert!(correlated_std_err(&xs) > 1.5 * naive);
+    }
+
+    #[test]
+    fn degenerate_series_are_safe() {
+        assert_eq!(autocorrelation(&[1.0, 1.0, 1.0], 1), 0.0);
+        assert_eq!(autocorrelation(&[1.0], 1), 0.0);
+        assert!(integrated_autocorr_time(&[2.0, 2.0, 2.0, 2.0]) >= 1.0);
+    }
+}

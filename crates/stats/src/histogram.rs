@@ -1,0 +1,181 @@
+//! Fixed-width histograms (used to reproduce Fig 7: access-delay
+//! histograms of the first vs. the 500th probe packet).
+
+/// A fixed-width histogram over `[lo, hi)` with values outside the
+/// range clamped into the edge bins.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Create an empty histogram with `bins` equal-width bins over
+    /// `[lo, hi)`. Panics unless `lo < hi` and `bins ≥ 1`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(lo < hi, "invalid range [{lo}, {hi})");
+        assert!(bins >= 1, "need at least one bin");
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            total: 0,
+        }
+    }
+
+    /// Build a histogram spanning the sample's own min/max.
+    ///
+    /// Panics if the sample is empty or degenerate (all values equal —
+    /// the range would be empty; callers should special-case that).
+    pub fn from_sample(sample: &[f64], bins: usize) -> Self {
+        assert!(!sample.is_empty(), "histogram of empty sample");
+        let lo = sample.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = sample.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(lo < hi, "degenerate sample (all values equal)");
+        // Widen the top edge slightly so the maximum lands inside.
+        let mut h = Histogram::new(lo, hi + (hi - lo) * 1e-9, bins);
+        for &x in sample {
+            h.add(x);
+        }
+        h
+    }
+
+    /// Insert one observation.
+    pub fn add(&mut self, x: f64) {
+        debug_assert!(!x.is_nan());
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        let idx = if x < self.lo {
+            0
+        } else {
+            (((x - self.lo) / w) as usize).min(self.counts.len() - 1)
+        };
+        self.counts[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Raw bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total number of observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The centre of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        self.lo + w * (i as f64 + 0.5)
+    }
+
+    /// Bin width.
+    pub fn bin_width(&self) -> f64 {
+        (self.hi - self.lo) / self.counts.len() as f64
+    }
+
+    /// Normalised density per bin (integrates to 1 over the range).
+    pub fn density(&self) -> Vec<f64> {
+        let w = self.bin_width();
+        let n = self.total.max(1) as f64;
+        self.counts.iter().map(|&c| c as f64 / (n * w)).collect()
+    }
+
+    /// `(bin_center, count)` rows — what the figure harness prints.
+    pub fn rows(&self) -> Vec<(f64, u64)> {
+        (0..self.counts.len())
+            .map(|i| (self.bin_center(i), self.counts[i]))
+            .collect()
+    }
+
+    /// The mode's bin centre (first maximal bin on ties).
+    pub fn mode(&self) -> f64 {
+        let (idx, _) = self
+            .counts
+            .iter()
+            .enumerate()
+            .max_by_key(|(i, &c)| (c, std::cmp::Reverse(*i)))
+            .unwrap();
+        self.bin_center(idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_land_in_right_bins() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for x in [0.5, 1.5, 1.7, 9.9] {
+            h.add(x);
+        }
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.counts()[1], 2);
+        assert_eq!(h.counts()[9], 1);
+        assert_eq!(h.total(), 4);
+    }
+
+    #[test]
+    fn out_of_range_clamps() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.add(-5.0);
+        h.add(99.0);
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.counts()[3], 1);
+    }
+
+    #[test]
+    fn from_sample_covers_extremes() {
+        let xs = vec![1.0, 2.0, 3.0, 4.0];
+        let h = Histogram::from_sample(&xs, 3);
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.counts().iter().sum::<u64>(), 4);
+    }
+
+    #[test]
+    fn density_integrates_to_one() {
+        let xs: Vec<f64> = (0..1000).map(|i| i as f64 / 100.0).collect();
+        let h = Histogram::from_sample(&xs, 20);
+        let integral: f64 = h.density().iter().map(|d| d * h.bin_width()).sum();
+        assert!((integral - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bin_centers_are_centred() {
+        let h = Histogram::new(0.0, 10.0, 5);
+        assert!((h.bin_center(0) - 1.0).abs() < 1e-12);
+        assert!((h.bin_center(4) - 9.0).abs() < 1e-12);
+        assert!((h.bin_width() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mode_finds_heaviest_bin() {
+        let mut h = Histogram::new(0.0, 3.0, 3);
+        for _ in 0..5 {
+            h.add(1.5);
+        }
+        h.add(0.5);
+        assert!((h.mode() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rows_align_with_counts() {
+        let mut h = Histogram::new(0.0, 2.0, 2);
+        h.add(0.1);
+        h.add(1.9);
+        h.add(1.5);
+        let rows = h.rows();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0], (0.5, 1));
+        assert_eq!(rows[1], (1.5, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_sample_panics() {
+        Histogram::from_sample(&[], 3);
+    }
+}

@@ -1,0 +1,221 @@
+//! The P² (piecewise-parabolic) streaming quantile estimator
+//! (Jain & Chlamtac, 1985).
+//!
+//! Tracks a single quantile of a stream in O(1) memory — no sample
+//! buffer — which matters when collecting per-packet access-delay
+//! quantiles over millions of simulated packets. Five markers hold the
+//! running min, three interior points, and the max; marker heights are
+//! adjusted with a parabolic interpolation as observations arrive.
+
+/// Streaming estimator of one quantile.
+#[derive(Debug, Clone)]
+pub struct P2Quantile {
+    p: f64,
+    /// Marker heights (estimated quantile values).
+    q: [f64; 5],
+    /// Marker positions (integer counts, stored as f64 per the paper).
+    n: [f64; 5],
+    /// Desired marker positions.
+    np: [f64; 5],
+    /// Desired position increments.
+    dn: [f64; 5],
+    count: usize,
+    /// Initial observations until the estimator is primed.
+    init: Vec<f64>,
+}
+
+impl P2Quantile {
+    /// An estimator for the `p`-quantile, `0 < p < 1`.
+    pub fn new(p: f64) -> Self {
+        assert!(p > 0.0 && p < 1.0, "p = {p} out of (0,1)");
+        P2Quantile {
+            p,
+            q: [0.0; 5],
+            n: [0.0; 5],
+            np: [0.0; 5],
+            dn: [0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0],
+            count: 0,
+            init: Vec::with_capacity(5),
+        }
+    }
+
+    /// The median estimator.
+    pub fn median() -> Self {
+        Self::new(0.5)
+    }
+
+    /// Number of observations seen.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Feed one observation.
+    pub fn push(&mut self, x: f64) {
+        debug_assert!(!x.is_nan());
+        self.count += 1;
+        if self.init.len() < 5 {
+            self.init.push(x);
+            if self.init.len() == 5 {
+                self.init.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                self.q.copy_from_slice(&self.init);
+                self.n = [1.0, 2.0, 3.0, 4.0, 5.0];
+                self.np = [
+                    1.0,
+                    1.0 + 2.0 * self.p,
+                    1.0 + 4.0 * self.p,
+                    3.0 + 2.0 * self.p,
+                    5.0,
+                ];
+            }
+            return;
+        }
+
+        // Find the cell k containing x and update extremes.
+        let k = if x < self.q[0] {
+            self.q[0] = x;
+            0
+        } else if x >= self.q[4] {
+            self.q[4] = x;
+            3
+        } else {
+            // q[k] <= x < q[k+1]
+            (0..4).find(|&i| x < self.q[i + 1]).unwrap()
+        };
+        for i in (k + 1)..5 {
+            self.n[i] += 1.0;
+        }
+        for i in 0..5 {
+            self.np[i] += self.dn[i];
+        }
+
+        // Adjust interior markers.
+        for i in 1..4 {
+            let d = self.np[i] - self.n[i];
+            let right = self.n[i + 1] - self.n[i];
+            let left = self.n[i - 1] - self.n[i];
+            if (d >= 1.0 && right > 1.0) || (d <= -1.0 && left < -1.0) {
+                let d = d.signum();
+                let qp = self.parabolic(i, d);
+                self.q[i] = if self.q[i - 1] < qp && qp < self.q[i + 1] {
+                    qp
+                } else {
+                    self.linear(i, d)
+                };
+                self.n[i] += d;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let q = &self.q;
+        let n = &self.n;
+        q[i] + d / (n[i + 1] - n[i - 1])
+            * ((n[i] - n[i - 1] + d) * (q[i + 1] - q[i]) / (n[i + 1] - n[i])
+                + (n[i + 1] - n[i] - d) * (q[i] - q[i - 1]) / (n[i] - n[i - 1]))
+    }
+
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let j = if d > 0.0 { i + 1 } else { i - 1 };
+        self.q[i] + d * (self.q[j] - self.q[i]) / (self.n[j] - self.n[i])
+    }
+
+    /// The current quantile estimate (exact for fewer than five
+    /// observations).
+    pub fn value(&self) -> f64 {
+        if self.count == 0 {
+            return f64::NAN;
+        }
+        if self.init.len() < 5 || self.count <= 5 {
+            let mut v = self.init.clone();
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let k = ((self.p * v.len() as f64).ceil() as usize).clamp(1, v.len());
+            return v[k - 1];
+        }
+        self.q[2]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform_stream(n: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed;
+        (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (state >> 11) as f64 / (1u64 << 53) as f64
+            })
+            .collect()
+    }
+
+    #[test]
+    fn median_of_uniform_converges() {
+        let mut est = P2Quantile::median();
+        for x in uniform_stream(100_000, 1) {
+            est.push(x);
+        }
+        assert!((est.value() - 0.5).abs() < 0.01, "median {}", est.value());
+    }
+
+    #[test]
+    fn tail_quantiles_converge() {
+        for (p, expect) in [(0.9, 0.9), (0.99, 0.99), (0.1, 0.1)] {
+            let mut est = P2Quantile::new(p);
+            for x in uniform_stream(200_000, 7) {
+                est.push(x);
+            }
+            assert!(
+                (est.value() - expect).abs() < 0.02,
+                "p={p}: {}",
+                est.value()
+            );
+        }
+    }
+
+    #[test]
+    fn matches_exact_quantile_on_exponential() {
+        // Exponential(1): median = ln 2 ≈ 0.693.
+        let mut est = P2Quantile::median();
+        for x in uniform_stream(200_000, 13) {
+            est.push(-(1.0f64 - x).ln());
+        }
+        assert!(
+            (est.value() - 0.6931).abs() < 0.02,
+            "exp median {}",
+            est.value()
+        );
+    }
+
+    #[test]
+    fn small_samples_are_exact() {
+        let mut est = P2Quantile::median();
+        assert!(est.value().is_nan());
+        for x in [5.0, 1.0, 3.0] {
+            est.push(x);
+        }
+        assert_eq!(est.value(), 3.0);
+        assert_eq!(est.count(), 3);
+    }
+
+    #[test]
+    fn monotone_under_shift() {
+        // Estimates must order correctly for shifted streams.
+        let base = uniform_stream(50_000, 21);
+        let mut lo = P2Quantile::new(0.75);
+        let mut hi = P2Quantile::new(0.75);
+        for &x in &base {
+            lo.push(x);
+            hi.push(x + 1.0);
+        }
+        assert!((hi.value() - lo.value() - 1.0).abs() < 0.02);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of (0,1)")]
+    fn rejects_invalid_p() {
+        P2Quantile::new(1.0);
+    }
+}

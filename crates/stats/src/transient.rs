@@ -1,0 +1,265 @@
+//! Per-packet-index statistics across replications and the
+//! transient-length estimator of §4.1.
+//!
+//! The paper's Fig 6/8/9 machinery: run the same probing experiment
+//! thousands of times, collect the access delay of the *i*-th packet of
+//! every replication into sample *i*, and study how the per-index
+//! distribution evolves toward steady state. [`IndexedSeries`] is that
+//! collection; [`IndexedSeries::transient_length`] implements the §4.1
+//! rule — "the first packet whose average access delay lays within
+//! (tolerance) of the expected access delay in steady-state conditions".
+
+use crate::ks::{two_sample_ks, KsOutcome};
+use crate::online::OnlineStats;
+
+/// Samples of some per-packet quantity (access delay, queue size, …)
+/// indexed by position in the probing sequence, accumulated across
+/// replications.
+#[derive(Debug, Clone, Default)]
+pub struct IndexedSeries {
+    /// `samples[i]` holds the observations of packet index `i` (0-based)
+    /// across replications.
+    samples: Vec<Vec<f64>>,
+}
+
+/// Outcome of a transient-length estimation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransientEstimate {
+    /// First 0-based packet index whose mean is within tolerance of the
+    /// steady-state mean (`None` when no index qualifies).
+    pub first_within: Option<usize>,
+    /// First 0-based index from which *all* later indices stay within
+    /// tolerance (robust variant).
+    pub first_sustained: Option<usize>,
+    /// The steady-state mean the comparison used.
+    pub steady_mean: f64,
+}
+
+impl IndexedSeries {
+    /// An empty collection.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one replication's trajectory: `values[i]` is the quantity
+    /// observed for packet index `i` in this replication. Shorter
+    /// trajectories are allowed (replications where fewer packets were
+    /// observed).
+    pub fn push_replication(&mut self, values: &[f64]) {
+        if self.samples.len() < values.len() {
+            self.samples.resize_with(values.len(), Vec::new);
+        }
+        for (i, &v) in values.iter().enumerate() {
+            self.samples[i].push(v);
+        }
+    }
+
+    /// Number of packet indices tracked.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no replication has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The observations recorded for packet index `i`.
+    pub fn sample(&self, i: usize) -> &[f64] {
+        &self.samples[i]
+    }
+
+    /// Per-index means.
+    pub fn means(&self) -> Vec<f64> {
+        self.samples
+            .iter()
+            .map(|s| OnlineStats::from_slice(s).mean())
+            .collect()
+    }
+
+    /// Per-index summary statistics.
+    pub fn stats(&self) -> Vec<OnlineStats> {
+        self.samples.iter().map(|s| OnlineStats::from_slice(s)).collect()
+    }
+
+    /// Pool the observations of indices `[from, to)` into one sample —
+    /// used for the paper's "steady-state distribution of the last 500
+    /// probing packets".
+    pub fn pooled(&self, from: usize, to: usize) -> Vec<f64> {
+        let to = to.min(self.samples.len());
+        let mut out = Vec::new();
+        for i in from..to {
+            out.extend_from_slice(&self.samples[i]);
+        }
+        out
+    }
+
+    /// Mean over the pooled observations of indices `[from, to)`.
+    pub fn pooled_mean(&self, from: usize, to: usize) -> f64 {
+        OnlineStats::from_slice(&self.pooled(from, to)).mean()
+    }
+
+    /// KS-test every index against a reference sample (§4, Figs 8/9):
+    /// returns one [`KsOutcome`] per index, comparing the per-index
+    /// sample (step ECDF) with the reference (interpolated ECDF).
+    pub fn ks_profile(&self, reference: &[f64], alpha: f64) -> Vec<KsOutcome> {
+        self.samples
+            .iter()
+            .map(|s| two_sample_ks(s, reference, alpha))
+            .collect()
+    }
+
+    /// The §4.1 transient length: first index whose mean is within
+    /// `tolerance` (relative) of `steady_mean`, plus the sustained
+    /// variant (first index after which every index stays within).
+    pub fn transient_length(&self, steady_mean: f64, tolerance: f64) -> TransientEstimate {
+        let means = self.means();
+        transient_length_of_means(&means, steady_mean, tolerance)
+    }
+}
+
+/// Transient length from a pre-computed per-index mean profile.
+///
+/// `tolerance` is relative: index `i` is "converged" when
+/// `|mean_i − steady| ≤ tolerance·steady` (for `steady > 0`; indices
+/// with non-finite means never converge).
+pub fn transient_length_of_means(
+    means: &[f64],
+    steady_mean: f64,
+    tolerance: f64,
+) -> TransientEstimate {
+    debug_assert!(steady_mean > 0.0, "steady-state mean must be positive");
+    transient_length_with(means, steady_mean, tolerance * steady_mean)
+}
+
+/// Transient length with an **absolute** tolerance (same unit as the
+/// means): index `i` is "converged" when `|mean_i − steady| ≤ tol`.
+///
+/// The paper's Fig 10 tolerances ("0.1" and "0.01") are best read as
+/// absolute milliseconds against millisecond-scale access delays; this
+/// variant supports that reading directly.
+pub fn transient_length_of_means_abs(
+    means: &[f64],
+    steady_mean: f64,
+    tol_abs: f64,
+) -> TransientEstimate {
+    transient_length_with(means, steady_mean, tol_abs)
+}
+
+fn transient_length_with(means: &[f64], steady_mean: f64, band: f64) -> TransientEstimate {
+    let within = |m: f64| m.is_finite() && (m - steady_mean).abs() <= band;
+    let first_within = means.iter().position(|&m| within(m));
+    // Scan backwards for the sustained point: the first index such that
+    // all indices from it onward are within tolerance.
+    let mut first_sustained = None;
+    for i in (0..means.len()).rev() {
+        if within(means[i]) {
+            first_sustained = Some(i);
+        } else {
+            break;
+        }
+    }
+    TransientEstimate {
+        first_within,
+        first_sustained,
+        steady_mean,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp_series(reps: usize, n: usize, steady: f64) -> IndexedSeries {
+        // Mean profile: steady * (1 - exp(-i/10)) plus small deterministic
+        // wiggle per replication.
+        let mut s = IndexedSeries::new();
+        for r in 0..reps {
+            let wiggle = (r as f64 * 0.37).sin() * 0.01 * steady;
+            let traj: Vec<f64> = (0..n)
+                .map(|i| steady * (1.0 - (-(i as f64) / 10.0).exp()) + wiggle)
+                .collect();
+            s.push_replication(&traj);
+        }
+        s
+    }
+
+    #[test]
+    fn push_and_index() {
+        let mut s = IndexedSeries::new();
+        s.push_replication(&[1.0, 2.0, 3.0]);
+        s.push_replication(&[2.0, 3.0]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.sample(0), &[1.0, 2.0]);
+        assert_eq!(s.sample(2), &[3.0]);
+        let means = s.means();
+        assert!((means[0] - 1.5).abs() < 1e-12);
+        assert!((means[1] - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pooled_combines_ranges() {
+        let mut s = IndexedSeries::new();
+        s.push_replication(&[1.0, 10.0, 100.0]);
+        s.push_replication(&[2.0, 20.0, 200.0]);
+        let pool = s.pooled(1, 3);
+        assert_eq!(pool.len(), 4);
+        assert!((s.pooled_mean(1, 3) - 82.5).abs() < 1e-12);
+        // Out-of-range `to` clamps.
+        assert_eq!(s.pooled(0, 99).len(), 6);
+    }
+
+    #[test]
+    fn transient_length_finds_knee() {
+        let s = ramp_series(50, 100, 4.0e-3);
+        // The profile reaches 90% of steady at i = ceil(10*ln 10) ≈ 23.
+        let est = s.transient_length(4.0e-3, 0.1);
+        let first = est.first_within.unwrap();
+        assert!(
+            (20..=26).contains(&first),
+            "expected knee near 23, got {first}"
+        );
+        // Tighter tolerance converges later.
+        let tight = s.transient_length(4.0e-3, 0.01);
+        assert!(tight.first_within.unwrap() > first);
+        // Sustained point is at or after the first crossing.
+        assert!(est.first_sustained.unwrap() >= first);
+    }
+
+    #[test]
+    fn transient_none_when_never_converges() {
+        let means = vec![1.0, 1.1, 1.2];
+        let est = transient_length_of_means(&means, 10.0, 0.05);
+        assert_eq!(est.first_within, None);
+        assert_eq!(est.first_sustained, None);
+    }
+
+    #[test]
+    fn sustained_ignores_early_lucky_crossing() {
+        // Index 1 dips within tolerance then leaves again.
+        let means = vec![0.5, 1.0, 0.5, 0.98, 1.01, 0.99];
+        let est = transient_length_of_means(&means, 1.0, 0.05);
+        assert_eq!(est.first_within, Some(1));
+        assert_eq!(est.first_sustained, Some(3));
+    }
+
+    #[test]
+    fn ks_profile_detects_transient() {
+        // Index 0 from a shifted distribution, later indices match the
+        // reference.
+        let mut s = IndexedSeries::new();
+        let mut state = 7u64;
+        let mut unif = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for _ in 0..300 {
+            let traj = vec![unif() * 0.3, unif(), unif()];
+            s.push_replication(&traj);
+        }
+        let reference: Vec<f64> = (0..1000).map(|_| unif()).collect();
+        let prof = s.ks_profile(&reference, 0.05);
+        assert!(prof[0].reject, "index 0 should differ");
+        assert!(!prof[2].reject, "index 2 should match");
+    }
+}

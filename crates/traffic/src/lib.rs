@@ -1,0 +1,861 @@
+//! # csmaprobe-traffic
+//!
+//! Traffic generation for the `csmaprobe` workspace — the MGEN
+//! replacement from the paper's validation setup (appendix A).
+//!
+//! A traffic source is anything implementing [`Source`]: a stateful
+//! generator that, when pulled, emits the next packet arrival (absolute
+//! time + payload size). Sources never look at the channel — they model
+//! *offered* load; queueing and medium access happen downstream in the
+//! `queueing` and `mac` crates.
+//!
+//! Provided sources:
+//!
+//! * [`PoissonSource`] — exponential interarrivals (the paper's
+//!   cross-traffic: "the cross-traffic generated follows a Poisson
+//!   distribution").
+//! * [`CbrSource`] — periodic (constant bit rate) arrivals with optional
+//!   uniform jitter.
+//! * [`OnOffSource`] — exponential on/off bursty traffic for the
+//!   burstiness discussions of §6.3.
+//! * [`TraceSource`] — replay of an explicit arrival list.
+//! * [`probe::ProbeTrain`] / [`probe::TrainSchedule`] — the probing
+//!   sequences of §5.1.2 (n packets at fixed gap `gI`, m trains with
+//!   Poisson train spacing).
+//!
+//! Packet sizes come from a [`SizeModel`]; offered-load conversions
+//! (b/s ↔ packets/s ↔ Erlang) live in [`load`].
+
+pub mod load;
+pub mod probe;
+
+use csmaprobe_desim::rng::SimRng;
+use csmaprobe_desim::time::{Dur, Time};
+
+/// One offered packet: when it arrives at the transmission queue and
+/// how many payload bytes it carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PacketArrival {
+    /// Absolute arrival instant at the queue.
+    pub time: Time,
+    /// Higher-layer payload size in bytes (MAC overhead is added by the
+    /// PHY model, not here).
+    pub bytes: u32,
+    /// Flow tag carried through to measurement records. Needed when two
+    /// flows (probe + FIFO cross-traffic) share one transmission queue,
+    /// as in the paper's complete link model (Fig 3). Sources emit 0 by
+    /// default; use their `with_flow` builders to change it.
+    pub flow: u16,
+}
+
+impl PacketArrival {
+    /// An arrival on the default flow 0.
+    pub fn new(time: Time, bytes: u32) -> Self {
+        PacketArrival {
+            time,
+            bytes,
+            flow: 0,
+        }
+    }
+}
+
+/// Merge several sources into one, preserving global time order (ties
+/// resolved in favour of the earlier-added source).
+///
+/// Used to put probe traffic and FIFO cross-traffic into the *same*
+/// station transmission queue.
+pub struct MergeSource {
+    sources: Vec<Box<dyn Source>>,
+    /// One look-ahead packet per source.
+    pending: Vec<Option<PacketArrival>>,
+    primed: bool,
+}
+
+impl MergeSource {
+    /// Merge the given sources.
+    pub fn new(sources: Vec<Box<dyn Source>>) -> Self {
+        let n = sources.len();
+        MergeSource {
+            sources,
+            pending: vec![None; n],
+            primed: false,
+        }
+    }
+}
+
+impl Source for MergeSource {
+    fn next_packet(&mut self, rng: &mut SimRng) -> Option<PacketArrival> {
+        if !self.primed {
+            for (i, s) in self.sources.iter_mut().enumerate() {
+                self.pending[i] = s.next_packet(rng);
+            }
+            self.primed = true;
+        }
+        // Pick the earliest pending arrival.
+        let mut best: Option<usize> = None;
+        for (i, p) in self.pending.iter().enumerate() {
+            if let Some(pkt) = p {
+                match best {
+                    Some(b) if self.pending[b].unwrap().time <= pkt.time => {}
+                    _ => best = Some(i),
+                }
+            }
+        }
+        let i = best?;
+        let out = self.pending[i].take();
+        self.pending[i] = self.sources[i].next_packet(rng);
+        out
+    }
+}
+
+/// A pull-based traffic generator.
+///
+/// Implementations are deterministic given the same `rng` stream; all
+/// randomness is drawn from the passed-in generator so the caller
+/// controls reproducibility.
+pub trait Source {
+    /// The next packet this source will offer, or `None` if the source
+    /// is exhausted. Arrival times must be non-decreasing.
+    fn next_packet(&mut self, rng: &mut SimRng) -> Option<PacketArrival>;
+}
+
+/// Packet payload size distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SizeModel {
+    /// Every packet has the same payload size.
+    Fixed(u32),
+    /// Sizes drawn from a finite distribution `(bytes, weight)`;
+    /// weights need not sum to one.
+    Choice(Vec<(u32, f64)>),
+    /// Uniform over an inclusive byte range.
+    Uniform(u32, u32),
+}
+
+impl SizeModel {
+    /// Draw one payload size.
+    pub fn sample(&self, rng: &mut SimRng) -> u32 {
+        match self {
+            SizeModel::Fixed(b) => *b,
+            SizeModel::Choice(items) => {
+                debug_assert!(!items.is_empty());
+                let total: f64 = items.iter().map(|(_, w)| *w).sum();
+                let mut x = rng.f64() * total;
+                for (b, w) in items {
+                    if x < *w {
+                        return *b;
+                    }
+                    x -= *w;
+                }
+                items.last().map(|(b, _)| *b).unwrap()
+            }
+            SizeModel::Uniform(lo, hi) => {
+                debug_assert!(lo <= hi);
+                rng.range_inclusive(*lo as u64, *hi as u64) as u32
+            }
+        }
+    }
+
+    /// The mean payload size of this model, in bytes.
+    pub fn mean_bytes(&self) -> f64 {
+        match self {
+            SizeModel::Fixed(b) => *b as f64,
+            SizeModel::Choice(items) => {
+                let total: f64 = items.iter().map(|(_, w)| *w).sum();
+                items.iter().map(|(b, w)| *b as f64 * *w).sum::<f64>() / total
+            }
+            SizeModel::Uniform(lo, hi) => (*lo as f64 + *hi as f64) / 2.0,
+        }
+    }
+}
+
+/// Poisson arrivals: i.i.d. exponential interarrival times.
+#[derive(Debug, Clone)]
+pub struct PoissonSource {
+    mean_gap: Dur,
+    sizes: SizeModel,
+    next_time: Option<Time>,
+    until: Time,
+    started: bool,
+    flow: u16,
+}
+
+impl PoissonSource {
+    /// A Poisson source offering `rate_bps` of payload using packets
+    /// from `sizes`, active on `[start, until)`.
+    ///
+    /// The packet rate is `rate_bps / (8 · mean_bytes)`; a zero or
+    /// negative rate yields a source that never emits.
+    pub fn from_bitrate(rate_bps: f64, sizes: SizeModel, start: Time, until: Time) -> Self {
+        let pps = rate_bps / (8.0 * sizes.mean_bytes());
+        Self::from_packet_rate(pps, sizes, start, until)
+    }
+
+    /// A Poisson source emitting `pps` packets per second on
+    /// `[start, until)`.
+    pub fn from_packet_rate(pps: f64, sizes: SizeModel, start: Time, until: Time) -> Self {
+        let mean_gap = if pps > 0.0 {
+            Dur::from_secs_f64(1.0 / pps)
+        } else {
+            Dur::MAX
+        };
+        PoissonSource {
+            mean_gap,
+            sizes,
+            next_time: Some(start),
+            until,
+            started: false,
+            flow: 0,
+        }
+    }
+
+    /// Tag every packet of this source with `flow`.
+    pub fn with_flow(mut self, flow: u16) -> Self {
+        self.flow = flow;
+        self
+    }
+
+    fn advance(&mut self, rng: &mut SimRng, from: Time) -> Option<Time> {
+        if self.mean_gap == Dur::MAX {
+            return None;
+        }
+        let gap = Dur::from_secs_f64(rng.exp(self.mean_gap.as_secs_f64()));
+        let t = from + gap;
+        (t < self.until).then_some(t)
+    }
+}
+
+impl Source for PoissonSource {
+    fn next_packet(&mut self, rng: &mut SimRng) -> Option<PacketArrival> {
+        let base = self.next_time?;
+        // The first arrival is offset exponentially from `start` too, so
+        // the process is time-stationary from the observer's viewpoint.
+        let time = if self.started {
+            base
+        } else {
+            self.started = true;
+            match self.advance(rng, base) {
+                Some(t) => t,
+                None => {
+                    self.next_time = None;
+                    return None;
+                }
+            }
+        };
+        self.next_time = self.advance(rng, time);
+        let bytes = self.sizes.sample(rng);
+        Some(PacketArrival { time, bytes, flow: self.flow })
+    }
+}
+
+/// Constant-bit-rate (periodic) arrivals with optional uniform jitter.
+#[derive(Debug, Clone)]
+pub struct CbrSource {
+    interval: Dur,
+    jitter: Dur,
+    sizes: SizeModel,
+    next_nominal: Time,
+    until: Time,
+    remaining: u64,
+    flow: u16,
+}
+
+impl CbrSource {
+    /// A CBR source offering `rate_bps` with packets from `sizes`,
+    /// active on `[start, until)`, unlimited packet count.
+    pub fn from_bitrate(rate_bps: f64, sizes: SizeModel, start: Time, until: Time) -> Self {
+        debug_assert!(rate_bps > 0.0);
+        let interval = Dur::from_secs_f64(8.0 * sizes.mean_bytes() / rate_bps);
+        CbrSource {
+            interval,
+            jitter: Dur::ZERO,
+            sizes,
+            next_nominal: start,
+            until,
+            remaining: u64::MAX,
+            flow: 0,
+        }
+    }
+
+    /// A CBR source with an explicit inter-packet interval and packet
+    /// budget.
+    pub fn with_interval(interval: Dur, sizes: SizeModel, start: Time, count: u64) -> Self {
+        CbrSource {
+            interval,
+            jitter: Dur::ZERO,
+            sizes,
+            next_nominal: start,
+            until: Time::MAX,
+            remaining: count,
+            flow: 0,
+        }
+    }
+
+    /// Tag every packet of this source with `flow`.
+    pub fn with_flow(mut self, flow: u16) -> Self {
+        self.flow = flow;
+        self
+    }
+
+    /// Add uniform jitter in `[0, jitter)` to every nominal send time.
+    pub fn with_jitter(mut self, jitter: Dur) -> Self {
+        self.jitter = jitter;
+        self
+    }
+}
+
+impl Source for CbrSource {
+    fn next_packet(&mut self, rng: &mut SimRng) -> Option<PacketArrival> {
+        if self.remaining == 0 || self.next_nominal >= self.until {
+            return None;
+        }
+        self.remaining -= 1;
+        let mut time = self.next_nominal;
+        self.next_nominal += self.interval;
+        if self.jitter > Dur::ZERO {
+            time += Dur::from_nanos(rng.below(self.jitter.as_nanos()));
+        }
+        let bytes = self.sizes.sample(rng);
+        Some(PacketArrival { time, bytes, flow: self.flow })
+    }
+}
+
+/// Markov on/off bursty traffic: exponential ON and OFF sojourns; while
+/// ON, packets are emitted back-to-back at `peak_rate_bps`.
+///
+/// The long-run offered rate is `peak · E[on] / (E[on]+E[off])`.
+#[derive(Debug, Clone)]
+pub struct OnOffSource {
+    mean_on: Dur,
+    mean_off: Dur,
+    gap_in_burst: Dur,
+    sizes: SizeModel,
+    /// Remaining time of the current ON period, if inside one.
+    burst_end: Option<Time>,
+    next_time: Time,
+    until: Time,
+    flow: u16,
+}
+
+impl OnOffSource {
+    /// Create an on/off source. `peak_rate_bps` is the rate *inside*
+    /// bursts.
+    pub fn new(
+        peak_rate_bps: f64,
+        mean_on: Dur,
+        mean_off: Dur,
+        sizes: SizeModel,
+        start: Time,
+        until: Time,
+    ) -> Self {
+        debug_assert!(peak_rate_bps > 0.0);
+        let gap = Dur::from_secs_f64(8.0 * sizes.mean_bytes() / peak_rate_bps);
+        OnOffSource {
+            mean_on,
+            mean_off,
+            gap_in_burst: gap,
+            sizes,
+            burst_end: None,
+            next_time: start,
+            until,
+            flow: 0,
+        }
+    }
+
+    /// Tag every packet of this source with `flow`.
+    pub fn with_flow(mut self, flow: u16) -> Self {
+        self.flow = flow;
+        self
+    }
+
+    /// The long-run average offered bitrate of this source.
+    pub fn mean_rate_bps(&self) -> f64 {
+        let on = self.mean_on.as_secs_f64();
+        let off = self.mean_off.as_secs_f64();
+        let peak = 8.0 * self.sizes.mean_bytes() / self.gap_in_burst.as_secs_f64();
+        peak * on / (on + off)
+    }
+}
+
+impl Source for OnOffSource {
+    fn next_packet(&mut self, rng: &mut SimRng) -> Option<PacketArrival> {
+        loop {
+            if self.next_time >= self.until {
+                return None;
+            }
+            match self.burst_end {
+                Some(end) if self.next_time < end => {
+                    let time = self.next_time;
+                    self.next_time += self.gap_in_burst;
+                    let bytes = self.sizes.sample(rng);
+                    return Some(PacketArrival { time, bytes, flow: self.flow });
+                }
+                Some(end) => {
+                    // Burst over: exponential OFF period.
+                    let off = Dur::from_secs_f64(rng.exp(self.mean_off.as_secs_f64()));
+                    self.next_time = end + off;
+                    self.burst_end = None;
+                }
+                None => {
+                    // Start a new exponential ON period at next_time.
+                    let on = Dur::from_secs_f64(rng.exp(self.mean_on.as_secs_f64()));
+                    self.burst_end = Some(self.next_time + on);
+                }
+            }
+        }
+    }
+}
+
+/// Pareto on/off bursty traffic: heavy-tailed ON periods (Pareto with
+/// shape `alpha`), exponential OFF periods; packets back-to-back at
+/// `peak_rate_bps` while ON.
+///
+/// The classic self-similar-traffic building block (Willinger et al.):
+/// smaller `alpha` means heavier tails and a burstier aggregate. Used
+/// for the paper's §6.3 discussion — "as the burstiness of cross-traffic
+/// flow increases so will the variability of dispersion measures".
+#[derive(Debug, Clone)]
+pub struct ParetoOnOffSource {
+    /// Pareto shape of ON durations (must be > 1 for a finite mean).
+    alpha: f64,
+    /// Pareto scale: minimum ON duration.
+    on_min: Dur,
+    mean_off: Dur,
+    gap_in_burst: Dur,
+    sizes: SizeModel,
+    burst_end: Option<Time>,
+    next_time: Time,
+    until: Time,
+    flow: u16,
+}
+
+impl ParetoOnOffSource {
+    /// Create a Pareto on/off source. `alpha > 1` is required so the
+    /// mean ON duration `alpha*on_min/(alpha-1)` exists.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        peak_rate_bps: f64,
+        alpha: f64,
+        on_min: Dur,
+        mean_off: Dur,
+        sizes: SizeModel,
+        start: Time,
+        until: Time,
+    ) -> Self {
+        assert!(alpha > 1.0, "alpha must exceed 1 (got {alpha})");
+        assert!(peak_rate_bps > 0.0);
+        let gap = Dur::from_secs_f64(8.0 * sizes.mean_bytes() / peak_rate_bps);
+        ParetoOnOffSource {
+            alpha,
+            on_min,
+            mean_off,
+            gap_in_burst: gap,
+            sizes,
+            burst_end: None,
+            next_time: start,
+            until,
+            flow: 0,
+        }
+    }
+
+    /// Tag every packet of this source with `flow`.
+    pub fn with_flow(mut self, flow: u16) -> Self {
+        self.flow = flow;
+        self
+    }
+
+    /// Mean ON duration `alpha*on_min/(alpha-1)`.
+    pub fn mean_on(&self) -> Dur {
+        Dur::from_secs_f64(self.alpha * self.on_min.as_secs_f64() / (self.alpha - 1.0))
+    }
+
+    /// The long-run average offered bitrate.
+    pub fn mean_rate_bps(&self) -> f64 {
+        let on = self.mean_on().as_secs_f64();
+        let off = self.mean_off.as_secs_f64();
+        let peak = 8.0 * self.sizes.mean_bytes() / self.gap_in_burst.as_secs_f64();
+        peak * on / (on + off)
+    }
+
+    fn draw_on(&self, rng: &mut SimRng) -> Dur {
+        // Inverse-CDF Pareto: X = x_m / U^(1/alpha).
+        let u = 1.0 - rng.f64(); // in (0, 1]
+        let secs = self.on_min.as_secs_f64() / u.powf(1.0 / self.alpha);
+        // Cap pathological tail draws at 10^4 x mean to keep single
+        // replications bounded (documented heavy-tail truncation).
+        let cap = self.mean_on().as_secs_f64() * 1e4;
+        Dur::from_secs_f64(secs.min(cap))
+    }
+}
+
+impl Source for ParetoOnOffSource {
+    fn next_packet(&mut self, rng: &mut SimRng) -> Option<PacketArrival> {
+        loop {
+            if self.next_time >= self.until {
+                return None;
+            }
+            match self.burst_end {
+                Some(end) if self.next_time < end => {
+                    let time = self.next_time;
+                    self.next_time += self.gap_in_burst;
+                    let bytes = self.sizes.sample(rng);
+                    return Some(PacketArrival {
+                        time,
+                        bytes,
+                        flow: self.flow,
+                    });
+                }
+                Some(end) => {
+                    let off = Dur::from_secs_f64(rng.exp(self.mean_off.as_secs_f64()));
+                    self.next_time = end + off;
+                    self.burst_end = None;
+                }
+                None => {
+                    let on = self.draw_on(rng);
+                    self.burst_end = Some(self.next_time + on);
+                }
+            }
+        }
+    }
+}
+
+/// Replay of an explicit arrival trace.
+#[derive(Debug, Clone)]
+pub struct TraceSource {
+    packets: Vec<PacketArrival>,
+    idx: usize,
+}
+
+impl TraceSource {
+    /// Wrap an arrival list. Panics if arrival times decrease.
+    pub fn new(packets: Vec<PacketArrival>) -> Self {
+        for w in packets.windows(2) {
+            assert!(
+                w[1].time >= w[0].time,
+                "trace arrivals must be time-ordered"
+            );
+        }
+        TraceSource { packets, idx: 0 }
+    }
+}
+
+impl Source for TraceSource {
+    fn next_packet(&mut self, _rng: &mut SimRng) -> Option<PacketArrival> {
+        let p = self.packets.get(self.idx).copied();
+        if p.is_some() {
+            self.idx += 1;
+        }
+        p
+    }
+}
+
+/// A source that never offers any packet (placeholder for stations that
+/// only receive).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SilentSource;
+
+impl Source for SilentSource {
+    fn next_packet(&mut self, _rng: &mut SimRng) -> Option<PacketArrival> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(src: &mut dyn Source, rng: &mut SimRng, cap: usize) -> Vec<PacketArrival> {
+        let mut out = Vec::new();
+        while out.len() < cap {
+            match src.next_packet(rng) {
+                Some(p) => out.push(p),
+                None => break,
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn poisson_rate_is_honoured() {
+        let mut rng = SimRng::new(1);
+        let horizon = Time::from_secs_f64(50.0);
+        let mut src = PoissonSource::from_bitrate(
+            2_000_000.0,
+            SizeModel::Fixed(1000),
+            Time::ZERO,
+            horizon,
+        );
+        let pkts = drain(&mut src, &mut rng, usize::MAX);
+        // Expect about rate * T / (8*bytes) = 2e6*50/8000 = 12_500 packets.
+        let n = pkts.len() as f64;
+        assert!((n - 12_500.0).abs() < 400.0, "got {n} packets");
+        // Interarrivals should have CV ~ 1 (exponential).
+        let gaps: Vec<f64> = pkts
+            .windows(2)
+            .map(|w| (w[1].time - w[0].time).as_secs_f64())
+            .collect();
+        let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        let var = gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64;
+        let cv = var.sqrt() / mean;
+        assert!((cv - 1.0).abs() < 0.05, "cv {cv}");
+    }
+
+    #[test]
+    fn poisson_times_are_monotone_and_bounded() {
+        let mut rng = SimRng::new(2);
+        let until = Time::from_secs_f64(1.0);
+        let mut src =
+            PoissonSource::from_packet_rate(10_000.0, SizeModel::Fixed(100), Time::ZERO, until);
+        let pkts = drain(&mut src, &mut rng, usize::MAX);
+        for w in pkts.windows(2) {
+            assert!(w[1].time >= w[0].time);
+        }
+        assert!(pkts.iter().all(|p| p.time < until));
+        assert!(src.next_packet(&mut rng).is_none());
+    }
+
+    #[test]
+    fn zero_rate_poisson_never_emits() {
+        let mut rng = SimRng::new(3);
+        let mut src = PoissonSource::from_packet_rate(
+            0.0,
+            SizeModel::Fixed(100),
+            Time::ZERO,
+            Time::from_secs_f64(10.0),
+        );
+        assert!(src.next_packet(&mut rng).is_none());
+    }
+
+    #[test]
+    fn cbr_is_periodic() {
+        let mut rng = SimRng::new(4);
+        let mut src = CbrSource::with_interval(
+            Dur::from_micros(500),
+            SizeModel::Fixed(1500),
+            Time::from_micros(100),
+            5,
+        );
+        let pkts = drain(&mut src, &mut rng, usize::MAX);
+        assert_eq!(pkts.len(), 5);
+        for (i, p) in pkts.iter().enumerate() {
+            assert_eq!(p.time, Time::from_micros(100 + 500 * i as u64));
+            assert_eq!(p.bytes, 1500);
+        }
+    }
+
+    #[test]
+    fn cbr_bitrate_interval() {
+        let mut rng = SimRng::new(5);
+        // 1 Mb/s with 1000-byte packets -> one packet every 8 ms.
+        let mut src = CbrSource::from_bitrate(
+            1_000_000.0,
+            SizeModel::Fixed(1000),
+            Time::ZERO,
+            Time::from_secs_f64(1.0),
+        );
+        let pkts = drain(&mut src, &mut rng, usize::MAX);
+        assert_eq!(pkts.len(), 125);
+        assert_eq!(pkts[1].time - pkts[0].time, Dur::from_millis(8));
+    }
+
+    #[test]
+    fn cbr_jitter_stays_in_bound() {
+        let mut rng = SimRng::new(6);
+        let mut src = CbrSource::with_interval(
+            Dur::from_millis(1),
+            SizeModel::Fixed(64),
+            Time::ZERO,
+            1000,
+        )
+        .with_jitter(Dur::from_micros(100));
+        let pkts = drain(&mut src, &mut rng, usize::MAX);
+        for (i, p) in pkts.iter().enumerate() {
+            let nominal = Time::from_millis(i as u64);
+            assert!(p.time >= nominal);
+            assert!(p.time < nominal + Dur::from_micros(100));
+        }
+    }
+
+    #[test]
+    fn onoff_mean_rate_matches_formula() {
+        let sizes = SizeModel::Fixed(500);
+        let src = OnOffSource::new(
+            4_000_000.0,
+            Dur::from_millis(10),
+            Dur::from_millis(30),
+            sizes,
+            Time::ZERO,
+            Time::from_secs_f64(200.0),
+        );
+        let expect = 4_000_000.0 * 10.0 / 40.0;
+        assert!((src.mean_rate_bps() - expect).abs() / expect < 1e-9);
+        // And empirically:
+        let mut rng = SimRng::new(7);
+        let mut src = src;
+        let mut bits = 0u64;
+        let mut rngc = rng.fork();
+        let _ = &mut rng;
+        let mut last = Time::ZERO;
+        while let Some(p) = src.next_packet(&mut rngc) {
+            bits += p.bytes as u64 * 8;
+            last = p.time;
+        }
+        let rate = bits as f64 / last.as_secs_f64();
+        assert!(
+            (rate - expect).abs() / expect < 0.1,
+            "rate {rate} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn trace_source_replays_exactly() {
+        let trace = vec![
+            PacketArrival::new(Time::from_micros(1), 10),
+            PacketArrival::new(Time::from_micros(5), 20),
+        ];
+        let mut src = TraceSource::new(trace.clone());
+        let mut rng = SimRng::new(8);
+        assert_eq!(src.next_packet(&mut rng), Some(trace[0]));
+        assert_eq!(src.next_packet(&mut rng), Some(trace[1]));
+        assert_eq!(src.next_packet(&mut rng), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn trace_source_rejects_unordered() {
+        TraceSource::new(vec![
+            PacketArrival::new(Time::from_micros(5), 10),
+            PacketArrival::new(Time::from_micros(1), 10),
+        ]);
+    }
+
+    #[test]
+    fn size_models_sample_correctly() {
+        let mut rng = SimRng::new(9);
+        assert_eq!(SizeModel::Fixed(77).sample(&mut rng), 77);
+        assert_eq!(SizeModel::Fixed(77).mean_bytes(), 77.0);
+
+        let choice = SizeModel::Choice(vec![(100, 1.0), (200, 3.0)]);
+        assert!((choice.mean_bytes() - 175.0).abs() < 1e-12);
+        let mut c100 = 0;
+        let n = 40_000;
+        for _ in 0..n {
+            match choice.sample(&mut rng) {
+                100 => c100 += 1,
+                200 => {}
+                other => panic!("unexpected size {other}"),
+            }
+        }
+        let frac = c100 as f64 / n as f64;
+        assert!((frac - 0.25).abs() < 0.02, "frac {frac}");
+
+        let uni = SizeModel::Uniform(40, 60);
+        assert_eq!(uni.mean_bytes(), 50.0);
+        for _ in 0..1000 {
+            let v = uni.sample(&mut rng);
+            assert!((40..=60).contains(&v));
+        }
+    }
+
+    #[test]
+    fn silent_source_is_silent() {
+        let mut rng = SimRng::new(10);
+        assert!(SilentSource.next_packet(&mut rng).is_none());
+    }
+
+    #[test]
+    fn pareto_onoff_mean_rate() {
+        let src = ParetoOnOffSource::new(
+            6_000_000.0,
+            1.5,
+            Dur::from_millis(4),
+            Dur::from_millis(12),
+            SizeModel::Fixed(1500),
+            Time::ZERO,
+            Time::from_secs_f64(400.0),
+        );
+        // mean_on = 1.5*4/(0.5) = 12 ms; duty = 12/(12+12) = 0.5.
+        assert!((src.mean_on().as_secs_f64() - 12e-3).abs() < 1e-9);
+        let expect = 3_000_000.0;
+        assert!((src.mean_rate_bps() - expect).abs() / expect < 1e-9);
+        // Empirical rate within 15% (heavy tails converge slowly).
+        let mut rng = SimRng::new(42);
+        let mut src = src;
+        let mut bits = 0u64;
+        let mut last = Time::ZERO;
+        while let Some(p) = src.next_packet(&mut rng) {
+            bits += p.bytes as u64 * 8;
+            last = p.time;
+        }
+        let rate = bits as f64 / last.as_secs_f64();
+        assert!(
+            (rate - expect).abs() / expect < 0.15,
+            "empirical rate {rate}"
+        );
+    }
+
+    #[test]
+    fn pareto_burstier_than_exponential_onoff() {
+        // Same mean rate and mean ON; compare the variance of packets
+        // per 100 ms window: Pareto (alpha=1.3) must exceed exponential.
+        let horizon = Time::from_secs_f64(300.0);
+        let window = 0.1;
+        let count_var = |arrivals: Vec<Time>| {
+            let bins = (300.0 / window) as usize;
+            let mut counts = vec![0f64; bins];
+            for t in arrivals {
+                let b = (t.as_secs_f64() / window) as usize;
+                if b < bins {
+                    counts[b] += 1.0;
+                }
+            }
+            let mean = counts.iter().sum::<f64>() / bins as f64;
+            counts.iter().map(|c| (c - mean) * (c - mean)).sum::<f64>() / bins as f64
+        };
+        let collect = |src: &mut dyn Source, seed: u64| {
+            let mut rng = SimRng::new(seed);
+            let mut out = Vec::new();
+            while let Some(p) = src.next_packet(&mut rng) {
+                out.push(p.time);
+            }
+            out
+        };
+        let mut pareto = ParetoOnOffSource::new(
+            6e6,
+            1.3,
+            Dur::from_millis(3),
+            Dur::from_millis(13),
+            SizeModel::Fixed(1500),
+            Time::ZERO,
+            horizon,
+        );
+        let mean_on = pareto.mean_on();
+        let mut exp = OnOffSource::new(
+            6e6,
+            mean_on,
+            Dur::from_millis(13),
+            SizeModel::Fixed(1500),
+            Time::ZERO,
+            horizon,
+        );
+        let v_pareto = count_var(collect(&mut pareto, 7));
+        let v_exp = count_var(collect(&mut exp, 7));
+        assert!(
+            v_pareto > 1.2 * v_exp,
+            "pareto var {v_pareto} vs exp var {v_exp}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must exceed 1")]
+    fn pareto_rejects_infinite_mean() {
+        ParetoOnOffSource::new(
+            1e6,
+            0.9,
+            Dur::from_millis(1),
+            Dur::from_millis(1),
+            SizeModel::Fixed(100),
+            Time::ZERO,
+            Time::MAX,
+        );
+    }
+}

@@ -1,0 +1,59 @@
+//! Offered-load arithmetic.
+//!
+//! The paper's transient-length study (Fig 10) parameterises sources in
+//! **Erlangs**: an offered load of 1 Erlang means the source offers
+//! work at exactly the rate the channel could serve it if the source
+//! were alone. We normalise against the *stand-alone capacity* of a
+//! station for the source's packet size (see
+//! `csmaprobe_phy::Phy::standalone_capacity_bps` and the measured
+//! variant in the `mac` crate).
+
+/// Convert a bitrate to an offered load in Erlangs, given the capacity
+/// the flow would have alone.
+#[inline]
+pub fn erlang_from_bps(rate_bps: f64, standalone_capacity_bps: f64) -> f64 {
+    debug_assert!(standalone_capacity_bps > 0.0);
+    rate_bps / standalone_capacity_bps
+}
+
+/// Convert an offered load in Erlangs to a bitrate, given the capacity
+/// the flow would have alone.
+#[inline]
+pub fn bps_from_erlang(erlang: f64, standalone_capacity_bps: f64) -> f64 {
+    debug_assert!(standalone_capacity_bps > 0.0);
+    erlang * standalone_capacity_bps
+}
+
+/// Bits per second carried by `pps` packets of `bytes` payload.
+#[inline]
+pub fn bps_from_pps(pps: f64, bytes: u32) -> f64 {
+    pps * bytes as f64 * 8.0
+}
+
+/// Packets per second needed for `rate_bps` with `bytes`-byte packets.
+#[inline]
+pub fn pps_from_bps(rate_bps: f64, bytes: u32) -> f64 {
+    debug_assert!(bytes > 0);
+    rate_bps / (bytes as f64 * 8.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erlang_round_trip() {
+        let cap = 6_200_000.0;
+        let rate = 3_100_000.0;
+        let e = erlang_from_bps(rate, cap);
+        assert!((e - 0.5).abs() < 1e-12);
+        assert!((bps_from_erlang(e, cap) - rate).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pps_round_trip() {
+        let bps = bps_from_pps(100.0, 1500);
+        assert_eq!(bps, 1_200_000.0);
+        assert!((pps_from_bps(bps, 1500) - 100.0).abs() < 1e-12);
+    }
+}

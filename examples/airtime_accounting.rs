@@ -1,0 +1,59 @@
+//! Where does the airtime go? Channel accounting across contention
+//! levels, validated against Bianchi's model — plus streaming
+//! access-delay quantiles via the P² estimator.
+//!
+//! Run with: `cargo run --release --example airtime_accounting`
+
+use csmaprobe::desim::time::Time;
+use csmaprobe::mac::{saturated_source, BianchiModel, WlanSim};
+use csmaprobe::phy::Phy;
+use csmaprobe::stats::p2::P2Quantile;
+
+fn main() {
+    let phy = Phy::dsss_11mbps();
+    println!("n_stations\tsuccess%\tcollision%\tidle%\tsim_agg_mbps\tbianchi_mbps\tp50_us\tp99_us");
+
+    for n in [1usize, 2, 4, 8] {
+        let mut sim = WlanSim::new(phy.clone(), 0xA1%7 + n as u64);
+        let stations: Vec<_> = (0..n)
+            .map(|_| sim.add_station(saturated_source(1500, 4000 / n)))
+            .collect();
+        let out = sim.run(Time::MAX);
+        let horizon = out.last_done;
+        let ch = out.channel;
+
+        let total = horizon.as_secs_f64();
+        let success = ch.success_time.as_secs_f64() / total * 100.0;
+        let collision = ch.collision_time.as_secs_f64() / total * 100.0;
+        let idle = 100.0 - success - collision;
+
+        let agg: f64 = stations
+            .iter()
+            .map(|&st| out.throughput_bps(st, horizon))
+            .sum();
+        let model = BianchiModel::solve(&phy, n, 1500);
+
+        // Streaming access-delay quantiles over all stations.
+        let mut p50 = P2Quantile::median();
+        let mut p99 = P2Quantile::new(0.99);
+        for &st in &stations {
+            for r in out.records(st) {
+                let us = r.access_delay().as_micros_f64();
+                p50.push(us);
+                p99.push(us);
+            }
+        }
+
+        println!(
+            "{n}\t{success:.1}\t{collision:.1}\t{idle:.1}\t{:.2}\t{:.2}\t{:.0}\t{:.0}",
+            agg / 1e6,
+            model.throughput_bps / 1e6,
+            p50.value(),
+            p99.value()
+        );
+    }
+
+    println!("\nas contention grows: idle backoff shrinks, collision airtime grows,");
+    println!("the sim agrees with Bianchi, and the access-delay tail (p99) stretches —");
+    println!("the very tail the paper's transient makes short probing trains miss.");
+}

@@ -1,0 +1,65 @@
+//! Multi-hop paths and packet-pair histogram modes: tools beyond the
+//! paper's single-hop scenario.
+//!
+//! Builds a three-hop wired path whose *tight* link (least available
+//! bandwidth) and *narrow* link (least capacity) differ, then shows
+//! which tool finds which, and how Dovrolis-style histogram-mode
+//! analysis recovers the capacity even when mean pair dispersion is
+//! biased.
+//!
+//! Run with: `cargo run --release --example multihop_and_modes`
+
+use csmaprobe::core::multihop::{Hop, WiredPath};
+use csmaprobe::probe::pair::PacketPairProbe;
+use csmaprobe::probe::slops::SlopsEstimator;
+use csmaprobe::probe::topp::ToppEstimator;
+
+fn main() {
+    let path = WiredPath::new(vec![
+        Hop::new(100e6, 10e6), // fast access link
+        Hop::new(10e6, 7e6),   // tight link: A = 3 Mb/s
+        Hop::new(8e6, 1e6),    // narrow link: C = 8 Mb/s, A = 7 Mb/s
+    ]);
+    println!(
+        "path: narrow-link C = {:.1} Mb/s, tight-link A = {:.1} Mb/s",
+        path.capacity_bps() / 1e6,
+        path.available_bps() / 1e6
+    );
+
+    // Available-bandwidth tools find the TIGHT link.
+    let slops = SlopsEstimator {
+        n: 250,
+        reps: 6,
+        ..Default::default()
+    }
+    .run(&path, 1);
+    println!("\nSLoPS-style estimate: {:.2} Mb/s (tight link)", slops.estimate_bps / 1e6);
+
+    if let Some(topp) = ToppEstimator::default().run(&path, 2) {
+        println!(
+            "TOPP: A = {:.2} Mb/s, asymptotic C = {:.2} Mb/s",
+            topp.available_bps / 1e6,
+            topp.capacity_bps / 1e6
+        );
+    }
+
+    // Capacity tools find the NARROW link.
+    let pairs = PacketPairProbe::new(1500, 500).measure(&path, 3);
+    println!(
+        "\npacket pairs: mean {:.2} Mb/s, min-filter {:.2} Mb/s (narrow link)",
+        pairs.rate_from_mean_bps() / 1e6,
+        pairs.rate_from_min_bps() / 1e6
+    );
+    let modes = pairs.rate_modes_bps(40);
+    println!(
+        "histogram modes (strongest first): {:?} Mb/s",
+        modes
+            .iter()
+            .take(3)
+            .map(|m| (m / 1e5).round() / 10.0)
+            .collect::<Vec<_>>()
+    );
+    println!("\nthe capacity mode survives cross-traffic that biases the mean —");
+    println!("and on a CSMA/CA link every one of these tools would report the");
+    println!("achievable throughput instead (see examples/wired_vs_wireless.rs).");
+}

@@ -1,0 +1,208 @@
+//! `csmaprobe` — command-line front end to the measurement library.
+//!
+//! Configure a simulated WLAN (or wired) link and run any of the
+//! bandwidth-measurement tools against it:
+//!
+//! ```text
+//! csmaprobe capacity  [--bytes 1500]
+//! csmaprobe steady    --rate 5.0 [link options]
+//! csmaprobe train     --rate 5.0 --n 50 --reps 200 [link options]
+//! csmaprobe pair      --pairs 300 [link options]
+//! csmaprobe slops     [link options]
+//! csmaprobe topp      [link options]
+//! csmaprobe chirp     [link options]
+//! csmaprobe transient --rate 5.0 --n 300 --reps 1000 [link options]
+//!
+//! link options:
+//!   --cross <Mb/s>       contending Poisson cross-traffic (repeatable)
+//!   --fifo-cross <Mb/s>  FIFO cross-traffic sharing the probe queue
+//!   --wired <C Mb/s>     use a wired FIFO link of this capacity instead
+//!   --seed <u64>         master seed (default 0xC5AA)
+//! ```
+//!
+//! All rates are Mb/s on the command line; output is plain text.
+
+use csmaprobe::core::link::{LinkConfig, ProbeTarget, WiredLink, WlanLink};
+use csmaprobe::core::transient::TransientExperiment;
+use csmaprobe::desim::time::Dur;
+use csmaprobe::mac::measured_standalone_capacity_bps;
+use csmaprobe::phy::Phy;
+use csmaprobe::probe::chirp::ChirpProbe;
+use csmaprobe::probe::pair::PacketPairProbe;
+use csmaprobe::probe::slops::SlopsEstimator;
+use csmaprobe::probe::topp::ToppEstimator;
+use csmaprobe::probe::train::TrainProbe;
+use csmaprobe::traffic::probe::ProbeTrain;
+
+struct Args {
+    cmd: String,
+    cross_mbps: Vec<f64>,
+    fifo_cross_mbps: Option<f64>,
+    wired_mbps: Option<f64>,
+    rate_mbps: f64,
+    n: usize,
+    reps: usize,
+    pairs: usize,
+    bytes: u32,
+    seed: u64,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: csmaprobe <capacity|steady|train|pair|slops|topp|chirp|transient> \
+         [--cross M]... [--fifo-cross M] [--wired C] [--rate M] [--n N] \
+         [--reps R] [--pairs P] [--bytes B] [--seed S]"
+    );
+    std::process::exit(2);
+}
+
+fn parse() -> Args {
+    let argv: Vec<String> = std::env::args().collect();
+    if argv.len() < 2 {
+        usage();
+    }
+    let mut args = Args {
+        cmd: argv[1].clone(),
+        cross_mbps: Vec::new(),
+        fifo_cross_mbps: None,
+        wired_mbps: None,
+        rate_mbps: 5.0,
+        n: 50,
+        reps: 200,
+        pairs: 300,
+        bytes: 1500,
+        seed: 0xC5AA,
+    };
+    let mut i = 2;
+    while i < argv.len() {
+        let need = |i: usize| -> &str {
+            argv.get(i + 1).map(|s| s.as_str()).unwrap_or_else(|| usage())
+        };
+        match argv[i].as_str() {
+            "--cross" => args.cross_mbps.push(need(i).parse().unwrap_or_else(|_| usage())),
+            "--fifo-cross" => args.fifo_cross_mbps = Some(need(i).parse().unwrap_or_else(|_| usage())),
+            "--wired" => args.wired_mbps = Some(need(i).parse().unwrap_or_else(|_| usage())),
+            "--rate" => args.rate_mbps = need(i).parse().unwrap_or_else(|_| usage()),
+            "--n" => args.n = need(i).parse().unwrap_or_else(|_| usage()),
+            "--reps" => args.reps = need(i).parse().unwrap_or_else(|_| usage()),
+            "--pairs" => args.pairs = need(i).parse().unwrap_or_else(|_| usage()),
+            "--bytes" => args.bytes = need(i).parse().unwrap_or_else(|_| usage()),
+            "--seed" => args.seed = need(i).parse().unwrap_or_else(|_| usage()),
+            _ => usage(),
+        }
+        i += 2;
+    }
+    args
+}
+
+fn build_wlan(args: &Args) -> WlanLink {
+    let mut cfg = LinkConfig::default().probe_bytes(args.bytes);
+    for &c in &args.cross_mbps {
+        cfg = cfg.contending_bps(c * 1e6);
+    }
+    if let Some(f) = args.fifo_cross_mbps {
+        cfg = cfg.fifo_cross_bps(f * 1e6);
+    }
+    WlanLink::new(cfg)
+}
+
+fn target(args: &Args) -> Box<dyn ProbeTarget> {
+    match args.wired_mbps {
+        Some(c) => {
+            let cross = args.cross_mbps.iter().sum::<f64>() * 1e6;
+            Box::new(WiredLink::new(c * 1e6, cross))
+        }
+        None => Box::new(build_wlan(args)),
+    }
+}
+
+fn main() {
+    let args = parse();
+    match args.cmd.as_str() {
+        "capacity" => {
+            let c = measured_standalone_capacity_bps(&Phy::dsss_11mbps(), args.bytes, 3000, args.seed);
+            println!(
+                "stand-alone DCF capacity ({}B frames): {:.3} Mb/s",
+                args.bytes,
+                c / 1e6
+            );
+        }
+        "steady" => {
+            let link = build_wlan(&args);
+            let pt = link.steady_state(args.rate_mbps * 1e6, Dur::from_secs(8), args.seed);
+            println!("input rate:   {:.3} Mb/s", pt.input_rate_bps / 1e6);
+            println!("probe output: {:.3} Mb/s", pt.output_rate_bps / 1e6);
+            for (k, c) in pt.contending_bps.iter().enumerate() {
+                println!("contender {k}:  {:.3} Mb/s", c / 1e6);
+            }
+            if pt.fifo_cross_bps > 0.0 {
+                println!("fifo cross:   {:.3} Mb/s", pt.fifo_cross_bps / 1e6);
+            }
+        }
+        "train" => {
+            let t = target(&args);
+            let m = TrainProbe::new(args.n, args.bytes, args.rate_mbps * 1e6)
+                .measure(t.as_ref(), args.reps, args.seed);
+            println!(
+                "{}-packet trains at {:.2} Mb/s over {} reps:",
+                args.n, args.rate_mbps, args.reps
+            );
+            println!("E[gO]   = {:.6} ms (95% ±{:.6})", m.mean_output_gap_s() * 1e3, m.gap_ci95_s() * 1e3);
+            println!("L/E[gO] = {:.3} Mb/s", m.output_rate_bps() / 1e6);
+        }
+        "pair" => {
+            let t = target(&args);
+            let m = PacketPairProbe::new(args.bytes, args.pairs).measure(t.as_ref(), args.seed);
+            println!("packet pairs ({}):", args.pairs);
+            println!("mean-dispersion rate:   {:.3} Mb/s", m.rate_from_mean_bps() / 1e6);
+            println!("median-dispersion rate: {:.3} Mb/s", m.rate_from_median_bps() / 1e6);
+            println!("min-dispersion rate:    {:.3} Mb/s", m.rate_from_min_bps() / 1e6);
+        }
+        "slops" => {
+            let t = target(&args);
+            let r = SlopsEstimator::default().run(t.as_ref(), args.seed);
+            println!("SLoPS-style estimate: {:.3} Mb/s", r.estimate_bps / 1e6);
+        }
+        "topp" => {
+            let t = target(&args);
+            match ToppEstimator::default().run(t.as_ref(), args.seed) {
+                Some(r) => {
+                    println!("TOPP available bandwidth: {:.3} Mb/s", r.available_bps / 1e6);
+                    println!("TOPP capacity:            {:.3} Mb/s", r.capacity_bps / 1e6);
+                }
+                None => println!("TOPP: no congestion within the probed range"),
+            }
+        }
+        "chirp" => {
+            let t = target(&args);
+            let r = ChirpProbe::default().measure(t.as_ref(), args.seed);
+            println!(
+                "chirp estimate: {:.3} Mb/s ({} chirps uncongested, {} fully congested)",
+                r.estimate_bps() / 1e6,
+                r.saturated_high,
+                r.saturated_low
+            );
+        }
+        "transient" => {
+            let exp = TransientExperiment {
+                link: build_wlan(&args),
+                train: ProbeTrain::from_rate(args.n, args.bytes, args.rate_mbps * 1e6),
+                reps: args.reps,
+                seed: args.seed,
+            };
+            let data = exp.run();
+            let steady = data.steady_mean(args.n / 2);
+            let profile = data.mean_profile();
+            println!("steady-state mean access delay: {:.4} ms", steady * 1e3);
+            println!("first-packet mean access delay: {:.4} ms", profile[0] * 1e3);
+            for tol in [0.1, 0.01] {
+                let est = data.transient_length(args.n / 2, tol);
+                println!(
+                    "transient length (rel. tol {tol}): {:?} packets",
+                    est.first_within.map(|i| i + 1)
+                );
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,159 @@
+//! Cross-crate integration: the WLAN link composition against the
+//! analytical models (Bianchi, rate-response equations) and the wired
+//! baseline.
+
+use csmaprobe::core::link::{LinkConfig, WiredLink, WlanLink};
+use csmaprobe::core::rate_response::{achievable_throughput, fifo_rate_response};
+use csmaprobe::desim::time::Dur;
+use csmaprobe::mac::{measured_standalone_capacity_bps, BianchiModel};
+use csmaprobe::phy::Phy;
+use csmaprobe::probe::train::TrainProbe;
+
+#[test]
+fn simulator_matches_bianchi_for_two_saturated_stations() {
+    // Sim: probe saturates against a saturated contender; both should
+    // get Bianchi's fair share.
+    let phy = Phy::dsss_11mbps();
+    let model = BianchiModel::solve(&phy, 2, 1500);
+    let link = WlanLink::new(LinkConfig::default().contending_bps(11e6));
+    let measured = TrainProbe::new(1500, 1500, 10.9e6)
+        .measure(&link, 6, 0xB1A)
+        .output_rate_bps();
+    let rel = (measured - model.fair_share_bps).abs() / model.fair_share_bps;
+    assert!(
+        rel < 0.08,
+        "sim fair share {measured:.0} vs Bianchi {:.0} ({rel:.3})",
+        model.fair_share_bps
+    );
+}
+
+#[test]
+fn wired_link_reproduces_eq1_over_the_sweep() {
+    let c = 10e6;
+    let cross = 4e6;
+    let link = WiredLink::new(c, cross);
+    for k in [1u64, 3, 5, 7, 9] {
+        let ri = k as f64 * 1e6;
+        let measured = TrainProbe::new(1500, 1500, ri)
+            .measure(&link, 6, 0xE41 + k)
+            .output_rate_bps();
+        let model = fifo_rate_response(ri, c, c - cross);
+        let rel = (measured - model).abs() / model;
+        assert!(
+            rel < 0.06,
+            "ri {ri}: measured {measured:.0} vs eq(1) {model:.0}"
+        );
+    }
+}
+
+#[test]
+fn complete_link_matches_eq4() {
+    // With FIFO cross-traffic in the probe's queue, eq (4) governs the
+    // saturated region: at high ri the probe squeezes the FIFO
+    // cross-traffic out and ro -> Bf·ri/(ri + u·Bf); at the knee the
+    // response passes through B = Bf(1 - u_fifo).
+    use csmaprobe::core::rate_response::complete_rate_response;
+    let contending = 3e6;
+    let fifo = 1.5e6;
+    let no_fifo = WlanLink::new(LinkConfig::default().contending_bps(contending));
+    let bf = TrainProbe::new(1200, 1500, 10e6)
+        .measure(&no_fifo, 6, 1)
+        .output_rate_bps();
+    let u_fifo = fifo / bf;
+    let with_fifo = WlanLink::new(
+        LinkConfig::default()
+            .contending_bps(contending)
+            .fifo_cross_bps(fifo),
+    );
+
+    // Saturated region: ri = 10 Mb/s.
+    let measured_hi = TrainProbe::new(1200, 1500, 10e6)
+        .measure(&with_fifo, 6, 2)
+        .output_rate_bps();
+    let model_hi = complete_rate_response(10e6, bf, u_fifo);
+    let rel = (measured_hi - model_hi).abs() / model_hi;
+    assert!(
+        rel < 0.1,
+        "ro(10M) measured {measured_hi:.0} vs eq(4) {model_hi:.0}"
+    );
+
+    // Knee: probing exactly at B = Bf(1-u) must still get through.
+    let b = achievable_throughput(bf, u_fifo);
+    let measured_b = TrainProbe::new(1200, 1500, b)
+        .measure(&with_fifo, 6, 3)
+        .output_rate_bps();
+    assert!(
+        (measured_b - b).abs() / b < 0.12,
+        "ro(B) measured {measured_b:.0} vs B {b:.0}"
+    );
+}
+
+#[test]
+fn capacity_consistent_across_methods() {
+    let phy = Phy::dsss_11mbps();
+    let analytic = phy.standalone_capacity_bps(1500);
+    let simulated = measured_standalone_capacity_bps(&phy, 1500, 2000, 3);
+    let bianchi = BianchiModel::solve(&phy, 1, 1500).throughput_bps;
+    for (name, v) in [("sim", simulated), ("bianchi", bianchi)] {
+        let rel = (v - analytic).abs() / analytic;
+        assert!(rel < 0.02, "{name}: {v:.0} vs analytic {analytic:.0}");
+    }
+}
+
+#[test]
+fn probing_below_fair_share_is_transparent() {
+    // An unsaturated probe flow must neither lose throughput nor harm
+    // an unsaturated contender.
+    let link = WlanLink::new(LinkConfig::default().contending_bps(2e6));
+    let pt = link.steady_state(2e6, Dur::from_secs(8), 5);
+    assert!((pt.output_rate_bps - 2e6).abs() / 2e6 < 0.05);
+    assert!((pt.contending_bps[0] - 2e6).abs() / 2e6 < 0.08);
+}
+
+#[test]
+fn heterogeneous_multistation_link_is_stable() {
+    use csmaprobe::core::link::CrossSpec;
+    // The Fig 9 mix must deliver every flow's offered load when the
+    // probe stays light.
+    let link = WlanLink::new(
+        LinkConfig::default()
+            .contending(CrossSpec::poisson_sized(100_000.0, 40))
+            .contending(CrossSpec::poisson_sized(500_000.0, 576))
+            .contending(CrossSpec::poisson_sized(750_000.0, 1000))
+            .contending(CrossSpec::poisson_sized(2_000_000.0, 1500)),
+    );
+    let pt = link.steady_state(0.3e6, Dur::from_secs(10), 7);
+    assert!((pt.output_rate_bps - 0.3e6).abs() / 0.3e6 < 0.1);
+    let offered = [0.1e6, 0.5e6, 0.75e6, 2.0e6];
+    for (k, &off) in offered.iter().enumerate() {
+        let got = pt.contending_bps[k];
+        assert!(
+            (got - off).abs() / off < 0.15,
+            "station {k}: {got:.0} vs offered {off:.0}"
+        );
+    }
+}
+
+#[test]
+fn wlan_identity_region_follows_input_not_fifo_eq() {
+    // At ri between A and B, eq (1) predicts deviation but the CSMA
+    // link must still deliver ro = ri (the paper's key Fig 1 contrast).
+    let cross = 4.5e6;
+    let link = WlanLink::new(LinkConfig::default().contending_bps(cross));
+    let c = measured_standalone_capacity_bps(&Phy::dsss_11mbps(), 1500, 2000, 9);
+    let a = c - cross; // ~1.7 Mb/s
+    let ri = 2.5e6; // between A and B
+    assert!(ri > a);
+    let measured = TrainProbe::new(800, 1500, ri)
+        .measure(&link, 8, 11)
+        .output_rate_bps();
+    assert!(
+        (measured - ri).abs() / ri < 0.06,
+        "ro {measured:.0} should equal ri {ri:.0} past A"
+    );
+    let fifo_prediction = fifo_rate_response(ri, c, a);
+    assert!(
+        measured > 1.05 * fifo_prediction,
+        "CSMA response {measured:.0} must exceed the FIFO-model {fifo_prediction:.0}"
+    );
+}

@@ -1,0 +1,201 @@
+//! Exact validation of the §5 sample-path framework against the
+//! trace-driven FIFO simulator: the intrusion-residual recursion
+//! (eq 14) and the delay decomposition (eq 15) must hold *exactly*
+//! (integer-nanosecond arithmetic) on real queue sample paths, not
+//! just on synthetic series.
+
+use csmaprobe::core::sample_path::{intrusion_residuals, total_delays};
+use csmaprobe::desim::rng::SimRng;
+use csmaprobe::desim::time::{Dur, Time};
+use csmaprobe::queueing::trace_sim::{merge_arrivals, simulate, FlowTag, TaggedJob};
+use csmaprobe::traffic::{PoissonSource, SizeModel, Source};
+
+/// Build a probe+cross trace, serve it, and return everything the
+/// framework needs.
+struct Scenario {
+    /// Merged, served outcome.
+    outcome: csmaprobe::queueing::trace_sim::TraceOutcome,
+    /// The merged arrival sequence (aligned with outcome.served).
+    jobs: Vec<TaggedJob>,
+}
+
+fn build(probe_n: usize, g_i: Dur, probe_service: Dur, cross_bps: f64, seed: u64) -> Scenario {
+    let start = Time::from_millis(200);
+    let probe: Vec<TaggedJob> = (0..probe_n)
+        .map(|i| TaggedJob {
+            arrival: start + g_i * i as u64,
+            tag: FlowTag::Probe,
+            bytes: 1500,
+        })
+        .collect();
+    let horizon = start + g_i * probe_n as u64 + Dur::from_secs(2);
+    let mut rng = SimRng::new(seed);
+    let mut src = PoissonSource::from_bitrate(
+        cross_bps,
+        SizeModel::Fixed(1500),
+        Time::ZERO,
+        horizon,
+    );
+    let mut cross = Vec::new();
+    while let Some(p) = src.next_packet(&mut rng) {
+        cross.push(TaggedJob {
+            arrival: p.time,
+            tag: FlowTag::Cross,
+            bytes: p.bytes,
+        });
+    }
+    let jobs = merge_arrivals(&probe, &cross);
+    // Service: probe packets take `probe_service`; cross packets take a
+    // size-proportional wire time at 10 Mb/s.
+    let services: Vec<Dur> = jobs
+        .iter()
+        .map(|j| match j.tag {
+            FlowTag::Probe => probe_service,
+            FlowTag::Cross => Dur::from_secs_f64(j.bytes as f64 * 8.0 / 10e6),
+        })
+        .collect();
+    let outcome = simulate(&jobs, move |i, _| services[i]);
+    Scenario { outcome, jobs }
+}
+
+impl Scenario {
+    /// Probe indices into the merged arrays.
+    fn probe_idx(&self) -> Vec<usize> {
+        self.jobs
+            .iter()
+            .enumerate()
+            .filter(|(_, j)| j.tag == FlowTag::Probe)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Actual probe-work residual `R_i` at each probe arrival: the
+    /// remaining service of earlier probe packets still in the system.
+    fn actual_residuals(&self) -> Vec<f64> {
+        let idx = self.probe_idx();
+        idx.iter()
+            .map(|&i| {
+                let a_i = self.jobs[i].arrival;
+                let mut ns: u64 = 0;
+                for (&j, s) in idx.iter().zip(idx.iter().map(|&j| &self.outcome.served[j])) {
+                    if j >= i {
+                        break;
+                    }
+                    let served = s;
+                    if served.depart > a_i {
+                        // Remaining service: full if not started, else
+                        // the part after a_i.
+                        let rem_start = served.start.max(a_i);
+                        ns += (served.depart - rem_start).as_nanos();
+                    }
+                }
+                ns as f64 / 1e9
+            })
+            .collect()
+    }
+
+    /// Cross-traffic busy time of the server within `(from, to]`,
+    /// as a fraction of the window.
+    fn cross_utilisation(&self, from: Time, to: Time) -> f64 {
+        let mut ns = 0u64;
+        for (j, served) in self.jobs.iter().zip(&self.outcome.served) {
+            if j.tag != FlowTag::Cross {
+                continue;
+            }
+            if served.depart <= from || served.start >= to {
+                continue;
+            }
+            let s = served.start.max(from);
+            let e = served.depart.min(to);
+            ns += (e - s).as_nanos();
+        }
+        ns as f64 / (to - from).as_nanos() as f64
+    }
+
+    /// Cross-traffic workload (remaining cross service) at `t⁻`.
+    fn cross_workload_at(&self, t: Time) -> f64 {
+        let mut ns = 0u64;
+        for (j, served) in self.jobs.iter().zip(&self.outcome.served) {
+            if j.tag != FlowTag::Cross || j.arrival >= t {
+                continue;
+            }
+            if served.depart > t {
+                let rem_start = served.start.max(t);
+                ns += (served.depart - rem_start).as_nanos();
+            }
+        }
+        ns as f64 / 1e9
+    }
+}
+
+fn validate_eq14_and_eq15(probe_n: usize, g_i_us: u64, service_us: u64, cross_bps: f64, seed: u64) {
+    let g_i = Dur::from_micros(g_i_us);
+    let service = Dur::from_micros(service_us);
+    let sc = build(probe_n, g_i, service, cross_bps, seed);
+    let idx = sc.probe_idx();
+    assert_eq!(idx.len(), probe_n);
+
+    // μ_i: the probe service times (constant here); the "access delay"
+    // of the wired framework is pure service.
+    let mu = vec![service.as_secs_f64(); probe_n];
+
+    // Per-gap cross utilisation u_fifo(a_{i}, a_{i+1}).
+    let u: Vec<f64> = (1..probe_n)
+        .map(|k| {
+            let from = sc.jobs[idx[k - 1]].arrival;
+            let to = sc.jobs[idx[k]].arrival;
+            sc.cross_utilisation(from, to)
+        })
+        .collect();
+
+    // eq (14) must match the actual probe-work residual exactly.
+    let predicted = intrusion_residuals(g_i.as_secs_f64(), &mu, &u);
+    let actual = sc.actual_residuals();
+    for (k, (p, a)) in predicted.iter().zip(&actual).enumerate() {
+        assert!(
+            (p - a).abs() < 1e-9,
+            "R_{k}: eq(14) {p:.9} vs actual {a:.9} (gI={g_i_us}us cross={cross_bps})"
+        );
+    }
+
+    // eq (15): Z_i = μ_i + R_i + W(a_i) must equal the measured sojourn.
+    let w: Vec<f64> = idx
+        .iter()
+        .map(|&i| sc.cross_workload_at(sc.jobs[i].arrival))
+        .collect();
+    let z = total_delays(&mu, &predicted, &w);
+    for (k, &i) in idx.iter().enumerate() {
+        let sojourn = sc.outcome.served[i].sojourn().as_secs_f64();
+        assert!(
+            (z[k] - sojourn).abs() < 1e-9,
+            "Z_{k}: eq(15) {:.9} vs measured {sojourn:.9}",
+            z[k]
+        );
+    }
+}
+
+#[test]
+fn eq14_eq15_exact_without_cross_traffic() {
+    // Fast probing, no cross: residuals accumulate deterministically.
+    validate_eq14_and_eq15(50, 800, 1200, 0.0, 1);
+    // Slow probing, no cross: residuals all zero.
+    validate_eq14_and_eq15(50, 5_000, 1200, 0.0, 2);
+}
+
+#[test]
+fn eq14_eq15_exact_with_light_cross_traffic() {
+    validate_eq14_and_eq15(80, 2_000, 1200, 2e6, 3);
+}
+
+#[test]
+fn eq14_eq15_exact_with_heavy_cross_traffic() {
+    // ρ_cross = 0.6 plus probe work: queue rarely empties.
+    validate_eq14_and_eq15(80, 2_000, 1200, 6e6, 4);
+    validate_eq14_and_eq15(120, 1_400, 1000, 7e6, 5);
+}
+
+#[test]
+fn eq14_eq15_exact_at_probe_saturation() {
+    // gI < μ: the probe alone overloads the hop.
+    validate_eq14_and_eq15(60, 900, 1500, 3e6, 6);
+}

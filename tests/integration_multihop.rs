@@ -1,0 +1,108 @@
+//! Integration: measurement tools over multi-hop wired paths and the
+//! OFDM PHY — coverage beyond the paper's single-hop 802.11b scope.
+
+use csmaprobe::core::multihop::{Hop, WiredPath};
+use csmaprobe::mac::{measured_standalone_capacity_bps, BianchiModel};
+use csmaprobe::phy::Phy;
+use csmaprobe::probe::pair::PacketPairProbe;
+use csmaprobe::probe::slops::SlopsEstimator;
+use csmaprobe::probe::train::TrainProbe;
+
+#[test]
+fn slops_finds_tight_link_on_multihop_path() {
+    // Tight link is hop 2 (A = 3 Mb/s); the narrow link is hop 3
+    // (C = 8 Mb/s) — they differ, and the tool must find the tight one.
+    let path = WiredPath::new(vec![
+        Hop::new(100e6, 10e6),
+        Hop::new(10e6, 7e6), // A = 3 Mb/s  <-- tight
+        Hop::new(8e6, 1e6),  // A = 7 Mb/s, C = 8 (narrow)
+    ]);
+    assert_eq!(path.available_bps(), 3e6);
+    let est = SlopsEstimator {
+        n: 250,
+        reps: 6,
+        ..Default::default()
+    };
+    let r = est.run(&path, 41);
+    assert!(
+        (2.3e6..3.8e6).contains(&r.estimate_bps),
+        "tight-link estimate {:.0}",
+        r.estimate_bps
+    );
+}
+
+#[test]
+fn packet_pair_finds_narrow_link_on_multihop_path() {
+    let path = WiredPath::new(vec![
+        Hop::new(100e6, 0.0),
+        Hop::new(8e6, 0.0), // narrow
+        Hop::new(50e6, 0.0),
+    ]);
+    let m = PacketPairProbe::new(1500, 50).measure(&path, 43);
+    let c = m.rate_from_min_bps();
+    assert!((c - 8e6).abs() / 8e6 < 0.01, "narrow-link estimate {c:.0}");
+}
+
+#[test]
+fn long_trains_respect_fluid_composition() {
+    // Through two congested hops, the end-to-end long-train response is
+    // bounded by the per-hop fluid responses composed in sequence.
+    use csmaprobe::core::rate_response::fifo_rate_response;
+    let path = WiredPath::new(vec![Hop::new(10e6, 4e6), Hop::new(10e6, 4e6)]);
+    let ri = 8e6;
+    let ro = TrainProbe::new(1200, 1500, ri)
+        .measure(&path, 8, 45)
+        .output_rate_bps();
+    // One-hop fluid value, then fed into the second hop.
+    let after_one = fifo_rate_response(ri, 10e6, 6e6);
+    let after_two = fifo_rate_response(after_one, 10e6, 6e6);
+    assert!(
+        ro <= after_one * 1.03,
+        "two hops cannot beat one: {ro:.0} vs {after_one:.0}"
+    );
+    assert!(
+        ro >= after_two * 0.9,
+        "composition lower bound: {ro:.0} vs {after_two:.0}"
+    );
+}
+
+#[test]
+fn ofdm_saturation_matches_bianchi() {
+    // 802.11g at 54 Mb/s: the classic ~50% MAC efficiency result, and
+    // the simulator must agree with Bianchi's model there too.
+    let phy = Phy::ofdm_g(54_000_000);
+    let sim_c = measured_standalone_capacity_bps(&phy, 1500, 3000, 47);
+    let model = BianchiModel::solve(&phy, 1, 1500);
+    let rel = (sim_c - model.throughput_bps).abs() / model.throughput_bps;
+    assert!(
+        rel < 0.02,
+        "sim {sim_c:.0} vs Bianchi {:.0}",
+        model.throughput_bps
+    );
+    // Classic ballpark: 1500-byte UDP over 54 Mb/s OFDM ≈ 26-32 Mb/s.
+    assert!(
+        (24e6..34e6).contains(&sim_c),
+        "OFDM capacity {sim_c:.0} out of the classic band"
+    );
+}
+
+#[test]
+fn ofdm_two_station_fairness() {
+    use csmaprobe::desim::time::Time;
+    use csmaprobe::mac::{saturated_source, WlanSim};
+    let mut sim = WlanSim::new(Phy::ofdm_g(54_000_000), 49);
+    let a = sim.add_station(saturated_source(1500, 2000));
+    let b = sim.add_station(saturated_source(1500, 2000));
+    let out = sim.run(Time::MAX);
+    let horizon = out
+        .records(a)
+        .last()
+        .unwrap()
+        .done
+        .min(out.records(b).last().unwrap().done);
+    let ta = out.throughput_bps(a, horizon);
+    let tb = out.throughput_bps(b, horizon);
+    assert!((ta - tb).abs() / (ta + tb) < 0.05, "{ta} vs {tb}");
+    // With CWmin 15 (vs 31 on 11b), collisions are more frequent.
+    assert!(out.collisions > 0);
+}

@@ -1,0 +1,145 @@
+//! Cross-crate integration: the transient phenomenon end to end — MAC
+//! simulator → transient experiment → statistics → measurement bias →
+//! MSER correction.
+
+use csmaprobe::core::link::{LinkConfig, WlanLink};
+use csmaprobe::core::bounds::{achievable_throughput_transient, dispersion_bounds};
+use csmaprobe::core::transient::TransientExperiment;
+use csmaprobe::probe::mser::MserProbe;
+use csmaprobe::probe::train::TrainProbe;
+use csmaprobe::traffic::probe::ProbeTrain;
+
+fn paper_link() -> WlanLink {
+    WlanLink::new(LinkConfig::default().contending_bps(4.5e6))
+}
+
+#[test]
+fn transient_exists_and_is_bounded() {
+    let exp = TransientExperiment {
+        link: paper_link(),
+        train: ProbeTrain::from_rate(300, 1500, 6e6),
+        reps: 600,
+        seed: 0x7A1,
+    };
+    let data = exp.run();
+    let profile = data.mean_profile();
+    let steady = data.steady_mean(150);
+    // First packet accelerated; transient over within 150 packets at
+    // 0.1 tolerance (the paper's §4.1 bound).
+    assert!(profile[0] < 0.9 * steady);
+    let est = data.transient_length(150, 0.1);
+    let len = est.first_within.expect("transient must converge");
+    assert!(len <= 150, "transient length {len}");
+}
+
+#[test]
+fn transient_longest_near_fair_share() {
+    // §4: "the transitory is maximum when either probing and/or
+    // contending traffic are exactly sending at their fair-share".
+    // Compare a light-load and a near-fair-share cross load.
+    let mk = |cross_bps: f64| {
+        let exp = TransientExperiment {
+            link: WlanLink::new(LinkConfig::default().contending_bps(cross_bps)),
+            train: ProbeTrain::from_rate(300, 1500, 6.2e6),
+            reps: 700,
+            seed: 0x7A2,
+        };
+        let data = exp.run();
+        data.transient_length(150, 0.05)
+            .first_within
+            .unwrap_or(300)
+    };
+    let light = mk(0.6e6);
+    let near_share = mk(3.1e6);
+    assert!(
+        near_share >= light,
+        "near fair share {near_share} pkts should be >= light load {light} pkts"
+    );
+}
+
+#[test]
+fn short_train_bias_matches_eq31() {
+    // The dispersion-inferred rate of an n-packet train at saturating
+    // input equals eq (31)'s transient-aware achievable throughput.
+    let link = paper_link();
+    let n = 12;
+    let m = TrainProbe::new(n, 1500, 10e6).measure(&link, 700, 0x7A3);
+    let e_mu = m.mean_mu_profile();
+    let b_eq31 = achievable_throughput_transient(&e_mu, 1500, 0.0);
+    let measured = m.output_rate_bps();
+    // At saturating rate the queue never drains: E[gO] =
+    // (1/(n-1))·Σ_{i≥2} μ_i (eq 27), while eq (31) averages all n
+    // delays; both are within a few percent here.
+    let rel = (measured - b_eq31).abs() / b_eq31;
+    assert!(
+        rel < 0.1,
+        "measured {measured:.0} vs eq(31) {b_eq31:.0} ({rel:.3})"
+    );
+    // And both exceed the steady-state value (optimism).
+    let steady = TrainProbe::new(1000, 1500, 10e6)
+        .measure(&link, 6, 0x7A4)
+        .output_rate_bps();
+    assert!(measured > steady);
+}
+
+#[test]
+fn measured_dispersion_respects_eq27_exact_region() {
+    let link = paper_link();
+    let m = TrainProbe::new(20, 1500, 9e6).measure(&link, 500, 0x7A5);
+    let e_mu = m.mean_mu_profile();
+    let g_i = m.train.gap.as_secs_f64();
+    let b = dispersion_bounds(&e_mu, g_i, 0.0);
+    let exact = b.exact.expect("9 Mb/s is deep in the saturated region");
+    let go = m.mean_output_gap_s();
+    assert!(
+        (go - exact).abs() / exact < 0.05,
+        "E[gO] {go:.6} vs eq(27) {exact:.6}"
+    );
+}
+
+#[test]
+fn mser_correction_reduces_bias_on_wired_links_too() {
+    // §7.4: "this method not only improves measurements in wireless
+    // scenarios but also in wired ones". The FIFO queue has its own
+    // warm-up (underestimation from an initially empty queue).
+    use csmaprobe::core::link::WiredLink;
+    let link = WiredLink::new(10e6, 6e6); // A = 4 Mb/s
+    let ri = 7e6; // above A: queue builds during the train
+    let steady = TrainProbe::new(1500, 1500, ri)
+        .measure(&link, 8, 0x7A6)
+        .output_rate_bps();
+    let short = MserProbe::new(20, 1500, ri, 2).measure(&link, 600, 0x7A7);
+    let raw_err = (short.raw_rate_bps() - steady).abs();
+    let cor_err = (short.corrected_rate_bps() - steady).abs();
+    assert!(
+        cor_err <= raw_err,
+        "wired: raw {:.0} corrected {:.0} steady {steady:.0}",
+        short.raw_rate_bps(),
+        short.corrected_rate_bps()
+    );
+}
+
+#[test]
+fn no_transient_when_system_starts_empty_or_backlogged() {
+    // §4: "the transient-state is present whenever the system is not
+    // empty, nor in backlog when the probing flow starts". With no
+    // cross-traffic at all, the per-index delay profile is flat.
+    let exp = TransientExperiment {
+        link: WlanLink::new(LinkConfig::default()),
+        train: ProbeTrain::from_rate(100, 1500, 6.5e6),
+        reps: 400,
+        seed: 0x7A8,
+    };
+    let data = exp.run();
+    let profile = data.mean_profile();
+    let steady = data.steady_mean(50);
+    // All indices (even the first ones, backoff aside) within a few
+    // percent of the steady mean: first packet has no backoff so it is
+    // *slightly* faster; exclude it and require flatness from #2 on.
+    for (i, mu) in profile.iter().enumerate().skip(1) {
+        assert!(
+            (mu - steady).abs() / steady < 0.06,
+            "index {i}: {mu} vs {steady}"
+        );
+    }
+}
