@@ -1,4 +1,4 @@
-//! Criterion benchmarks of the figure-regeneration pipelines at micro
+//! Benchmarks (criterion-style, on the in-tree `bench_support` harness) of the figure-regeneration pipelines at micro
 //! scale — one group per table/figure of the paper, so `cargo bench`
 //! exercises every experiment end to end and reports how its cost
 //! scales.
@@ -6,7 +6,8 @@
 //! (`scale = 0.05` keeps each iteration fast; absolute experiment
 //! numbers come from the `all_figures` binary, not from here.)
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use csmaprobe_bench::bench_support::Criterion;
+use csmaprobe_bench::{criterion_group, criterion_main};
 use csmaprobe_bench::figures;
 use csmaprobe_bench::report::FigureReport;
 

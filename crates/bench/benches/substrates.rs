@@ -1,8 +1,9 @@
-//! Criterion benchmarks of the substrate crates: the DCF simulator,
+//! Benchmarks (criterion-style, on the in-tree `bench_support` harness) of the substrate crates: the DCF simulator,
 //! the Lindley FIFO queue, and the statistics kernels. These measure
 //! the cost of the machinery every experiment is built from.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use csmaprobe_bench::bench_support::{BatchSize, Criterion};
+use csmaprobe_bench::{criterion_group, criterion_main};
 use csmaprobe_desim::rng::SimRng;
 use csmaprobe_desim::time::{Dur, Time};
 use csmaprobe_mac::{saturated_source, WlanSim};

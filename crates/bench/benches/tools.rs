@@ -1,8 +1,9 @@
-//! Criterion benchmarks of the measurement tools: what one full
+//! Benchmarks (criterion-style, on the in-tree `bench_support` harness) of the measurement tools: what one full
 //! measurement costs (probe trains, packet pairs, MSER correction, and
 //! the iterative available-bandwidth search).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use csmaprobe_bench::bench_support::Criterion;
+use csmaprobe_bench::{criterion_group, criterion_main};
 use csmaprobe_core::link::{LinkConfig, WiredLink, WlanLink};
 use csmaprobe_probe::mser::MserProbe;
 use csmaprobe_probe::pair::PacketPairProbe;

@@ -1,0 +1,230 @@
+//! A minimal stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no network access to a crates registry, so
+//! the three bench targets under `benches/` run as plain binaries
+//! (`harness = false`) on this module instead. The API mirrors the
+//! subset of criterion they use — [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_function`], [`Bencher::iter`],
+//! [`Bencher::iter_batched`] — so swapping a real criterion dependency
+//! back in is a one-line `use` change per bench file.
+//!
+//! Reporting is deliberately simple: each benchmark prints
+//! `group/name  min  median  mean` wall-clock times over `sample_size`
+//! samples, where each sample is one invocation of the measured closure.
+
+use std::hint::black_box as bb;
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` should treat its per-iteration setup output.
+/// Only present for API compatibility; both variants behave the same.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Setup output is small.
+    SmallInput,
+    /// Setup output is large.
+    LargeInput,
+}
+
+/// Entry point object handed to every benchmark function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    results: Vec<Record>,
+}
+
+#[derive(Debug)]
+struct Record {
+    name: String,
+    min: Duration,
+    median: Duration,
+    mean: Duration,
+}
+
+impl Criterion {
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+            sample_size: 10,
+        }
+    }
+
+    /// Print the collected results as an aligned table.
+    pub fn summary(&self) {
+        let width = self
+            .results
+            .iter()
+            .map(|r| r.name.len())
+            .max()
+            .unwrap_or(0)
+            .max(9);
+        println!();
+        println!(
+            "{:<width$}  {:>12}  {:>12}  {:>12}",
+            "benchmark", "min", "median", "mean"
+        );
+        for r in &self.results {
+            println!(
+                "{:<width$}  {:>12}  {:>12}  {:>12}",
+                r.name,
+                fmt_dur(r.min),
+                fmt_dur(r.median),
+                fmt_dur(r.mean)
+            );
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark (default 10).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Time `f` over `sample_size` samples and record the result.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut samples = Vec::with_capacity(self.sample_size);
+        // One untimed warm-up pass populates caches and lazy statics.
+        let mut b = Bencher { elapsed: Duration::ZERO };
+        f(&mut b);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher { elapsed: Duration::ZERO };
+            f(&mut b);
+            samples.push(b.elapsed);
+        }
+        samples.sort();
+        let min = samples[0];
+        let median = samples[samples.len() / 2];
+        let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+        let full = format!("{}/{}", self.name, id);
+        eprintln!(
+            "bench {full}: min {} median {} mean {} ({} samples)",
+            fmt_dur(min),
+            fmt_dur(median),
+            fmt_dur(mean),
+            samples.len()
+        );
+        self.parent.results.push(Record {
+            name: full,
+            min,
+            median,
+            mean,
+        });
+        self
+    }
+
+    /// End the group (no-op; present for criterion API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; accumulates measured time.
+pub struct Bencher {
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Measure one invocation of `f`.
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        let t0 = Instant::now();
+        bb(f());
+        self.elapsed += t0.elapsed();
+    }
+
+    /// Measure one invocation of `routine` on a fresh `setup()` output,
+    /// excluding the setup cost from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        let t0 = Instant::now();
+        bb(routine(input));
+        self.elapsed += t0.elapsed();
+    }
+}
+
+fn fmt_dur(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", d.as_secs_f64())
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Bundle benchmark functions into a single group runner, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($f:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::bench_support::Criterion) {
+            $( $f(c); )+
+        }
+    };
+}
+
+/// Generate `fn main()` running the given groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::bench_support::Criterion::default();
+            $( $group(&mut c); )+
+            c.summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_named_result() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("grp");
+            g.sample_size(3);
+            g.bench_function("work", |b| b.iter(|| 1 + 1));
+            g.finish();
+        }
+        assert_eq!(c.results.len(), 1);
+        assert_eq!(c.results[0].name, "grp/work");
+        assert!(c.results[0].mean >= c.results[0].min);
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut b = Bencher { elapsed: Duration::ZERO };
+        b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::LargeInput);
+        assert!(b.elapsed < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn fmt_dur_picks_units() {
+        assert!(fmt_dur(Duration::from_nanos(5)).ends_with("ns"));
+        assert!(fmt_dur(Duration::from_micros(5)).contains("µs"));
+        assert!(fmt_dur(Duration::from_millis(5)).contains("ms"));
+        assert!(fmt_dur(Duration::from_secs(5)).ends_with(" s"));
+    }
+}

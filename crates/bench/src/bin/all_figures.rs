@@ -8,10 +8,13 @@
 use csmaprobe_bench::figures;
 use csmaprobe_bench::report::FigureReport;
 
+/// A named experiment: figure id plus its `run(scale, seed)` function.
+type FigureRun = (&'static str, fn(f64, u64) -> FigureReport);
+
 fn main() {
     let (scale, seed) = csmaprobe_bench::cli_options();
     eprintln!("running all experiments at scale {scale} (seed {seed})...");
-    let runs: Vec<(&str, fn(f64, u64) -> FigureReport)> = vec![
+    let runs: Vec<FigureRun> = vec![
         ("fig01", figures::fig01::run),
         ("fig04", figures::fig04::run),
         ("fig06", figures::fig06::run),
@@ -46,7 +49,7 @@ fn main() {
         reports.push(rep);
     }
 
-    let json = serde_json::to_string_pretty(&reports).expect("serialize reports");
+    let json = csmaprobe_bench::report::reports_to_json(&reports);
     std::fs::write("experiments.json", &json).expect("write experiments.json");
     let total: usize = reports.iter().map(|r| r.checks.len()).sum();
     let passed: usize = reports

@@ -49,8 +49,8 @@ pub fn run(scale: f64, seed: u64) -> FigureReport {
     let profile = data.mean_profile();
     let steady = data.steady_mean(100);
     rep.scalar("steady_mean_us", steady * 1e6);
-    for i in 0..60 {
-        rep.row(vec![(i + 1) as f64, profile[i] * 1e6]);
+    for (i, &mean_us) in profile.iter().take(60).enumerate() {
+        rep.row(vec![(i + 1) as f64, mean_us * 1e6]);
     }
 
     rep.check(

@@ -42,17 +42,12 @@ pub fn run(scale: f64, seed: u64) -> FigureReport {
     let queue_profile = data.queue_profile();
     let show = 100;
     let mut first_below: Option<usize> = None;
-    for i in 0..show {
+    for (i, &queued) in queue_profile.iter().take(show).enumerate() {
         let ks = two_sample_ks(data.delays.sample(i), &reference, 0.05);
         if first_below.is_none() && !ks.reject {
             first_below = Some(i + 1);
         }
-        rep.row(vec![
-            (i + 1) as f64,
-            ks.statistic,
-            ks.threshold,
-            queue_profile[i],
-        ]);
+        rep.row(vec![(i + 1) as f64, ks.statistic, ks.threshold, queued]);
     }
 
     rep.scalar(

@@ -12,34 +12,145 @@
 //! repetitions — `scale = 10.0` gets close at proportional runtime).
 //! Set via `--scale <f>` argv or the `SCALE` env var in the binaries.
 
+pub mod bench_support;
 pub mod figures;
 pub mod report;
 pub mod scenarios;
 
+/// Default master seed for every figure binary (overridable via
+/// `--seed` / `SEED`).
+pub const DEFAULT_SEED: u64 = 0xC5AA_2009;
+
+/// Default replication-budget multiplier.
+pub const DEFAULT_SCALE: f64 = 1.0;
+
+/// Smallest accepted scale; anything lower is clamped so every
+/// experiment still runs at least a handful of replications.
+pub const MIN_SCALE: f64 = 0.01;
+
 /// Parse the common `--scale`/`SCALE` and `--seed`/`SEED` knobs.
+///
+/// Precedence: argv beats environment beats default. Unparseable
+/// values fall back to the next source in that order (with a warning
+/// on stderr) rather than aborting the run.
 pub fn cli_options() -> (f64, u64) {
-    let mut scale: f64 = std::env::var("SCALE")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1.0);
-    let mut seed: u64 = std::env::var("SEED")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0xC5AA_2009);
     let args: Vec<String> = std::env::args().collect();
+    cli_options_from(
+        &args,
+        std::env::var("SCALE").ok().as_deref(),
+        std::env::var("SEED").ok().as_deref(),
+    )
+}
+
+/// Testable core of [`cli_options`]: same semantics, with argv and the
+/// `SCALE`/`SEED` environment values passed in explicitly.
+pub fn cli_options_from(args: &[String], env_scale: Option<&str>, env_seed: Option<&str>) -> (f64, u64) {
+    let mut scale: f64 = parse_or("SCALE", env_scale, DEFAULT_SCALE);
+    let mut seed: u64 = parse_or("SEED", env_seed, DEFAULT_SEED);
     let mut i = 1;
     while i + 1 < args.len() {
         match args[i].as_str() {
-            "--scale" => scale = args[i + 1].parse().expect("bad --scale"),
-            "--seed" => seed = args[i + 1].parse().expect("bad --seed"),
+            "--scale" => scale = parse_or("--scale", Some(&args[i + 1]), scale),
+            "--seed" => seed = parse_or("--seed", Some(&args[i + 1]), seed),
             _ => {}
         }
         i += 1;
     }
-    (scale.max(0.01), seed)
+    (scale.max(MIN_SCALE), seed)
+}
+
+/// Parse `value` if present, warning and falling back to `fallback` on
+/// a malformed string.
+fn parse_or<T: std::str::FromStr + Copy>(what: &str, value: Option<&str>, fallback: T) -> T {
+    match value {
+        None => fallback,
+        Some(s) => s.parse().unwrap_or_else(|_| {
+            eprintln!("warning: ignoring unparseable {what} value {s:?}");
+            fallback
+        }),
+    }
 }
 
 /// Scale a replication count, keeping at least `min`.
 pub fn scaled(base: usize, scale: f64, min: usize) -> usize {
     ((base as f64 * scale).round() as usize).max(min)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        std::iter::once("all_figures")
+            .chain(parts.iter().copied())
+            .map(String::from)
+            .collect()
+    }
+
+    #[test]
+    fn defaults_when_nothing_is_set() {
+        let (scale, seed) = cli_options_from(&argv(&[]), None, None);
+        assert_eq!(scale, DEFAULT_SCALE);
+        assert_eq!(seed, DEFAULT_SEED);
+    }
+
+    #[test]
+    fn env_overrides_defaults() {
+        let (scale, seed) = cli_options_from(&argv(&[]), Some("2.5"), Some("77"));
+        assert_eq!(scale, 2.5);
+        assert_eq!(seed, 77);
+    }
+
+    #[test]
+    fn argv_beats_env() {
+        let args = argv(&["--scale", "4.0", "--seed", "123"]);
+        let (scale, seed) = cli_options_from(&args, Some("2.5"), Some("77"));
+        assert_eq!(scale, 4.0);
+        assert_eq!(seed, 123);
+    }
+
+    #[test]
+    fn argv_knobs_are_independent() {
+        let args = argv(&["--seed", "9"]);
+        let (scale, seed) = cli_options_from(&args, Some("3.0"), None);
+        assert_eq!(scale, 3.0, "env scale survives a seed-only argv");
+        assert_eq!(seed, 9);
+    }
+
+    #[test]
+    fn bad_env_falls_back_to_default() {
+        let (scale, seed) = cli_options_from(&argv(&[]), Some("fast"), Some("0x12"));
+        assert_eq!(scale, DEFAULT_SCALE);
+        assert_eq!(seed, DEFAULT_SEED, "hex strings are not accepted");
+    }
+
+    #[test]
+    fn bad_argv_falls_back_to_env_then_default() {
+        let args = argv(&["--scale", "huge", "--seed", "-1"]);
+        let (scale, seed) = cli_options_from(&args, Some("2.0"), None);
+        assert_eq!(scale, 2.0, "bad argv scale falls back to env");
+        assert_eq!(seed, DEFAULT_SEED, "negative seed falls back to default");
+    }
+
+    #[test]
+    fn scale_is_clamped_to_minimum() {
+        let (scale, _) = cli_options_from(&argv(&["--scale", "0.0001"]), None, None);
+        assert_eq!(scale, MIN_SCALE);
+        let (scale, _) = cli_options_from(&argv(&["--scale", "-3"]), None, None);
+        assert_eq!(scale, MIN_SCALE);
+    }
+
+    #[test]
+    fn trailing_flag_without_value_is_ignored() {
+        let (scale, seed) = cli_options_from(&argv(&["--seed"]), None, None);
+        assert_eq!(scale, DEFAULT_SCALE);
+        assert_eq!(seed, DEFAULT_SEED);
+    }
+
+    #[test]
+    fn scaled_applies_floor() {
+        assert_eq!(scaled(1000, 0.5, 10), 500);
+        assert_eq!(scaled(1000, 0.001, 10), 10);
+        assert_eq!(scaled(7, 1.0, 1), 7);
+    }
 }

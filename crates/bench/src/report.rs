@@ -1,10 +1,9 @@
 //! Figure reports: the common output format of every experiment.
 
-use serde::Serialize;
 use std::fmt::Write as _;
 
 /// One qualitative reproduction check ("shape" assertion).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Check {
     /// Short name of the property checked.
     pub name: String,
@@ -15,7 +14,7 @@ pub struct Check {
 }
 
 /// The regenerated data behind one figure of the paper.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct FigureReport {
     /// Identifier, e.g. `"fig06"`.
     pub id: String,
@@ -101,6 +100,102 @@ impl FigureReport {
     pub fn print(&self) {
         print!("{}", self.render());
     }
+
+    /// Serialize to a JSON object (hand-rolled; the build environment has
+    /// no `serde`). Field names and layout match what a
+    /// `#[derive(Serialize)]` on this struct would produce.
+    pub fn to_json(&self) -> String {
+        let mut o = String::from("{");
+        let _ = write!(o, "\"id\":{}", json_str(&self.id));
+        let _ = write!(o, ",\"title\":{}", json_str(&self.title));
+        let _ = write!(
+            o,
+            ",\"paper_expectation\":{}",
+            json_str(&self.paper_expectation)
+        );
+        let cols: Vec<String> = self.columns.iter().map(|c| json_str(c)).collect();
+        let _ = write!(o, ",\"columns\":[{}]", cols.join(","));
+        let rows: Vec<String> = self
+            .rows
+            .iter()
+            .map(|r| {
+                let cells: Vec<String> = r.iter().map(|v| json_f64(*v)).collect();
+                format!("[{}]", cells.join(","))
+            })
+            .collect();
+        let _ = write!(o, ",\"rows\":[{}]", rows.join(","));
+        let scalars: Vec<String> = self
+            .scalars
+            .iter()
+            .map(|(name, v)| format!("[{},{}]", json_str(name), json_f64(*v)))
+            .collect();
+        let _ = write!(o, ",\"scalars\":[{}]", scalars.join(","));
+        let checks: Vec<String> = self
+            .checks
+            .iter()
+            .map(|c| {
+                format!(
+                    "{{\"name\":{},\"passed\":{},\"detail\":{}}}",
+                    json_str(&c.name),
+                    c.passed,
+                    json_str(&c.detail)
+                )
+            })
+            .collect();
+        let _ = write!(o, ",\"checks\":[{}]", checks.join(","));
+        o.push('}');
+        o
+    }
+}
+
+/// Serialize a slice of reports as a pretty-ish JSON array (one report
+/// object per line), suitable for `experiments.json`.
+pub fn reports_to_json(reports: &[FigureReport]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in reports.iter().enumerate() {
+        out.push_str("  ");
+        out.push_str(&r.to_json());
+        if i + 1 < reports.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push(']');
+    out.push('\n');
+    out
+}
+
+/// JSON string literal with the escapes required by RFC 8259.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// JSON number for an `f64`. JSON has no NaN/Infinity; encode them as
+/// null so the output always parses.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        // `{v:?}` round-trips f64 exactly and always includes a decimal
+        // point or exponent, so the value re-parses as a float.
+        format!("{v:?}")
+    } else {
+        "null".to_string()
+    }
 }
 
 #[cfg(test)]
@@ -134,8 +229,32 @@ mod tests {
     fn serializes_to_json() {
         let mut r = FigureReport::new("f", "t", "p", &["x"]);
         r.row(vec![4.25]);
-        let j = serde_json::to_string(&r).unwrap();
+        let j = r.to_json();
         assert!(j.contains("\"id\":\"f\""));
         assert!(j.contains("4.25"));
+    }
+
+    #[test]
+    fn json_escapes_and_non_finite() {
+        let mut r = FigureReport::new("f", "quote \" tab \t", "p", &["x"]);
+        r.row(vec![f64::NAN]);
+        r.check("c", true, "line\nbreak".into());
+        let j = r.to_json();
+        assert!(j.contains("quote \\\" tab \\t"));
+        assert!(j.contains("line\\nbreak"));
+        assert!(j.contains("null"));
+        assert!(!j.contains("NaN"));
+    }
+
+    #[test]
+    fn reports_array_is_wrapped_and_comma_separated() {
+        let a = FigureReport::new("a", "t", "p", &["x"]);
+        let b = FigureReport::new("b", "t", "p", &["x"]);
+        let j = reports_to_json(&[a, b]);
+        assert!(j.trim_start().starts_with('['));
+        assert!(j.trim_end().ends_with(']'));
+        assert!(j.contains("\"id\":\"a\""));
+        assert!(j.contains("\"id\":\"b\""));
+        assert_eq!(j.matches("},\n").count(), 1);
     }
 }

@@ -135,7 +135,7 @@ mod tests {
             link,
             train: ProbeTrain::from_rate(200, 1500, 5_000_000.0),
             reps: 400,
-            seed: 0xF16_06,
+            seed: 0xF1606,
         };
         let data = exp.run();
         let profile = data.mean_profile();
@@ -165,7 +165,7 @@ mod tests {
             link,
             train: ProbeTrain::from_rate(150, 1500, 8_000_000.0),
             reps: 300,
-            seed: 0xF16_08,
+            seed: 0xF1608,
         };
         let data = exp.run();
         let ks = data.ks_profile(75, 0.05);
@@ -184,7 +184,7 @@ mod tests {
             link,
             train: ProbeTrain::from_rate(150, 1500, 5_000_000.0),
             reps: 400,
-            seed: 0xF16_10,
+            seed: 0xF1610,
         };
         let data = exp.run();
         let est = data.transient_length(75, 0.1);
@@ -201,7 +201,7 @@ mod tests {
             link,
             train: ProbeTrain::from_rate(100, 1500, 8_000_000.0),
             reps: 150,
-            seed: 0xF16_12,
+            seed: 0xF1612,
         };
         let data = exp.run();
         let q = data.queue_profile();

@@ -25,5 +25,5 @@ pub mod rng;
 pub mod time;
 
 pub use event::EventQueue;
-pub use rng::{derive_seed, split_mix64, SimRng};
+pub use rng::{derive_seed, split_mix64, RngCore, SimRng};
 pub use time::{Dur, Time};

@@ -60,9 +60,9 @@ where
     let slots = Mutex::new(slots);
     let next = AtomicUsize::new(0);
 
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|_| {
+            scope.spawn(|| {
                 // Batch of locally-completed results to amortise locking.
                 let mut local: Vec<(usize, T)> = Vec::new();
                 loop {
@@ -86,8 +86,7 @@ where
                 }
             });
         }
-    })
-    .expect("replication worker panicked");
+    });
 
     slots
         .into_inner()
@@ -120,7 +119,7 @@ where
 mod tests {
     use super::*;
     use crate::rng::SimRng;
-    use rand::RngCore;
+    use crate::rng::RngCore;
 
     #[test]
     fn results_in_replication_order() {

@@ -6,9 +6,10 @@
 //!
 //! * [`split_mix64`] — the SplitMix64 mixing function, used to derive
 //!   independent per-replication / per-source seeds from a master seed.
-//! * [`SimRng`] — a xoshiro256++ generator implementing
-//!   [`rand::RngCore`], so the full `rand` distribution API works on top
-//!   of it. xoshiro256++ is the generator recommended by its authors for
+//! * [`SimRng`] — a xoshiro256++ generator implementing the local
+//!   [`RngCore`] trait (a drop-in subset of `rand::RngCore`, defined
+//!   here so the workspace builds with no external dependencies).
+//!   xoshiro256++ is the generator recommended by its authors for
 //!   general simulation work: 256-bit state, 1.17 ns/word, passes
 //!   BigCrush.
 //!
@@ -16,7 +17,18 @@
 //! specific `rand_xoshiro` release so that stream reproducibility is
 //! pinned by this crate, not by a third-party version bump.
 
-use rand::{Error, RngCore};
+/// The subset of `rand::RngCore` the workspace uses, defined locally so
+/// no external crate is required. Signatures match `rand` 0.8, so a
+/// future `rand` dependency can replace this trait without touching
+/// call sites.
+pub trait RngCore {
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
 
 /// One step of the SplitMix64 sequence starting at `state`, returning the
 /// mixed output. Also the recommended way to seed other generators.
@@ -50,10 +62,10 @@ pub fn derive_seed(master: u64, index: u64) -> u64 {
 
 /// A xoshiro256++ pseudorandom generator.
 ///
-/// Implements [`rand::RngCore`] so it can be used with any `rand`
-/// distribution. Construct with [`SimRng::new`] from a 64-bit seed (the
-/// 256-bit internal state is expanded with SplitMix64, per the authors'
-/// recommendation).
+/// Implements the local [`RngCore`] trait (signature-compatible with
+/// `rand::RngCore`). Construct with [`SimRng::new`] from a 64-bit seed
+/// (the 256-bit internal state is expanded with SplitMix64, per the
+/// authors' recommendation).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SimRng {
     s: [u64; 4],
@@ -161,11 +173,6 @@ impl RngCore for SimRng {
             let bytes = self.step().to_le_bytes();
             rem.copy_from_slice(&bytes[..rem.len()]);
         }
-    }
-
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
-        self.fill_bytes(dest);
-        Ok(())
     }
 }
 

@@ -92,8 +92,8 @@ pub fn saturated_source(bytes: u32, packets: usize) -> Box<TraceSource> {
     Box::new(TraceSource::new(arrivals))
 }
 
-/// The mean DCF overhead cycle for a lone station (DIFS + mean backoff
-/// + exchange) — analytic counterpart of
+/// The mean DCF overhead cycle for a lone station (DIFS plus mean
+/// backoff plus exchange) — analytic counterpart of
 /// [`measured_standalone_capacity_bps`].
 pub fn standalone_cycle(phy: &Phy, bytes: u32) -> Dur {
     let mean_backoff = phy.slot * (phy.cw_min as u64) / 2;

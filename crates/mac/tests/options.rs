@@ -165,7 +165,7 @@ fn channel_accounting_is_consistent() {
     let expected: u64 = [a, csmaprobe_mac::StationId(1)]
         .iter()
         .flat_map(|&id| out.records(id))
-        .filter(|r| !r.dropped && r.retries == 0 || !r.dropped)
+        .filter(|r| !r.dropped)
         .map(|r| (p.data_airtime(r.bytes) + p.sifs + p.ack_airtime()).as_nanos())
         .sum();
     assert_eq!(ch.success_time.as_nanos(), expected);

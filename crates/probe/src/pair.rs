@@ -105,7 +105,7 @@ impl PairMeasurement {
                 modes.push((counts[i], hist.bin_center(i)));
             }
         }
-        modes.sort_by(|a, b| b.0.cmp(&a.0));
+        modes.sort_by_key(|m| std::cmp::Reverse(m.0));
         modes.into_iter().map(|(_, rate)| rate).collect()
     }
 }

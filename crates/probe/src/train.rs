@@ -31,6 +31,11 @@ pub struct TrainProbe {
     pub train: ProbeTrain,
 }
 
+/// One replication's raw observation: mean output gap (if the train
+/// completed), per-position receiver gaps, and per-position access
+/// delays (when the target exposes them).
+type RepObservation = (Option<f64>, Vec<f64>, Option<Vec<f64>>);
+
 impl TrainProbe {
     /// A probe of `n` packets of `bytes` payload at input rate
     /// `rate_bps`.
@@ -48,7 +53,7 @@ impl TrainProbe {
         seed: u64,
     ) -> TrainMeasurement {
         let train = self.train;
-        let per_rep: Vec<(Option<f64>, Vec<f64>, Option<Vec<f64>>)> =
+        let per_rep: Vec<RepObservation> =
             replicate::run(reps, seed, |_, s| {
                 let obs = target.probe_train(train, s);
                 (obs.output_gap_s(), obs.receiver_gaps_s(), obs.access_delays)

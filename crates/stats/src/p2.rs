@@ -183,7 +183,7 @@ mod tests {
             est.push(-(1.0f64 - x).ln());
         }
         assert!(
-            (est.value() - 0.6931).abs() < 0.02,
+            (est.value() - std::f64::consts::LN_2).abs() < 0.02,
             "exp median {}",
             est.value()
         );

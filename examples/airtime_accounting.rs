@@ -14,7 +14,7 @@ fn main() {
     println!("n_stations\tsuccess%\tcollision%\tidle%\tsim_agg_mbps\tbianchi_mbps\tp50_us\tp99_us");
 
     for n in [1usize, 2, 4, 8] {
-        let mut sim = WlanSim::new(phy.clone(), 0xA1%7 + n as u64);
+        let mut sim = WlanSim::new(phy.clone(), n as u64);
         let stations: Vec<_> = (0..n)
             .map(|_| sim.add_station(saturated_source(1500, 4000 / n)))
             .collect();
