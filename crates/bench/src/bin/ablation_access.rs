@@ -1,6 +1,6 @@
 //! Regenerate the ablation_access experiment. Usage:
 //! `cargo run --release -p csmaprobe-bench --bin ablation_access [--scale F] [--seed N]`
 fn main() {
-    let (scale, seed) = csmaprobe_bench::cli_options();
-    csmaprobe_bench::figures::ablation_access::run(scale, seed).print();
+    let opts = csmaprobe_bench::cli_options();
+    csmaprobe_bench::figures::ablation_access::run(opts.scale, opts.seed).print();
 }

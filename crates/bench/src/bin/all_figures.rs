@@ -2,51 +2,126 @@
 //! `experiments.json` next to the workspace root.
 //!
 //! Usage: `cargo run --release -p csmaprobe-bench --bin all_figures
-//! [--scale F] [--seed N]` — scale multiplies every experiment's
-//! replication budget.
+//! [--scale F] [--seed N] [--only fig08,fig13] [--list] [--jobs N]`
+//!
+//! Figures come from `figures::REGISTRY` and are scheduled concurrently
+//! (up to `--jobs`, default: available parallelism) by descending cost
+//! weight, sharing one process-wide simulation worker budget with the
+//! per-figure replication engine. Reports are printed and serialised in
+//! registry order regardless of completion order, and per-figure
+//! wall-clock lands in `experiments.json` as `elapsed_s` — the only
+//! field that varies between otherwise identical runs.
 
-use csmaprobe_bench::figures;
+use csmaprobe_bench::figures::{self, FigureDef};
 use csmaprobe_bench::report::FigureReport;
-
-/// A named experiment: figure id plus its `run(scale, seed)` function.
-type FigureRun = (&'static str, fn(f64, u64) -> FigureReport);
+use csmaprobe_desim::replicate;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 fn main() {
-    let (scale, seed) = csmaprobe_bench::cli_options();
-    eprintln!("running all experiments at scale {scale} (seed {seed})...");
-    let runs: Vec<FigureRun> = vec![
-        ("fig01", figures::fig01::run),
-        ("fig04", figures::fig04::run),
-        ("fig06", figures::fig06::run),
-        ("fig07", figures::fig07::run),
-        ("fig08", figures::fig08::run),
-        ("fig09", figures::fig09::run),
-        ("fig10", figures::fig10::run),
-        ("fig13", figures::fig13::run),
-        ("fig15", figures::fig15::run),
-        ("fig16", figures::fig16::run),
-        ("fig17", figures::fig17::run),
-        ("bounds_check", figures::bounds_check::run),
-        ("tool_bias", figures::tool_bias::run),
-        ("ablation_access", figures::ablation_access::run),
-        ("ext_ofdm", figures::ext_ofdm::run),
-        ("ext_impairments", figures::ext_impairments::run),
-        ("ext_burstiness", figures::ext_burstiness::run),
-    ];
+    let opts = csmaprobe_bench::cli_options();
 
-    let mut reports = Vec::new();
-    for (name, f) in runs {
+    if opts.list {
+        for d in figures::REGISTRY {
+            println!("{:<16} {}", d.id, d.title);
+        }
+        return;
+    }
+
+    // Resolve the selection against the registry, keeping report order.
+    let selected: Vec<&'static FigureDef> = match &opts.only {
+        None => figures::REGISTRY.iter().collect(),
+        Some(ids) => {
+            let unknown: Vec<&String> =
+                ids.iter().filter(|id| figures::find(id).is_none()).collect();
+            if !unknown.is_empty() {
+                eprintln!(
+                    "error: unknown figure id(s) {:?}; run with --list to see the registry",
+                    unknown
+                );
+                std::process::exit(2);
+            }
+            figures::REGISTRY
+                .iter()
+                .filter(|d| ids.iter().any(|id| id == d.id))
+                .collect()
+        }
+    };
+
+    if selected.is_empty() {
+        eprintln!("error: --only selected no figures; run with --list to see the registry");
+        std::process::exit(2);
+    }
+
+    // Figure-level concurrency shares the replication engine's worker
+    // budget: the scheduler borrows its extra threads from the same
+    // pool the per-figure reduces draw from, so the process's CPU-bound
+    // thread count stays at the hardware parallelism. Each borrowed
+    // thread hands its permit back the moment it runs out of figures,
+    // letting the tail figure's own replication re-parallelise.
+    let want = opts.jobs.min(selected.len()).max(1);
+    let extra = replicate::acquire_workers(want - 1);
+    let jobs = 1 + extra;
+    eprintln!(
+        "running {} experiment(s) at scale {} (seed {}, {} figure job(s))...",
+        selected.len(),
+        opts.scale,
+        opts.seed,
+        jobs
+    );
+    let t_all = std::time::Instant::now();
+
+    // Schedule expensive figures first so short ones pack the tail.
+    let mut order: Vec<usize> = (0..selected.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(selected[i].weight));
+
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<FigureReport>> = Vec::new();
+    slots.resize_with(selected.len(), || None);
+    let slots = Mutex::new(slots);
+
+    let worker = || loop {
+        let k = next.fetch_add(1, Ordering::Relaxed);
+        if k >= order.len() {
+            break;
+        }
+        let pos = order[k];
+        let def = selected[pos];
         let t0 = std::time::Instant::now();
-        let rep = f(scale, seed);
+        let mut rep = (def.run)(opts.scale, opts.seed);
+        rep.elapsed_s = Some(t0.elapsed().as_secs_f64());
         eprintln!(
-            "{name}: {} checks, {} — {:.1}s",
+            "{}: {} checks, {} — {:.1}s",
+            def.id,
             rep.checks.len(),
             if rep.all_passed() { "ALL PASS" } else { "FAILURES" },
             t0.elapsed().as_secs_f64()
         );
+        slots.lock().unwrap()[pos] = Some(rep);
+    };
+    std::thread::scope(|scope| {
+        let worker = &worker;
+        for _ in 0..jobs - 1 {
+            // Borrowed scheduler threads hand their permit back the
+            // moment they run out of figures, so the tail figure's own
+            // replication can re-parallelise.
+            scope.spawn(move || {
+                worker();
+                replicate::release_workers(1);
+            });
+        }
+        worker();
+    });
+
+    let reports: Vec<FigureReport> = slots
+        .into_inner()
+        .unwrap()
+        .into_iter()
+        .map(|s| s.expect("figure slot not filled"))
+        .collect();
+    for rep in &reports {
         rep.print();
         println!();
-        reports.push(rep);
     }
 
     let json = csmaprobe_bench::report::reports_to_json(&reports);
@@ -57,7 +132,10 @@ fn main() {
         .flat_map(|r| &r.checks)
         .filter(|c| c.passed)
         .count();
-    eprintln!("== {passed}/{total} qualitative checks passed; experiments.json written ==");
+    eprintln!(
+        "== {passed}/{total} qualitative checks passed; experiments.json written ({:.1}s total) ==",
+        t_all.elapsed().as_secs_f64()
+    );
     if passed != total {
         std::process::exit(1);
     }

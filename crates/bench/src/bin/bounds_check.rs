@@ -1,6 +1,6 @@
 //! Regenerate the paper's bounds_check data series. Usage:
 //! `cargo run --release -p csmaprobe-bench --bin bounds_check [--scale F] [--seed N]`
 fn main() {
-    let (scale, seed) = csmaprobe_bench::cli_options();
-    csmaprobe_bench::figures::bounds_check::run(scale, seed).print();
+    let opts = csmaprobe_bench::cli_options();
+    csmaprobe_bench::figures::bounds_check::run(opts.scale, opts.seed).print();
 }

@@ -1,6 +1,6 @@
 //! Regenerate the ext_burstiness experiment. Usage:
 //! `cargo run --release -p csmaprobe-bench --bin ext_burstiness [--scale F] [--seed N]`
 fn main() {
-    let (scale, seed) = csmaprobe_bench::cli_options();
-    csmaprobe_bench::figures::ext_burstiness::run(scale, seed).print();
+    let opts = csmaprobe_bench::cli_options();
+    csmaprobe_bench::figures::ext_burstiness::run(opts.scale, opts.seed).print();
 }

@@ -1,6 +1,6 @@
 //! Regenerate the ext_impairments experiment. Usage:
 //! `cargo run --release -p csmaprobe-bench --bin ext_impairments [--scale F] [--seed N]`
 fn main() {
-    let (scale, seed) = csmaprobe_bench::cli_options();
-    csmaprobe_bench::figures::ext_impairments::run(scale, seed).print();
+    let opts = csmaprobe_bench::cli_options();
+    csmaprobe_bench::figures::ext_impairments::run(opts.scale, opts.seed).print();
 }

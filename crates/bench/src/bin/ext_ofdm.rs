@@ -1,6 +1,6 @@
 //! Regenerate the ext_ofdm experiment. Usage:
 //! `cargo run --release -p csmaprobe-bench --bin ext_ofdm [--scale F] [--seed N]`
 fn main() {
-    let (scale, seed) = csmaprobe_bench::cli_options();
-    csmaprobe_bench::figures::ext_ofdm::run(scale, seed).print();
+    let opts = csmaprobe_bench::cli_options();
+    csmaprobe_bench::figures::ext_ofdm::run(opts.scale, opts.seed).print();
 }

@@ -1,6 +1,6 @@
 //! Regenerate the paper's fig04 data series. Usage:
 //! `cargo run --release -p csmaprobe-bench --bin fig04 [--scale F] [--seed N]`
 fn main() {
-    let (scale, seed) = csmaprobe_bench::cli_options();
-    csmaprobe_bench::figures::fig04::run(scale, seed).print();
+    let opts = csmaprobe_bench::cli_options();
+    csmaprobe_bench::figures::fig04::run(opts.scale, opts.seed).print();
 }

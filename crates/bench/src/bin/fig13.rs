@@ -1,6 +1,6 @@
 //! Regenerate the paper's fig13 data series. Usage:
 //! `cargo run --release -p csmaprobe-bench --bin fig13 [--scale F] [--seed N]`
 fn main() {
-    let (scale, seed) = csmaprobe_bench::cli_options();
-    csmaprobe_bench::figures::fig13::run(scale, seed).print();
+    let opts = csmaprobe_bench::cli_options();
+    csmaprobe_bench::figures::fig13::run(opts.scale, opts.seed).print();
 }

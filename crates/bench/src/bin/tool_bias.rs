@@ -1,6 +1,6 @@
 //! Regenerate the paper's tool_bias data series. Usage:
 //! `cargo run --release -p csmaprobe-bench --bin tool_bias [--scale F] [--seed N]`
 fn main() {
-    let (scale, seed) = csmaprobe_bench::cli_options();
-    csmaprobe_bench::figures::tool_bias::run(scale, seed).print();
+    let opts = csmaprobe_bench::cli_options();
+    csmaprobe_bench::figures::tool_bias::run(opts.scale, opts.seed).print();
 }

@@ -11,15 +11,34 @@ use crate::scenarios::{self, FRAME};
 use csmaprobe_core::transient::TransientExperiment;
 use csmaprobe_traffic::probe::ProbeTrain;
 
-/// Shared with fig07: run the Fig 6/7 experiment once.
-pub fn experiment(scale: f64, seed: u64, n: usize) -> csmaprobe_core::transient::TransientData {
-    let exp = TransientExperiment {
+/// The Fig 6/7 experiment definition (shared scenario).
+fn experiment_def(scale: f64, seed: u64, n: usize) -> TransientExperiment {
+    TransientExperiment {
         link: scenarios::fig6_link(),
         train: ProbeTrain::from_rate(n, FRAME, 5e6),
         reps: scaled(2000, scale, 200),
         seed,
-    };
-    exp.run()
+    }
+}
+
+/// Run the Fig 6/7 experiment in streaming-summary mode (per-index
+/// moments, O(train length) memory).
+pub fn experiment(
+    scale: f64,
+    seed: u64,
+    n: usize,
+) -> csmaprobe_core::transient::TransientSummary {
+    experiment_def(scale, seed, n).run()
+}
+
+/// Shared with fig07: the dense variant retaining raw per-index samples
+/// (capped at [`scenarios::DENSE_SAMPLE_CAP`]).
+pub fn experiment_dense(
+    scale: f64,
+    seed: u64,
+    n: usize,
+) -> csmaprobe_core::transient::TransientData {
+    experiment_def(scale, seed, n).run_dense(scenarios::DENSE_SAMPLE_CAP)
 }
 
 /// Run the experiment.

@@ -21,7 +21,7 @@ pub fn run(scale: f64, seed: u64) -> FigureReport {
     );
 
     let n = 520;
-    let data = super::fig06::experiment(scale, seed, n);
+    let data = super::fig06::experiment_dense(scale, seed, n);
     let first = data.delays.sample(0).to_vec();
     let late = data.delays.sample(499).to_vec();
 

@@ -31,7 +31,8 @@ pub fn run(scale: f64, seed: u64) -> FigureReport {
         reps: scaled(1000, scale, 150),
         seed,
     };
-    let data = exp.run();
+    // Dense mode: the KS profile needs raw per-index samples.
+    let data = exp.run_dense(scenarios::DENSE_SAMPLE_CAP);
 
     // Steady-state reference: the pooled delays of the last 500
     // indices, strided down so each per-index KS test stays cheap.

@@ -36,7 +36,8 @@ pub fn run(scale: f64, seed: u64) -> FigureReport {
         reps,
         seed,
     };
-    let data = exp.run();
+    // Dense mode: the KS profile needs raw per-index samples.
+    let data = exp.run_dense(scenarios::DENSE_SAMPLE_CAP);
 
     let pooled = data.steady_sample(100);
     let stride = (pooled.len() / 20_000).max(1);

@@ -39,3 +39,150 @@ pub mod fig15;
 pub mod fig16;
 pub mod fig17;
 pub mod tool_bias;
+
+use crate::report::FigureReport;
+
+/// One registry entry: a runnable figure experiment.
+pub struct FigureDef {
+    /// Identifier, e.g. `"fig06"` — what `--only` matches.
+    pub id: &'static str,
+    /// One-line description (shown by `--list`).
+    pub title: &'static str,
+    /// The experiment: `run(scale, seed)`.
+    pub run: fn(f64, u64) -> FigureReport,
+    /// Rough relative cost at scale 1 (10 ≈ 0.1 s). The scheduler
+    /// starts expensive figures first so short ones fill the tail
+    /// instead of long ones serialising behind them.
+    pub weight: u32,
+}
+
+/// Every figure experiment, in report order (the order
+/// `experiments.json` and `EXPERIMENTS.md` present them). The
+/// `all_figures` scheduler runs entries concurrently by descending
+/// [`FigureDef::weight`], then reassembles this order.
+pub const REGISTRY: &[FigureDef] = &[
+    FigureDef {
+        id: "fig01",
+        title: "steady-state rate response vs one contender",
+        run: fig01::run,
+        weight: 4,
+    },
+    FigureDef {
+        id: "fig04",
+        title: "complete picture with FIFO cross-traffic",
+        run: fig04::run,
+        weight: 4,
+    },
+    FigureDef {
+        id: "fig06",
+        title: "mean access delay vs probe packet number",
+        run: fig06::run,
+        weight: 40,
+    },
+    FigureDef {
+        id: "fig07",
+        title: "access-delay histograms, packet 1 vs 500",
+        run: fig07::run,
+        weight: 55,
+    },
+    FigureDef {
+        id: "fig08",
+        title: "KS profile + contending queue size",
+        run: fig08::run,
+        weight: 40,
+    },
+    FigureDef {
+        id: "fig09",
+        title: "KS profile, 4-station complex case",
+        run: fig09::run,
+        weight: 220,
+    },
+    FigureDef {
+        id: "fig10",
+        title: "transient length vs offered cross load",
+        run: fig10::run,
+        weight: 250,
+    },
+    FigureDef {
+        id: "fig13",
+        title: "short-train rate response, no FIFO cross",
+        run: fig13::run,
+        weight: 35,
+    },
+    FigureDef {
+        id: "fig15",
+        title: "short-train rate response, complete system",
+        run: fig15::run,
+        weight: 35,
+    },
+    FigureDef {
+        id: "fig16",
+        title: "packet-pair inference vs fluid response",
+        run: fig16::run,
+        weight: 15,
+    },
+    FigureDef {
+        id: "fig17",
+        title: "MSER-2 corrected 20-packet trains",
+        run: fig17::run,
+        weight: 15,
+    },
+    FigureDef {
+        id: "bounds_check",
+        title: "measured E[gO] vs the §6 dispersion bounds",
+        run: bounds_check::run,
+        weight: 20,
+    },
+    FigureDef {
+        id: "tool_bias",
+        title: "SLoPS-style tool on FIFO vs CSMA/CA",
+        run: tool_bias::run,
+        weight: 8,
+    },
+    FigureDef {
+        id: "ablation_access",
+        title: "immediate-access share of the transient",
+        run: ablation_access::run,
+        weight: 40,
+    },
+    FigureDef {
+        id: "ext_ofdm",
+        title: "same phenomena on 802.11g OFDM",
+        run: ext_ofdm::run,
+        weight: 80,
+    },
+    FigureDef {
+        id: "ext_impairments",
+        title: "frame errors + RTS/CTS effects",
+        run: ext_impairments::run,
+        weight: 4,
+    },
+    FigureDef {
+        id: "ext_burstiness",
+        title: "dispersion variability vs cross burstiness",
+        run: ext_burstiness::run,
+        weight: 8,
+    },
+];
+
+/// Look up a registry entry by id.
+pub fn find(id: &str) -> Option<&'static FigureDef> {
+    REGISTRY.iter().find(|d| d.id == id)
+}
+
+#[cfg(test)]
+mod registry_tests {
+    use super::*;
+
+    #[test]
+    fn registry_ids_unique_and_findable() {
+        let mut seen = std::collections::BTreeSet::new();
+        for d in REGISTRY {
+            assert!(seen.insert(d.id), "duplicate id {}", d.id);
+            assert!(find(d.id).is_some());
+            assert!(d.weight > 0, "{} needs a scheduling weight", d.id);
+        }
+        assert_eq!(REGISTRY.len(), 17);
+        assert!(find("nope").is_none());
+    }
+}

@@ -4,8 +4,10 @@
 //! paper (there are no tables), each producing a [`report::FigureReport`]
 //! with the same series the paper plots plus automated qualitative
 //! checks ("who wins, where the knee is"). Thin binaries under
-//! `src/bin/` print the reports as TSV; `all_figures` runs everything
-//! and writes `experiments.json` for `EXPERIMENTS.md`.
+//! `src/bin/` print the reports as TSV; `all_figures` runs every entry
+//! of [`figures::REGISTRY`] — scheduling whole figures concurrently
+//! over the shared worker budget — and writes `experiments.json` for
+//! `EXPERIMENTS.md`.
 //!
 //! Scaling: every experiment takes a `scale` factor multiplying its
 //! replication counts (default 1.0; the paper used up to 25 000 NS2
@@ -28,35 +30,115 @@ pub const DEFAULT_SCALE: f64 = 1.0;
 /// experiment still runs at least a handful of replications.
 pub const MIN_SCALE: f64 = 0.01;
 
-/// Parse the common `--scale`/`SCALE` and `--seed`/`SEED` knobs.
+/// Largest accepted scale; anything higher (including `inf`) is clamped
+/// so a typo can never produce an effectively unbounded replication
+/// budget.
+pub const MAX_SCALE: f64 = 10_000.0;
+
+/// Common options of every figure binary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CliOptions {
+    /// Replication-budget multiplier (sanitised into
+    /// `[MIN_SCALE, MAX_SCALE]`).
+    pub scale: f64,
+    /// Master seed.
+    pub seed: u64,
+    /// `--list`: print the figure registry and exit (`all_figures`).
+    pub list: bool,
+    /// `--only fig08,fig13`: run a subset of the registry
+    /// (`all_figures`); `None` means everything.
+    pub only: Option<Vec<String>>,
+    /// `--jobs N`: upper bound on figures scheduled concurrently
+    /// (`all_figures`); defaults to the available parallelism. The
+    /// scheduler borrows its extra threads from the shared replication
+    /// worker budget, so the effective count never oversubscribes the
+    /// machine.
+    pub jobs: usize,
+}
+
+/// Parse the common CLI knobs: `--scale`/`SCALE`, `--seed`/`SEED`,
+/// `--only`/`ONLY`, `--list`, `--jobs`.
 ///
 /// Precedence: argv beats environment beats default. Unparseable
 /// values fall back to the next source in that order (with a warning
 /// on stderr) rather than aborting the run.
-pub fn cli_options() -> (f64, u64) {
+pub fn cli_options() -> CliOptions {
     let args: Vec<String> = std::env::args().collect();
     cli_options_from(
         &args,
         std::env::var("SCALE").ok().as_deref(),
         std::env::var("SEED").ok().as_deref(),
+        std::env::var("ONLY").ok().as_deref(),
     )
 }
 
 /// Testable core of [`cli_options`]: same semantics, with argv and the
-/// `SCALE`/`SEED` environment values passed in explicitly.
-pub fn cli_options_from(args: &[String], env_scale: Option<&str>, env_seed: Option<&str>) -> (f64, u64) {
+/// `SCALE`/`SEED`/`ONLY` environment values passed in explicitly.
+pub fn cli_options_from(
+    args: &[String],
+    env_scale: Option<&str>,
+    env_seed: Option<&str>,
+    env_only: Option<&str>,
+) -> CliOptions {
     let mut scale: f64 = parse_or("SCALE", env_scale, DEFAULT_SCALE);
     let mut seed: u64 = parse_or("SEED", env_seed, DEFAULT_SEED);
+    let mut only: Option<Vec<String>> = env_only.map(parse_only);
+    let mut list = false;
+    let mut jobs = default_jobs();
+    // The value of a `--flag value` pair; another flag is never
+    // swallowed as a value.
+    let value_of = |i: usize| -> Option<&str> {
+        args.get(i + 1)
+            .map(String::as_str)
+            .filter(|v| !v.starts_with("--"))
+    };
     let mut i = 1;
-    while i + 1 < args.len() {
-        match args[i].as_str() {
-            "--scale" => scale = parse_or("--scale", Some(&args[i + 1]), scale),
-            "--seed" => seed = parse_or("--seed", Some(&args[i + 1]), seed),
+    while i < args.len() {
+        match (args[i].as_str(), value_of(i)) {
+            ("--list", _) => list = true,
+            ("--scale", Some(v)) => {
+                scale = parse_or("--scale", Some(v), scale);
+                i += 1;
+            }
+            ("--seed", Some(v)) => {
+                seed = parse_or("--seed", Some(v), seed);
+                i += 1;
+            }
+            ("--only", Some(v)) => {
+                only = Some(parse_only(v));
+                i += 1;
+            }
+            ("--jobs", Some(v)) => {
+                jobs = parse_or("--jobs", Some(v), jobs).max(1);
+                i += 1;
+            }
             _ => {}
         }
         i += 1;
     }
-    (scale.max(MIN_SCALE), seed)
+    CliOptions {
+        scale: sanitize_scale(scale),
+        seed,
+        list,
+        only,
+        jobs,
+    }
+}
+
+/// Split a `fig08,fig13`-style list into trimmed, non-empty ids.
+fn parse_only(s: &str) -> Vec<String> {
+    s.split(',')
+        .map(str::trim)
+        .filter(|p| !p.is_empty())
+        .map(String::from)
+        .collect()
+}
+
+/// Default figure-level concurrency: the machine's parallelism.
+fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 /// Parse `value` if present, warning and falling back to `fallback` on
@@ -71,9 +153,27 @@ fn parse_or<T: std::str::FromStr + Copy>(what: &str, value: Option<&str>, fallba
     }
 }
 
+/// Force `scale` into the sane band `[MIN_SCALE, MAX_SCALE]`.
+///
+/// `f64::parse` happily accepts `"NaN"`, `"inf"` and negative values; a
+/// raw multiply-then-`as usize` of those yields replication budgets of
+/// 0 or `usize::MAX`. Anything non-finite or non-positive falls back to
+/// [`MIN_SCALE`] (with a warning), finite values clamp into the band.
+pub fn sanitize_scale(scale: f64) -> f64 {
+    if !scale.is_finite() || scale <= 0.0 {
+        eprintln!("warning: nonsensical scale {scale}; using minimum {MIN_SCALE}");
+        return MIN_SCALE;
+    }
+    scale.clamp(MIN_SCALE, MAX_SCALE)
+}
+
 /// Scale a replication count, keeping at least `min`.
+///
+/// Hardened: the scale passes through [`sanitize_scale`], so NaN,
+/// infinite, zero or negative scales can never produce a zero or
+/// effectively unbounded replication budget.
 pub fn scaled(base: usize, scale: f64, min: usize) -> usize {
-    ((base as f64 * scale).round() as usize).max(min)
+    ((base as f64 * sanitize_scale(scale)).round() as usize).max(min)
 }
 
 #[cfg(test)]
@@ -87,64 +187,115 @@ mod tests {
             .collect()
     }
 
+    fn opts(parts: &[&str], env_scale: Option<&str>, env_seed: Option<&str>) -> CliOptions {
+        cli_options_from(&argv(parts), env_scale, env_seed, None)
+    }
+
     #[test]
     fn defaults_when_nothing_is_set() {
-        let (scale, seed) = cli_options_from(&argv(&[]), None, None);
-        assert_eq!(scale, DEFAULT_SCALE);
-        assert_eq!(seed, DEFAULT_SEED);
+        let o = opts(&[], None, None);
+        assert_eq!(o.scale, DEFAULT_SCALE);
+        assert_eq!(o.seed, DEFAULT_SEED);
+        assert!(!o.list);
+        assert_eq!(o.only, None);
+        assert!(o.jobs >= 1);
     }
 
     #[test]
     fn env_overrides_defaults() {
-        let (scale, seed) = cli_options_from(&argv(&[]), Some("2.5"), Some("77"));
-        assert_eq!(scale, 2.5);
-        assert_eq!(seed, 77);
+        let o = opts(&[], Some("2.5"), Some("77"));
+        assert_eq!(o.scale, 2.5);
+        assert_eq!(o.seed, 77);
     }
 
     #[test]
     fn argv_beats_env() {
-        let args = argv(&["--scale", "4.0", "--seed", "123"]);
-        let (scale, seed) = cli_options_from(&args, Some("2.5"), Some("77"));
-        assert_eq!(scale, 4.0);
-        assert_eq!(seed, 123);
+        let o = opts(&["--scale", "4.0", "--seed", "123"], Some("2.5"), Some("77"));
+        assert_eq!(o.scale, 4.0);
+        assert_eq!(o.seed, 123);
     }
 
     #[test]
     fn argv_knobs_are_independent() {
-        let args = argv(&["--seed", "9"]);
-        let (scale, seed) = cli_options_from(&args, Some("3.0"), None);
-        assert_eq!(scale, 3.0, "env scale survives a seed-only argv");
-        assert_eq!(seed, 9);
+        let o = opts(&["--seed", "9"], Some("3.0"), None);
+        assert_eq!(o.scale, 3.0, "env scale survives a seed-only argv");
+        assert_eq!(o.seed, 9);
     }
 
     #[test]
     fn bad_env_falls_back_to_default() {
-        let (scale, seed) = cli_options_from(&argv(&[]), Some("fast"), Some("0x12"));
-        assert_eq!(scale, DEFAULT_SCALE);
-        assert_eq!(seed, DEFAULT_SEED, "hex strings are not accepted");
+        let o = opts(&[], Some("fast"), Some("0x12"));
+        assert_eq!(o.scale, DEFAULT_SCALE);
+        assert_eq!(o.seed, DEFAULT_SEED, "hex strings are not accepted");
     }
 
     #[test]
     fn bad_argv_falls_back_to_env_then_default() {
-        let args = argv(&["--scale", "huge", "--seed", "-1"]);
-        let (scale, seed) = cli_options_from(&args, Some("2.0"), None);
-        assert_eq!(scale, 2.0, "bad argv scale falls back to env");
-        assert_eq!(seed, DEFAULT_SEED, "negative seed falls back to default");
+        let o = opts(&["--scale", "huge", "--seed", "-1"], Some("2.0"), None);
+        assert_eq!(o.scale, 2.0, "bad argv scale falls back to env");
+        assert_eq!(o.seed, DEFAULT_SEED, "negative seed falls back to default");
     }
 
     #[test]
     fn scale_is_clamped_to_minimum() {
-        let (scale, _) = cli_options_from(&argv(&["--scale", "0.0001"]), None, None);
-        assert_eq!(scale, MIN_SCALE);
-        let (scale, _) = cli_options_from(&argv(&["--scale", "-3"]), None, None);
-        assert_eq!(scale, MIN_SCALE);
+        assert_eq!(opts(&["--scale", "0.0001"], None, None).scale, MIN_SCALE);
+        assert_eq!(opts(&["--scale", "-3"], None, None).scale, MIN_SCALE);
+    }
+
+    #[test]
+    fn nonsense_scales_are_sanitised() {
+        // `"NaN"`, `"inf"` and `"-inf"` all parse as f64 — they must
+        // never survive into a replication budget.
+        assert_eq!(opts(&["--scale", "NaN"], None, None).scale, MIN_SCALE);
+        assert_eq!(opts(&["--scale", "inf"], None, None).scale, MIN_SCALE);
+        assert_eq!(opts(&["--scale", "-inf"], None, None).scale, MIN_SCALE);
+        assert_eq!(opts(&["--scale", "1e99"], None, None).scale, MAX_SCALE);
+        assert_eq!(opts(&[], Some("inf"), None).scale, MIN_SCALE);
     }
 
     #[test]
     fn trailing_flag_without_value_is_ignored() {
-        let (scale, seed) = cli_options_from(&argv(&["--seed"]), None, None);
-        assert_eq!(scale, DEFAULT_SCALE);
-        assert_eq!(seed, DEFAULT_SEED);
+        let o = opts(&["--seed"], None, None);
+        assert_eq!(o.scale, DEFAULT_SCALE);
+        assert_eq!(o.seed, DEFAULT_SEED);
+    }
+
+    #[test]
+    fn list_flag_and_jobs() {
+        let o = opts(&["--list", "--jobs", "3"], None, None);
+        assert!(o.list);
+        assert_eq!(o.jobs, 3);
+        let o = opts(&["--jobs", "0"], None, None);
+        assert!(o.jobs >= 1, "jobs floor at 1");
+    }
+
+    #[test]
+    fn only_parses_comma_list() {
+        let o = opts(&["--only", "fig08, fig13,,"], None, None);
+        assert_eq!(
+            o.only,
+            Some(vec!["fig08".to_string(), "fig13".to_string()])
+        );
+    }
+
+    #[test]
+    fn only_argv_beats_env() {
+        let o = cli_options_from(&argv(&["--only", "fig06"]), None, None, Some("fig08"));
+        assert_eq!(o.only, Some(vec!["fig06".to_string()]));
+        let o = cli_options_from(&argv(&[]), None, None, Some("fig08,fig10"));
+        assert_eq!(
+            o.only,
+            Some(vec!["fig08".to_string(), "fig10".to_string()])
+        );
+    }
+
+    #[test]
+    fn flag_value_pairs_cannot_be_swallowed() {
+        // `--scale --seed 7` must not consume `--seed` as the scale's
+        // value and then skip the seed.
+        let o = opts(&["--scale", "--seed", "7"], None, None);
+        assert_eq!(o.scale, DEFAULT_SCALE, "bad scale value falls back");
+        assert_eq!(o.seed, 7);
     }
 
     #[test]
@@ -152,5 +303,18 @@ mod tests {
         assert_eq!(scaled(1000, 0.5, 10), 500);
         assert_eq!(scaled(1000, 0.001, 10), 10);
         assert_eq!(scaled(7, 1.0, 1), 7);
+    }
+
+    #[test]
+    fn scaled_survives_nonsense_scales() {
+        assert_eq!(scaled(1000, f64::NAN, 10), 10);
+        assert_eq!(scaled(1000, -5.0, 10), 10);
+        assert_eq!(scaled(1000, 0.0, 10), 10);
+        // Infinity is a typo, not a request for 10⁴× budgets: it falls
+        // back to the minimum instead of usize::MAX reps.
+        assert_eq!(scaled(1000, f64::INFINITY, 10), 10);
+        assert_eq!(scaled(1000, f64::NEG_INFINITY, 10), 10);
+        // Huge-but-finite clamps to MAX_SCALE.
+        assert_eq!(scaled(1000, 1e300, 10), 1000 * MAX_SCALE as usize);
     }
 }

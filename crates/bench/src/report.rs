@@ -30,6 +30,11 @@ pub struct FigureReport {
     pub scalars: Vec<(String, f64)>,
     /// Qualitative checks with outcomes.
     pub checks: Vec<Check>,
+    /// Wall-clock seconds the figure took to regenerate (recorded by
+    /// the `all_figures` scheduler; `None` when run standalone). The
+    /// only non-deterministic field of a report: consumers comparing
+    /// `experiments.json` across runs should ignore it.
+    pub elapsed_s: Option<f64>,
 }
 
 impl FigureReport {
@@ -43,6 +48,7 @@ impl FigureReport {
             rows: Vec::new(),
             scalars: Vec::new(),
             checks: Vec::new(),
+            elapsed_s: None,
         }
     }
 
@@ -143,6 +149,9 @@ impl FigureReport {
             })
             .collect();
         let _ = write!(o, ",\"checks\":[{}]", checks.join(","));
+        if let Some(t) = self.elapsed_s {
+            let _ = write!(o, ",\"elapsed_s\":{}", json_f64(t));
+        }
         o.push('}');
         o
     }
@@ -244,6 +253,14 @@ mod tests {
         assert!(j.contains("line\\nbreak"));
         assert!(j.contains("null"));
         assert!(!j.contains("NaN"));
+    }
+
+    #[test]
+    fn elapsed_is_serialized_only_when_recorded() {
+        let mut r = FigureReport::new("f", "t", "p", &["x"]);
+        assert!(!r.to_json().contains("elapsed_s"));
+        r.elapsed_s = Some(1.25);
+        assert!(r.to_json().contains("\"elapsed_s\":1.25"));
     }
 
     #[test]

@@ -14,6 +14,11 @@ use csmaprobe_phy::Phy;
 /// Probe/cross packet size used throughout (bytes).
 pub const FRAME: u32 = 1500;
 
+/// Per-index reservoir cap of the dense (raw-sample) experiment paths —
+/// the paper's largest NS2 replication count, so nothing is decimated
+/// up to `--scale 12` while memory stays bounded beyond it.
+pub const DENSE_SAMPLE_CAP: usize = 25_000;
+
 /// The Fig 1 contending load (b/s) reproducing A ≈ 2 Mb/s on the
 /// paper's C ≈ 6.5 Mb/s channel.
 pub const FIG1_CROSS_BPS: f64 = 4_500_000.0;

@@ -38,4 +38,6 @@ pub use rate_response::{
     achievable_from_curve, achievable_throughput, complete_rate_response, csma_rate_response,
     fifo_rate_response,
 };
-pub use transient::{TransientData, TransientExperiment};
+pub use transient::{
+    run_dense, run_summary, Scenario, TransientData, TransientExperiment, TransientSummary,
+};

@@ -313,22 +313,21 @@ pub struct WlanTrainRun {
 }
 
 impl WlanTrainRun {
-    /// Queue length of contending station `k` sampled at each probe
-    /// packet's arrival instant (Fig 8 bottom).
-    pub fn contending_queue_at_probe_arrivals(&self, k: usize) -> Vec<usize> {
-        let st = self.contending[k];
-        self.probe
-            .iter()
-            .map(|r| self.output.queue_len_at(st, r.arrival))
-            .collect()
-    }
-
     /// Access delays of the probe packets, seconds.
     pub fn access_delays_s(&self) -> Vec<f64> {
         self.probe
             .iter()
             .map(|r| r.access_delay().as_secs_f64())
             .collect()
+    }
+
+    /// Return the underlying simulation buffers to the worker's
+    /// allocation pool (see [`csmaprobe_mac::sim::SimOutput::recycle`]).
+    /// Call once everything needed has been extracted — replication
+    /// loops that recycle avoid reallocating queues and record vectors
+    /// on every run.
+    pub fn recycle(self) {
+        self.output.recycle();
     }
 }
 
@@ -387,6 +386,10 @@ impl WlanLink {
             .iter()
             .map(|spec| sim.add_station(spec.build(Time::ZERO, horizon, 0)))
             .collect();
+        // The horizon is a worst-case budget; stop as soon as the whole
+        // probe sequence has completed instead of simulating the dead
+        // cross-traffic-only tail (identical records, big CPU saving).
+        sim.stop_after_flow(probe_station, FLOW_PROBE, n);
 
         let output = sim.run(horizon);
         let probe = output.flow_records(probe_station, FLOW_PROBE);
@@ -473,13 +476,15 @@ impl WlanLink {
 impl ProbeTarget for WlanLink {
     fn probe_train(&self, train: ProbeTrain, seed: u64) -> TrainObservation {
         let run = self.send_train(train, seed);
-        TrainObservation {
+        let obs = TrainObservation {
             arrivals: run.probe.iter().map(|r| r.arrival).collect(),
             rx_times: run.probe.iter().map(|r| r.rx_end).collect(),
             access_delays: Some(run.access_delays_s()),
             g_i: train.gap,
             bytes: train.bytes,
-        }
+        };
+        run.recycle();
+        obs
     }
 
     fn probe_sequence(&self, offsets: &[Dur], bytes: u32, seed: u64) -> TrainObservation {
@@ -493,13 +498,15 @@ impl ProbeTarget for WlanLink {
             })
             .collect();
         let run = self.send_arrivals(arrivals, seed);
-        TrainObservation {
+        let obs = TrainObservation {
             arrivals: run.probe.iter().map(|r| r.arrival).collect(),
             rx_times: run.probe.iter().map(|r| r.rx_end).collect(),
             access_delays: Some(run.access_delays_s()),
             g_i: Dur::ZERO,
             bytes,
-        }
+        };
+        run.recycle();
+        obs
     }
 
     fn probe_bytes(&self) -> u32 {

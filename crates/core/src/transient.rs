@@ -1,20 +1,48 @@
 //! §4 — the transient-state experiments: replicated probing trains,
 //! per-index access-delay statistics, KS profiles, and the §4.1
-//! transient-length estimator.
+//! transient-length estimator — run by the **scenario engine**.
 //!
-//! [`TransientExperiment`] is the machinery behind Figs 6–10: it sends
-//! the same probing train through independently-seeded replicas of a
-//! [`WlanLink`] (the paper repeats 25 000 NS2 runs) and aggregates the
-//! access delay of the *i*-th packet across replications into sample
-//! *i*. [`TransientData`] then exposes the paper's analyses.
+//! A [`Scenario`] names a link, a probing train, and a replication
+//! budget; the engine executes it in one of two modes:
+//!
+//! * [`run_summary`] (and [`TransientExperiment::run`]) — fully
+//!   streaming: every replication folds straight into per-index
+//!   [`OnlineStats`] via `replicate::run_reduce`, so peak memory is
+//!   O(train length × accumulator) no matter the replication count.
+//!   This serves Figs 6 and 10 and every mean-profile analysis.
+//! * [`run_dense`] (and [`TransientExperiment::run_dense`]) — the
+//!   escape hatch for analyses that genuinely need raw per-index
+//!   samples (the KS profiles of Figs 7–9), with an **explicit
+//!   per-index reservoir cap** bounding memory at O(train length ×
+//!   cap).
+//!
+//! Both modes are deterministic in `(seed, reps)` — bit-identical
+//! across repeated runs and across worker counts, because the
+//! underlying reduce merges chunk accumulators in fixed chunk order.
 
 use crate::link::{WlanLink, WlanTrainRun};
 use csmaprobe_desim::replicate;
+use csmaprobe_stats::accumulate::Accumulate;
 use csmaprobe_stats::ks::KsOutcome;
-use csmaprobe_stats::transient::{IndexedSeries, TransientEstimate};
+use csmaprobe_stats::online::OnlineStats;
+use csmaprobe_stats::transient::{IndexedSeries, IndexedStats, TransientEstimate};
 use csmaprobe_traffic::probe::ProbeTrain;
 
-/// A replicated transient-probing experiment.
+/// One replicated probing scenario: everything the engine needs to run
+/// it, independent of *how* (streaming summary or dense samples).
+pub trait Scenario: Sync {
+    /// Short identifier (for registries and logs).
+    fn name(&self) -> &str;
+    /// The link (probe + cross-traffic configuration).
+    fn link(&self) -> &WlanLink;
+    /// The probing train sent in every replication.
+    fn train(&self) -> ProbeTrain;
+    /// Replication budget.
+    fn reps(&self) -> usize;
+}
+
+/// A replicated transient-probing experiment (the canonical
+/// [`Scenario`]).
 #[derive(Debug, Clone)]
 pub struct TransientExperiment {
     /// The link (probe + cross-traffic configuration).
@@ -27,7 +55,197 @@ pub struct TransientExperiment {
     pub seed: u64,
 }
 
-/// Aggregated per-index data from a [`TransientExperiment`].
+impl Scenario for TransientExperiment {
+    fn name(&self) -> &str {
+        "transient"
+    }
+    fn link(&self) -> &WlanLink {
+        &self.link
+    }
+    fn train(&self) -> ProbeTrain {
+        self.train
+    }
+    fn reps(&self) -> usize {
+        self.reps
+    }
+}
+
+/// Streaming accumulator of one scenario: per-index delay and
+/// queue-size moments. Merges exactly (up to rounding) under the
+/// chunk-ordered reduce.
+#[derive(Debug, Clone, Default)]
+struct SummaryAcc {
+    delays: IndexedStats,
+    queues: IndexedStats,
+}
+
+impl Accumulate for SummaryAcc {
+    fn merge(&mut self, other: Self) {
+        self.delays.merge(other.delays);
+        self.queues.merge(other.queues);
+    }
+}
+
+/// Dense accumulator: raw per-index samples, reservoir-capped.
+#[derive(Debug, Clone)]
+struct DenseAcc {
+    delays: IndexedSeries,
+    queues: IndexedSeries,
+}
+
+impl Accumulate for DenseAcc {
+    fn merge(&mut self, other: Self) {
+        self.delays.merge(other.delays);
+        self.queues.merge(other.queues);
+    }
+}
+
+/// Run one replication of `scenario` and feed it to `consume` as
+/// `(delays, queue_sizes)` iterators; the simulation buffers are
+/// recycled afterwards.
+fn replicate_once(
+    scenario: &(impl Scenario + ?Sized),
+    seed: u64,
+    mut consume: impl FnMut(usize, f64, Option<f64>),
+) {
+    let has_contender = !scenario.link().config().contending.is_empty();
+    let run: WlanTrainRun = scenario.link().send_train(scenario.train(), seed);
+    for (i, r) in run.probe.iter().enumerate() {
+        let queue = if has_contender {
+            Some(run.output.queue_len_at(run.contending[0], r.arrival) as f64)
+        } else {
+            None
+        };
+        consume(i, r.access_delay().as_secs_f64(), queue);
+    }
+    run.recycle();
+}
+
+/// Execute a scenario in streaming-summary mode (see module docs).
+pub fn run_summary(scenario: &(impl Scenario + ?Sized), seed: u64) -> TransientSummary {
+    let acc = replicate::run_reduce(
+        scenario.reps(),
+        seed,
+        |_, s, acc: &mut SummaryAcc| {
+            replicate_once(scenario, s, |i, delay, queue| {
+                acc.delays.push(i, delay);
+                if let Some(q) = queue {
+                    acc.queues.push(i, q);
+                }
+            });
+        },
+        SummaryAcc::default,
+        Accumulate::merge,
+    );
+    TransientSummary {
+        delays: acc.delays,
+        queue_sizes: acc.queues,
+        reps: scenario.reps(),
+    }
+}
+
+/// Execute a scenario in dense mode, retaining at most `cap` raw
+/// samples per packet index (deterministic decimation beyond that).
+pub fn run_dense(scenario: &(impl Scenario + ?Sized), seed: u64, cap: usize) -> TransientData {
+    let acc = replicate::run_reduce(
+        scenario.reps(),
+        seed,
+        |_, s, acc: &mut DenseAcc| {
+            let mut delays = Vec::with_capacity(scenario.train().n);
+            let mut queues = Vec::new();
+            replicate_once(scenario, s, |_, delay, queue| {
+                delays.push(delay);
+                if let Some(q) = queue {
+                    queues.push(q);
+                }
+            });
+            acc.delays.push_replication(&delays);
+            if !queues.is_empty() {
+                acc.queues.push_replication(&queues);
+            }
+        },
+        || DenseAcc {
+            delays: IndexedSeries::with_cap(cap),
+            queues: IndexedSeries::with_cap(cap),
+        },
+        Accumulate::merge,
+    );
+    TransientData {
+        delays: acc.delays,
+        queue_sizes: acc.queues,
+    }
+}
+
+impl TransientExperiment {
+    /// Run all replications in streaming mode (thread-parallel,
+    /// deterministic): per-index moments only, O(train length) memory.
+    pub fn run(&self) -> TransientSummary {
+        run_summary(self, self.seed)
+    }
+
+    /// Run all replications retaining raw per-index samples (for KS
+    /// profiles and histograms), capped at `cap` samples per index.
+    pub fn run_dense(&self, cap: usize) -> TransientData {
+        run_dense(self, self.seed, cap)
+    }
+}
+
+/// Streaming result of a [`Scenario`]: per-index moments of the access
+/// delay and of the first contending station's queue size.
+#[derive(Debug, Clone)]
+pub struct TransientSummary {
+    /// Per-index access-delay moments (seconds).
+    pub delays: IndexedStats,
+    /// Per-index contending-queue-size moments (empty when the link has
+    /// no contenders).
+    pub queue_sizes: IndexedStats,
+    /// Replications executed.
+    pub reps: usize,
+}
+
+impl TransientSummary {
+    /// Per-index mean access delay (Fig 6), seconds.
+    pub fn mean_profile(&self) -> Vec<f64> {
+        self.delays.means()
+    }
+
+    /// Pooled moments of the last `last_k` packet indices — the paper's
+    /// steady-state statistics (e.g. the last 500 of 1000) without
+    /// materialising the pooled sample.
+    pub fn steady_stats(&self, last_k: usize) -> OnlineStats {
+        let n = self.delays.len();
+        self.delays.pooled_stats(n.saturating_sub(last_k), n)
+    }
+
+    /// Mean of the steady-state pool.
+    pub fn steady_mean(&self, last_k: usize) -> f64 {
+        self.steady_stats(last_k).mean()
+    }
+
+    /// §4.1 transient length at relative `tolerance` (Fig 10).
+    pub fn transient_length(&self, last_k: usize, tolerance: f64) -> TransientEstimate {
+        self.delays
+            .transient_length(self.steady_mean(last_k), tolerance)
+    }
+
+    /// Transient length with an **absolute** tolerance in seconds (the
+    /// paper's Fig 10 "0.1/0.01" values read as milliseconds).
+    pub fn transient_length_abs(&self, last_k: usize, tol_seconds: f64) -> TransientEstimate {
+        csmaprobe_stats::transient::transient_length_of_means_abs(
+            &self.mean_profile(),
+            self.steady_mean(last_k),
+            tol_seconds,
+        )
+    }
+
+    /// Per-index mean contending-station queue size (Fig 8 bottom).
+    pub fn queue_profile(&self) -> Vec<f64> {
+        self.queue_sizes.means()
+    }
+}
+
+/// Dense per-index data from a [`Scenario`] (raw samples, reservoir
+/// capped): what the KS analyses of Figs 7–9 need.
 #[derive(Debug, Clone)]
 pub struct TransientData {
     /// Access delay (seconds) of packet index `i` across replications.
@@ -35,38 +253,6 @@ pub struct TransientData {
     /// Queue length of the first contending station sampled at each
     /// probe packet's arrival (empty when the link has no contenders).
     pub queue_sizes: IndexedSeries,
-}
-
-impl TransientExperiment {
-    /// Run all replications (thread-parallel, deterministic).
-    pub fn run(&self) -> TransientData {
-        let has_contender = !self.link.config().contending.is_empty();
-        let per_rep: Vec<(Vec<f64>, Vec<f64>)> = replicate::run(self.reps, self.seed, |_, s| {
-            let run: WlanTrainRun = self.link.send_train(self.train, s);
-            let delays = run.access_delays_s();
-            let queues = if has_contender {
-                run.contending_queue_at_probe_arrivals(0)
-                    .into_iter()
-                    .map(|q| q as f64)
-                    .collect()
-            } else {
-                Vec::new()
-            };
-            (delays, queues)
-        });
-        let mut delays = IndexedSeries::new();
-        let mut queue_sizes = IndexedSeries::new();
-        for (d, q) in &per_rep {
-            delays.push_replication(d);
-            if !q.is_empty() {
-                queue_sizes.push_replication(q);
-            }
-        }
-        TransientData {
-            delays,
-            queue_sizes,
-        }
-    }
 }
 
 impl TransientData {
@@ -167,7 +353,7 @@ mod tests {
             reps: 300,
             seed: 0xF1608,
         };
-        let data = exp.run();
+        let data = exp.run_dense(usize::MAX);
         let ks = data.ks_profile(75, 0.05);
         // Index 0 differs from steady state.
         assert!(ks[0].reject, "first packet should be off steady state");
@@ -225,5 +411,76 @@ mod tests {
         let a = exp.run().mean_profile();
         let b = exp.run().mean_profile();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn summary_agrees_with_dense() {
+        // The streaming summary and the (uncapped) dense path are two
+        // views of the same replications: identical means up to
+        // floating-point rounding.
+        let link = WlanLink::new(LinkConfig::default().contending_bps(3_000_000.0));
+        let exp = TransientExperiment {
+            link,
+            train: ProbeTrain::from_rate(50, 1500, 5_000_000.0),
+            reps: 60,
+            seed: 0xABCD,
+        };
+        let summary = exp.run();
+        let dense = exp.run_dense(usize::MAX);
+        let a = summary.mean_profile();
+        let b = dense.mean_profile();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-12, "{x} vs {y}");
+        }
+        assert!(
+            (summary.steady_mean(25) - dense.steady_mean(25)).abs()
+                / dense.steady_mean(25)
+                < 1e-9
+        );
+        let qa = summary.queue_profile();
+        let qb = dense.queue_profile();
+        for (x, y) in qa.iter().zip(&qb) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn dense_cap_bounds_samples_per_index() {
+        let link = WlanLink::new(LinkConfig::default().contending_bps(3_000_000.0));
+        let exp = TransientExperiment {
+            link,
+            train: ProbeTrain::from_rate(20, 1500, 5_000_000.0),
+            reps: 100,
+            seed: 0xBEEF,
+        };
+        let data = exp.run_dense(16);
+        for i in 0..20 {
+            assert!(data.delays.sample(i).len() <= 16, "index {i} over cap");
+        }
+        // Capped means are still close to the full-data means.
+        let full = exp.run_dense(usize::MAX);
+        let steady_capped = data.steady_mean(10);
+        let steady_full = full.steady_mean(10);
+        assert!(
+            (steady_capped - steady_full).abs() / steady_full < 0.25,
+            "{steady_capped} vs {steady_full}"
+        );
+    }
+
+    #[test]
+    fn scenario_trait_is_object_usable() {
+        let link = WlanLink::new(LinkConfig::default().contending_bps(2_000_000.0));
+        let exp = TransientExperiment {
+            link,
+            train: ProbeTrain::from_rate(10, 1500, 4_000_000.0),
+            reps: 8,
+            seed: 5,
+        };
+        let s: &dyn Scenario = &exp;
+        assert_eq!(s.name(), "transient");
+        assert_eq!(s.reps(), 8);
+        let summary = run_summary(s, 5);
+        assert_eq!(summary.mean_profile().len(), 10);
     }
 }

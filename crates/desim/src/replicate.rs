@@ -1,26 +1,229 @@
-//! Thread-parallel Monte-Carlo replication.
+//! Thread-parallel Monte-Carlo replication: the scenario engine's
+//! streaming map-reduce spine.
 //!
 //! The paper's results are averages over very many independent
 //! repetitions (80 testbed runs; 25 000 NS2 runs; 70 000 Matlab runs).
-//! [`run`] executes `reps` independent replications of a closure across
-//! all available cores and returns the results **in replication order**,
-//! so downstream statistics are identical to a sequential run.
+//! Three entry points share one chunked execution core:
+//!
+//! * [`run`] — materialise every per-replication output in replication
+//!   order (for analyses that need raw samples).
+//! * [`run_fold`] — fold per-replication outputs into an accumulator in
+//!   replication order, without holding all outputs at once.
+//! * [`run_reduce`] — fully streaming map-reduce: each worker folds its
+//!   replications directly into a chunk accumulator and chunk
+//!   accumulators are merged **in deterministic chunk order**, so peak
+//!   memory is O(workers × accumulator) instead of O(reps × output).
 //!
 //! Determinism: replication `i` always receives `derive_seed(master, i)`
-//! regardless of which thread executes it, so the result set is a pure
-//! function of `(master_seed, reps)`.
+//! and chunk accumulators are always merged in ascending chunk index,
+//! regardless of which thread executes what. The result is a pure
+//! function of `(master_seed, reps)` — bit-identical across repeated
+//! runs and across differing worker counts.
+//!
+//! Worker budget: concurrent callers (e.g. figures scheduled in
+//! parallel by `all_figures`) share one process-wide budget of
+//! `available_parallelism() − 1` extra workers, so nested parallelism
+//! never oversubscribes the machine: every call is guaranteed its own
+//! calling thread and borrows extra workers only while it runs.
+//! [`set_worker_limit`] (or the `CSMAPROBE_WORKERS` environment
+//! variable) pins the worker count explicitly, bypassing the budget —
+//! useful for tests and for reproducing scheduling-sensitive timings.
 
 use crate::rng::derive_seed;
+use std::collections::BTreeMap;
+use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
 
-/// Number of worker threads to use: the available parallelism, capped so
-/// tiny jobs do not pay thread spawn cost.
-fn worker_count(reps: usize) -> usize {
-    let hw = std::thread::available_parallelism()
+/// Replications per chunk. The chunk grid is what makes streaming
+/// reduction deterministic: merges always happen on chunk boundaries in
+/// chunk order, so floating-point results do not depend on the worker
+/// count. Smaller chunks increase scheduling overhead; larger chunks
+/// reduce load-balance quality.
+pub const CHUNK: usize = 32;
+
+/// Explicit worker-count override; 0 means "auto" (hardware budget).
+static WORKER_LIMIT: AtomicUsize = AtomicUsize::new(0);
+
+/// Pin the number of workers every subsequent replication call uses
+/// (bypassing the shared budget). `0` restores automatic sizing.
+///
+/// Results never depend on this — it exists for tests that prove that
+/// claim and for controlled benchmarking.
+pub fn set_worker_limit(n: usize) {
+    WORKER_LIMIT.store(n, Ordering::Relaxed);
+}
+
+/// The explicit worker limit: the `CSMAPROBE_WORKERS` environment
+/// variable at first use, overridden by [`set_worker_limit`].
+fn worker_limit() -> usize {
+    static ENV: OnceLock<usize> = OnceLock::new();
+    let env = *ENV.get_or_init(|| {
+        std::env::var("CSMAPROBE_WORKERS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0)
+    });
+    let set = WORKER_LIMIT.load(Ordering::Relaxed);
+    if set > 0 {
+        set
+    } else {
+        env
+    }
+}
+
+/// Hardware parallelism (≥ 1).
+fn hardware_workers() -> usize {
+    std::thread::available_parallelism()
         .map(|n| n.get())
-        .unwrap_or(1);
-    hw.min(reps).max(1)
+        .unwrap_or(1)
+}
+
+/// Process-wide budget of *extra* workers (beyond each caller's own
+/// thread), shared by all concurrent replication calls.
+mod budget {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::OnceLock;
+
+    fn pool() -> &'static AtomicUsize {
+        static POOL: OnceLock<AtomicUsize> = OnceLock::new();
+        POOL.get_or_init(|| AtomicUsize::new(super::hardware_workers().saturating_sub(1)))
+    }
+
+    /// Take up to `want` extra-worker permits; returns how many were
+    /// granted (possibly 0). Never blocks.
+    pub fn acquire(want: usize) -> usize {
+        let pool = pool();
+        let mut avail = pool.load(Ordering::Relaxed);
+        loop {
+            let take = want.min(avail);
+            if take == 0 {
+                return 0;
+            }
+            match pool.compare_exchange_weak(
+                avail,
+                avail - take,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return take,
+                Err(now) => avail = now,
+            }
+        }
+    }
+
+    /// Return `n` permits to the pool.
+    pub fn release(n: usize) {
+        if n > 0 {
+            pool().fetch_add(n, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Borrow up to `want` extra-worker permits from the shared budget;
+/// returns how many were granted (possibly 0), never blocks.
+///
+/// For callers that schedule their own concurrency *around* replication
+/// calls (e.g. the figure scheduler running whole experiments in
+/// parallel): borrowing scheduler threads from the same pool keeps the
+/// process's total CPU-bound thread count at the hardware parallelism.
+/// Pair every grant with [`release_workers`].
+pub fn acquire_workers(want: usize) -> usize {
+    budget::acquire(want)
+}
+
+/// Return `n` permits taken with [`acquire_workers`].
+pub fn release_workers(n: usize) {
+    budget::release(n)
+}
+
+/// The replication index range of chunk `c`.
+fn chunk_range(c: usize, reps: usize) -> Range<usize> {
+    let start = c * CHUNK;
+    start..((start + CHUNK).min(reps))
+}
+
+/// Chunked execution core: produce one `C` per chunk of replication
+/// indices (in parallel, work-stealing over chunks) and hand the chunk
+/// outputs to `consume` **in ascending chunk order**.
+///
+/// `consume` runs under a lock from whichever worker completes the
+/// next-in-order chunk; out-of-order chunk outputs are parked in a
+/// bounded reorder window (at most ~one entry per worker in practice).
+fn run_chunks<C, F, G>(reps: usize, make: F, mut consume: G)
+where
+    C: Send,
+    F: Fn(Range<usize>) -> C + Sync,
+    G: FnMut(C) + Send,
+{
+    if reps == 0 {
+        return;
+    }
+    let chunks = reps.div_ceil(CHUNK);
+
+    // Worker plan: an explicit limit wins; otherwise one worker (the
+    // calling thread) plus whatever the shared budget grants.
+    let explicit = worker_limit();
+    let (workers, borrowed) = if explicit > 0 {
+        (explicit.min(chunks).max(1), 0)
+    } else {
+        let want = hardware_workers().min(chunks);
+        let extra = budget::acquire(want.saturating_sub(1));
+        (1 + extra, extra)
+    };
+
+    if workers == 1 {
+        for c in 0..chunks {
+            consume(make(chunk_range(c, reps)));
+        }
+        budget::release(borrowed);
+        return;
+    }
+
+    struct Reorder<C, G> {
+        next_emit: usize,
+        pending: BTreeMap<usize, C>,
+        consume: G,
+    }
+    let next_chunk = AtomicUsize::new(0);
+    let reorder = Mutex::new(Reorder {
+        next_emit: 0,
+        pending: BTreeMap::new(),
+        consume: &mut consume,
+    });
+
+    let worker = || loop {
+        let c = next_chunk.fetch_add(1, Ordering::Relaxed);
+        if c >= chunks {
+            break;
+        }
+        let out = make(chunk_range(c, reps));
+        let mut r = reorder.lock().unwrap();
+        if c == r.next_emit {
+            (r.consume)(out);
+            r.next_emit += 1;
+            loop {
+                let next = r.next_emit;
+                match r.pending.remove(&next) {
+                    Some(ready) => {
+                        (r.consume)(ready);
+                        r.next_emit += 1;
+                    }
+                    None => break,
+                }
+            }
+        } else {
+            r.pending.insert(c, out);
+        }
+    };
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers - 1 {
+            scope.spawn(worker);
+        }
+        worker(); // the calling thread is always a worker
+    });
+    budget::release(borrowed);
 }
 
 /// Run `reps` independent replications of `f` in parallel.
@@ -45,81 +248,113 @@ where
     T: Send,
     F: Fn(usize, u64) -> T + Sync,
 {
-    if reps == 0 {
-        return Vec::new();
-    }
-    let workers = worker_count(reps);
-    if workers == 1 {
-        return (0..reps)
-            .map(|i| f(i, derive_seed(master_seed, i as u64)))
-            .collect();
-    }
-
-    let mut slots: Vec<Option<T>> = Vec::with_capacity(reps);
-    slots.resize_with(reps, || None);
-    let slots = Mutex::new(slots);
-    let next = AtomicUsize::new(0);
-
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| {
-                // Batch of locally-completed results to amortise locking.
-                let mut local: Vec<(usize, T)> = Vec::new();
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= reps {
-                        break;
-                    }
-                    local.push((i, f(i, derive_seed(master_seed, i as u64))));
-                    if local.len() >= 64 {
-                        let mut guard = slots.lock().unwrap();
-                        for (idx, v) in local.drain(..) {
-                            guard[idx] = Some(v);
-                        }
-                    }
-                }
-                if !local.is_empty() {
-                    let mut guard = slots.lock().unwrap();
-                    for (idx, v) in local.drain(..) {
-                        guard[idx] = Some(v);
-                    }
-                }
-            });
-        }
-    });
-
-    slots
-        .into_inner()
-        .unwrap()
-        .into_iter()
-        .map(|s| s.expect("replication slot not filled"))
-        .collect()
+    let mut out: Vec<T> = Vec::with_capacity(reps);
+    run_chunks(
+        reps,
+        |range| {
+            range
+                .map(|i| f(i, derive_seed(master_seed, i as u64)))
+                .collect::<Vec<T>>()
+        },
+        |chunk| out.extend(chunk),
+    );
+    out
 }
 
 /// Run `reps` replications and fold the per-replication outputs into an
 /// accumulator, in replication order.
 ///
-/// Convenience wrapper over [`run`] for the common "average something
-/// across replications" pattern.
+/// Streaming: only one chunk of outputs ([`CHUNK`] replications) is
+/// buffered per worker, never the whole result set.
 pub fn run_fold<T, A, F, G>(reps: usize, master_seed: u64, f: F, init: A, mut fold: G) -> A
 where
     T: Send,
+    A: Send,
     F: Fn(usize, u64) -> T + Sync,
-    G: FnMut(A, T) -> A,
+    G: FnMut(A, T) -> A + Send,
 {
-    let results = run(reps, master_seed, f);
-    let mut acc = init;
-    for r in results {
-        acc = fold(acc, r);
-    }
-    acc
+    let mut acc = Some(init);
+    run_chunks(
+        reps,
+        |range| {
+            range
+                .map(|i| f(i, derive_seed(master_seed, i as u64)))
+                .collect::<Vec<T>>()
+        },
+        |chunk| {
+            let mut a = acc.take().expect("fold accumulator present");
+            for t in chunk {
+                a = fold(a, t);
+            }
+            acc = Some(a);
+        },
+    );
+    acc.expect("fold accumulator present")
+}
+
+/// Fully streaming map-reduce over `reps` replications.
+///
+/// Each worker folds replications straight into a chunk accumulator
+/// (`map(i, seed, &mut acc)`) created by `identity()`; chunk
+/// accumulators are merged with `merge` in **deterministic chunk
+/// order**. Nothing per-replication is ever materialised, so peak
+/// memory is O(workers × accumulator) — this is the hot path behind
+/// every transient experiment.
+///
+/// The result is bit-identical across worker counts because the chunk
+/// grid ([`CHUNK`]) and the merge order are fixed.
+///
+/// ```
+/// use csmaprobe_desim::replicate;
+///
+/// // Streaming mean over 10_000 replications, no Vec of outputs.
+/// let (n, sum) = replicate::run_reduce(
+///     10_000,
+///     42,
+///     |_, seed, acc: &mut (u64, f64)| {
+///         let mut rng = csmaprobe_desim::rng::SimRng::new(seed);
+///         acc.0 += 1;
+///         acc.1 += rng.f64();
+///     },
+///     || (0u64, 0.0f64),
+///     |a, b| {
+///         a.0 += b.0;
+///         a.1 += b.1;
+///     },
+/// );
+/// assert_eq!(n, 10_000);
+/// assert!((sum / n as f64 - 0.5).abs() < 0.02);
+/// ```
+pub fn run_reduce<A, F, I, M>(reps: usize, master_seed: u64, map: F, identity: I, merge: M) -> A
+where
+    A: Send,
+    F: Fn(usize, u64, &mut A) + Sync,
+    I: Fn() -> A + Sync,
+    M: Fn(&mut A, A) + Send + Sync,
+{
+    let mut global: Option<A> = None;
+    run_chunks(
+        reps,
+        |range| {
+            let mut acc = identity();
+            for i in range {
+                map(i, derive_seed(master_seed, i as u64), &mut acc);
+            }
+            acc
+        },
+        |chunk| match &mut global {
+            None => global = Some(chunk),
+            Some(g) => merge(g, chunk),
+        },
+    );
+    global.unwrap_or_else(identity)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::rng::SimRng;
     use crate::rng::RngCore;
+    use crate::rng::SimRng;
 
     #[test]
     fn results_in_replication_order() {
@@ -151,6 +386,10 @@ mod tests {
     fn zero_reps_is_empty() {
         let out: Vec<u64> = run(0, 1, |_, s| s);
         assert!(out.is_empty());
+        let folded = run_fold(0, 1, |_, s| s, 17u64, |a, b| a + b);
+        assert_eq!(folded, 17);
+        let reduced = run_reduce(0, 1, |_, _, a: &mut u64| *a += 1, || 0u64, |a, b| *a += b);
+        assert_eq!(reduced, 0);
     }
 
     #[test]
@@ -160,5 +399,75 @@ mod tests {
             acc
         });
         assert_eq!(s, (0..10).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn run_reduce_counts_every_replication() {
+        let n = run_reduce(
+            1000,
+            1,
+            |_, _, acc: &mut u64| *acc += 1,
+            || 0u64,
+            |a, b| *a += b,
+        );
+        assert_eq!(n, 1000);
+    }
+
+    #[test]
+    fn run_reduce_sees_correct_seeds_in_chunk_order() {
+        // Accumulate (index, seed) pairs; deterministic chunk-ordered
+        // merge must reconstruct exact replication order.
+        let pairs = run_reduce(
+            150,
+            11,
+            |i, s, acc: &mut Vec<(usize, u64)>| acc.push((i, s)),
+            Vec::new,
+            |a, b| a.extend(b),
+        );
+        assert_eq!(pairs.len(), 150);
+        for (i, (idx, seed)) in pairs.iter().enumerate() {
+            assert_eq!(*idx, i);
+            assert_eq!(*seed, derive_seed(11, i as u64));
+        }
+    }
+
+    #[test]
+    fn run_reduce_bit_identical_across_worker_counts() {
+        // Floating-point accumulation is merge-order sensitive; the
+        // chunk grid must make the result independent of worker count.
+        let job = || {
+            run_reduce(
+                500,
+                0xD15C,
+                |_, seed, acc: &mut (f64, f64)| {
+                    let x = SimRng::new(seed).f64();
+                    acc.0 += x;
+                    acc.1 += x * x;
+                },
+                || (0.0f64, 0.0f64),
+                |a, b| {
+                    a.0 += b.0;
+                    a.1 += b.1;
+                },
+            )
+        };
+        set_worker_limit(1);
+        let solo = job();
+        set_worker_limit(4);
+        let quad = job();
+        set_worker_limit(0);
+        assert_eq!(solo.0.to_bits(), quad.0.to_bits());
+        assert_eq!(solo.1.to_bits(), quad.1.to_bits());
+    }
+
+    #[test]
+    fn run_bit_identical_across_worker_counts() {
+        let job = || run(300, 77, |_, seed| SimRng::new(seed).next_u64());
+        set_worker_limit(1);
+        let solo = job();
+        set_worker_limit(3);
+        let tri = job();
+        set_worker_limit(0);
+        assert_eq!(solo, tri);
     }
 }

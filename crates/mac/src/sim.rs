@@ -29,6 +29,95 @@ use csmaprobe_phy::Phy;
 use csmaprobe_traffic::{PacketArrival, Source};
 use std::collections::VecDeque;
 
+/// Thread-local recycling of per-replication simulation allocations.
+///
+/// Monte-Carlo replication builds and tears down a [`WlanSim`] per
+/// replication; within one worker thread the transmission-queue deques
+/// and packet-record vectors are identical in shape run after run, so
+/// they are parked here instead of returned to the allocator. A run
+/// reclaims its queues automatically; record buffers flow back when the
+/// consumer calls [`SimOutput::recycle`] after extracting what it
+/// needs. Purely an allocation cache — contents are always cleared, so
+/// simulation results are unaffected.
+mod pool {
+    use super::PacketRecord;
+    use csmaprobe_desim::time::Time;
+    use std::cell::RefCell;
+    use std::collections::VecDeque;
+
+    /// Spare buffers kept per thread (beyond this, buffers drop).
+    const MAX_SPARES: usize = 64;
+
+    #[derive(Default)]
+    struct Pool {
+        queues: Vec<VecDeque<(Time, u32, u16)>>,
+        records: Vec<Vec<PacketRecord>>,
+        reuses: u64,
+    }
+
+    thread_local! {
+        static POOL: RefCell<Pool> = RefCell::new(Pool::default());
+    }
+
+    pub(super) fn take_queue() -> VecDeque<(Time, u32, u16)> {
+        POOL.with(|p| {
+            let mut p = p.borrow_mut();
+            match p.queues.pop() {
+                Some(q) => {
+                    p.reuses += 1;
+                    q
+                }
+                None => VecDeque::new(),
+            }
+        })
+    }
+
+    pub(super) fn give_queue(mut q: VecDeque<(Time, u32, u16)>) {
+        q.clear();
+        POOL.with(|p| {
+            let mut p = p.borrow_mut();
+            if p.queues.len() < MAX_SPARES {
+                p.queues.push(q);
+            }
+        });
+    }
+
+    pub(super) fn take_records() -> Vec<PacketRecord> {
+        POOL.with(|p| {
+            let mut p = p.borrow_mut();
+            match p.records.pop() {
+                Some(v) => {
+                    p.reuses += 1;
+                    v
+                }
+                None => Vec::new(),
+            }
+        })
+    }
+
+    pub(super) fn give_records(mut v: Vec<PacketRecord>) {
+        v.clear();
+        POOL.with(|p| {
+            let mut p = p.borrow_mut();
+            if p.records.len() < MAX_SPARES {
+                p.records.push(v);
+            }
+        });
+    }
+
+    /// How many buffers this thread has reused so far (for tests and
+    /// diagnostics).
+    pub fn reuse_count() -> u64 {
+        POOL.with(|p| p.borrow().reuses)
+    }
+}
+
+/// Number of recycled simulation buffers this thread has reused (see
+/// the module-internal pool; exposed for tests and diagnostics).
+pub fn sim_pool_reuses() -> u64 {
+    pool::reuse_count()
+}
+
 /// Identifier of a station inside one [`WlanSim`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct StationId(pub usize);
@@ -116,12 +205,22 @@ impl Station {
 /// then [`WlanSim::run`]. Each station's RNG stream is derived from the
 /// master seed and the station index, so results are a pure function of
 /// `(phy, sources, seed)`.
+/// Early-termination rule: stop once a station has completed a number
+/// of packets of one flow.
+#[derive(Debug, Clone, Copy)]
+struct StopRule {
+    station: usize,
+    flow: u16,
+    remaining: usize,
+}
+
 pub struct WlanSim {
     phy: Phy,
     seed: u64,
     options: MacOptions,
     stations: Vec<Station>,
     collisions: u64,
+    stop_rule: Option<StopRule>,
 }
 
 /// Aggregate channel airtime accounting over a run.
@@ -181,7 +280,21 @@ impl WlanSim {
             options: MacOptions::default(),
             stations: Vec::new(),
             collisions: 0,
+            stop_rule: None,
         }
+    }
+
+    /// Stop the run as soon as `station` has completed (delivered or
+    /// dropped) `count` packets of `flow` — everything before the stop
+    /// instant is identical to an un-stopped run, so probing
+    /// experiments skip the dead cross-traffic-only tail of their
+    /// worst-case horizon.
+    pub fn stop_after_flow(&mut self, station: StationId, flow: u16, count: usize) {
+        self.stop_rule = Some(StopRule {
+            station: station.0,
+            flow,
+            remaining: count,
+        });
     }
 
     /// Override the MAC behaviour options (defaults to the paper's
@@ -205,14 +318,14 @@ impl WlanSim {
             source,
             rng,
             next_arrival: None,
-            queue: VecDeque::new(),
+            queue: pool::take_queue(),
             head_since: Time::ZERO,
             slots_left: 0,
             count_start: Time::ZERO,
             contending: false,
             stage: 0,
             retries: 0,
-            records: Vec::new(),
+            records: pool::take_records(),
         });
         StationId(idx)
     }
@@ -233,6 +346,7 @@ impl WlanSim {
         let mut channel_free_at = Time::ZERO;
         let mut last_done = Time::ZERO;
         let mut channel = ChannelStats::default();
+        let mut stop = self.stop_rule;
 
         // Prime every station's arrival look-ahead.
         for st in &mut self.stations {
@@ -240,6 +354,13 @@ impl WlanSim {
         }
 
         loop {
+            // Early termination: the watched flow has fully completed;
+            // everything recorded so far is identical to an un-stopped
+            // run, and the rest of the horizon is dead weight.
+            if stop.is_some_and(|s| s.remaining == 0) {
+                break;
+            }
+
             // Earliest pending arrival across stations.
             let mut next_arr = Time::MAX;
             let mut arr_station = usize::MAX;
@@ -370,6 +491,11 @@ impl WlanSim {
                             dropped: true,
                             flow,
                         });
+                        if let Some(s) = stop.as_mut() {
+                            if s.station == w && s.flow == flow {
+                                s.remaining = s.remaining.saturating_sub(1);
+                            }
+                        }
                         last_done = last_done.max(fail_end);
                         st.queue.pop_front();
                         Self::rearm_after_completion(st, &self.phy, fail_end);
@@ -393,6 +519,11 @@ impl WlanSim {
                         dropped: false,
                         flow,
                     });
+                    if let Some(s) = stop.as_mut() {
+                        if s.station == w && s.flow == flow {
+                            s.remaining = s.remaining.saturating_sub(1);
+                        }
+                    }
                     last_done = last_done.max(done);
                     st.queue.pop_front();
                     Self::rearm_after_completion(st, &self.phy, done);
@@ -437,6 +568,11 @@ impl WlanSim {
                             dropped: true,
                             flow,
                         });
+                        if let Some(s) = stop.as_mut() {
+                            if s.station == i && s.flow == flow {
+                                s.remaining = s.remaining.saturating_sub(1);
+                            }
+                        }
                         last_done = last_done.max(busy_end);
                         st.queue.pop_front();
                         Self::rearm_after_completion(st, &self.phy, busy_end);
@@ -455,16 +591,24 @@ impl WlanSim {
                     st.count_start = anchor;
                 }
             }
+
+        }
+
+        // Teardown doubles as the reuse path: queue deques go straight
+        // back to the thread-local pool, record buffers follow when the
+        // consumer calls [`SimOutput::recycle`].
+        let mut station_records = Vec::with_capacity(self.stations.len());
+        let mut unfinished = Vec::with_capacity(self.stations.len());
+        for st in &mut self.stations {
+            station_records.push(std::mem::take(&mut st.records));
+            unfinished.push(st.queue.iter().map(|&(a, _, _)| a).collect());
+            pool::give_queue(std::mem::take(&mut st.queue));
         }
 
         SimOutput {
             phy: self.phy,
-            station_records: self.stations.iter_mut().map(|s| std::mem::take(&mut s.records)).collect(),
-            unfinished: self
-                .stations
-                .iter()
-                .map(|s| s.queue.iter().map(|&(a, _, _)| a).collect())
-                .collect(),
+            station_records,
+            unfinished,
             collisions: self.collisions,
             channel,
             horizon,
@@ -561,6 +705,16 @@ impl SimOutput {
     /// The PHY the simulation used.
     pub fn phy(&self) -> &Phy {
         &self.phy
+    }
+
+    /// Return this output's record buffers to the thread-local
+    /// simulation pool so the next [`WlanSim`] on this worker reuses
+    /// their allocations. Call after extracting everything needed; the
+    /// buffers are cleared, never the data copied.
+    pub fn recycle(mut self) {
+        for v in self.station_records.drain(..) {
+            pool::give_records(v);
+        }
     }
 }
 
@@ -811,6 +965,86 @@ mod tests {
         let tb = out.throughput_bps(big, horizon);
         // DCF is per-frame fair, so byte throughput favours big frames.
         assert!(tb > 5.0 * ts, "small {ts} big {tb}");
+    }
+
+    #[test]
+    fn early_stop_preserves_watched_flow_records() {
+        // A probe-like trace against a long-lived cross source: stopping
+        // when the trace completes must leave the trace's records
+        // bit-identical to the full-horizon run.
+        let horizon = Time::from_secs_f64(20.0);
+        let build = |stop: bool| {
+            let mut sim = WlanSim::new(phy(), 4242);
+            let probe = sim.add_station(trace(&[1000, 3000, 5000, 7000, 9000], 1500));
+            let _cross = sim.add_station(Box::new(PoissonSource::from_bitrate(
+                2_000_000.0,
+                SizeModel::Fixed(1500),
+                Time::ZERO,
+                horizon,
+            )));
+            if stop {
+                sim.stop_after_flow(probe, 0, 5);
+            }
+            let out = sim.run(horizon);
+            (out.records(probe).to_vec(), out.last_done)
+        };
+        let (full, _) = build(false);
+        let (stopped, stopped_last) = build(true);
+        assert_eq!(full, stopped);
+        // And the stopped run really ended early: nothing after the
+        // probe's completion was simulated.
+        assert_eq!(stopped_last, stopped.last().unwrap().done);
+    }
+
+    #[test]
+    fn early_stop_counts_drops_too() {
+        // Saturated colliding stations with a tiny retry budget drop
+        // frames; the stop rule must count those completions as well
+        // and terminate.
+        let mut p = phy();
+        p.retry_limit = 0;
+        let mut sim = WlanSim::new(p, 77);
+        let a = sim.add_station(saturated_source(1500, 50));
+        let _b = sim.add_station(saturated_source(1500, 50));
+        sim.stop_after_flow(a, 0, 10);
+        let out = sim.run(Time::MAX);
+        assert_eq!(out.records(a).len(), 10);
+    }
+
+    #[test]
+    fn pool_reuses_buffers_across_runs() {
+        let run_once = || {
+            let mut sim = WlanSim::new(phy(), 5);
+            let st = sim.add_station(trace(&[0, 10, 20], 1500));
+            let out = sim.run(Time::MAX);
+            assert_eq!(out.records(st).len(), 3);
+            out.recycle();
+        };
+        run_once(); // seeds the pool (queue recycled at teardown)
+        let before = sim_pool_reuses();
+        run_once(); // must draw both queue and records from the pool
+        let after = sim_pool_reuses();
+        assert!(
+            after >= before + 2,
+            "expected ≥2 buffer reuses, got {}",
+            after - before
+        );
+    }
+
+    #[test]
+    fn recycled_runs_stay_deterministic() {
+        let run_once = || {
+            let mut sim = WlanSim::new(phy(), 99);
+            let a = sim.add_station(saturated_source(1500, 200));
+            let _b = sim.add_station(saturated_source(1000, 200));
+            let out = sim.run(Time::MAX);
+            let recs = out.records(a).to_vec();
+            out.recycle();
+            recs
+        };
+        let r1 = run_once();
+        let r2 = run_once();
+        assert_eq!(r1, r2);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 
 use csmaprobe_core::link::ProbeTarget;
 use csmaprobe_desim::replicate;
+use csmaprobe_stats::accumulate::Accumulate;
 use csmaprobe_stats::online::OnlineStats;
 use csmaprobe_stats::transient::IndexedSeries;
 use csmaprobe_traffic::probe::ProbeTrain;
@@ -31,10 +32,24 @@ pub struct TrainProbe {
     pub train: ProbeTrain,
 }
 
-/// One replication's raw observation: mean output gap (if the train
-/// completed), per-position receiver gaps, and per-position access
-/// delays (when the target exposes them).
-type RepObservation = (Option<f64>, Vec<f64>, Option<Vec<f64>>);
+/// Streaming accumulator of a train measurement (merged in chunk order
+/// by the scenario engine's reduce).
+#[derive(Debug, Clone, Default)]
+struct TrainAcc {
+    gaps: OnlineStats,
+    incomplete: usize,
+    delays: IndexedSeries,
+    receiver_gaps: IndexedSeries,
+}
+
+impl Accumulate for TrainAcc {
+    fn merge(&mut self, other: Self) {
+        OnlineStats::merge(&mut self.gaps, &other.gaps);
+        self.incomplete += other.incomplete;
+        self.delays.merge(other.delays);
+        self.receiver_gaps.merge(other.receiver_gaps);
+    }
+}
 
 impl TrainProbe {
     /// A probe of `n` packets of `bytes` payload at input rate
@@ -53,33 +68,32 @@ impl TrainProbe {
         seed: u64,
     ) -> TrainMeasurement {
         let train = self.train;
-        let per_rep: Vec<RepObservation> =
-            replicate::run(reps, seed, |_, s| {
+        // Streaming map-reduce: each replication folds straight into a
+        // chunk accumulator; nothing per-replication is materialised.
+        let acc = replicate::run_reduce(
+            reps,
+            seed,
+            |_, s, acc: &mut TrainAcc| {
                 let obs = target.probe_train(train, s);
-                (obs.output_gap_s(), obs.receiver_gaps_s(), obs.access_delays)
-            });
-
-        let mut gaps = OnlineStats::new();
-        let mut delays = IndexedSeries::new();
-        let mut receiver_gaps = IndexedSeries::new();
-        let mut incomplete = 0usize;
-        for (go, rg, mu) in &per_rep {
-            match go {
-                Some(g) => gaps.push(*g),
-                None => incomplete += 1,
-            }
-            receiver_gaps.push_replication(rg);
-            if let Some(mu) = mu {
-                delays.push_replication(mu);
-            }
-        }
+                match obs.output_gap_s() {
+                    Some(g) => acc.gaps.push(g),
+                    None => acc.incomplete += 1,
+                }
+                acc.receiver_gaps.push_replication(&obs.receiver_gaps_s());
+                if let Some(mu) = &obs.access_delays {
+                    acc.delays.push_replication(mu);
+                }
+            },
+            TrainAcc::default,
+            Accumulate::merge,
+        );
         TrainMeasurement {
             train,
             reps,
-            incomplete,
-            output_gap: gaps,
-            access_delays: delays,
-            receiver_gaps,
+            incomplete: acc.incomplete,
+            output_gap: acc.gaps,
+            access_delays: acc.delays,
+            receiver_gaps: acc.receiver_gaps,
         }
     }
 }

@@ -1,0 +1,58 @@
+//! The mergeable-accumulator abstraction behind streaming replication.
+//!
+//! The scenario engine (`csmaprobe_desim::replicate::run_reduce`) folds
+//! each replication into a per-worker accumulator and merges the
+//! accumulators in deterministic chunk order. [`Accumulate`] is the
+//! contract those accumulators satisfy: an associative combine whose
+//! result matches having pushed both observation streams into a single
+//! accumulator (exactly, or up to floating-point rounding / a
+//! documented approximation — see each implementor).
+//!
+//! Implementors in this crate:
+//!
+//! * [`crate::online::OnlineStats`] — Chan et al. parallel update
+//!   (exact up to rounding).
+//! * [`crate::p2::P2Quantile`] — count-weighted marker merge
+//!   (approximate; property-tested against sequential push).
+//! * [`crate::histogram::Histogram`] — bin-wise count addition (exact;
+//!   panics on mismatched binning).
+//! * [`crate::transient::IndexedSeries`] — per-index sample
+//!   concatenation (exact; respects the per-index cap).
+//! * [`crate::transient::IndexedStats`] — per-index [`crate::online::OnlineStats`] merge.
+
+/// An accumulator that can absorb another accumulator of the same
+/// shape, as if the other's observations had been pushed into `self`.
+///
+/// `merge` must be associative, and merging a freshly-created ("empty")
+/// accumulator must be the identity, so that chunk-ordered reduction
+/// over any chunk partition yields the same result as a sequential
+/// pass.
+pub trait Accumulate: Sized {
+    /// Absorb `other` into `self`.
+    fn merge(&mut self, other: Self);
+}
+
+/// Pairs of accumulators merge component-wise — convenient for
+/// experiments that accumulate two quantities per replication.
+impl<A: Accumulate, B: Accumulate> Accumulate for (A, B) {
+    fn merge(&mut self, other: Self) {
+        self.0.merge(other.0);
+        self.1.merge(other.1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::online::OnlineStats;
+
+    #[test]
+    fn tuple_merges_componentwise() {
+        let mut a = (OnlineStats::from_slice(&[1.0]), OnlineStats::from_slice(&[10.0]));
+        let b = (OnlineStats::from_slice(&[3.0]), OnlineStats::from_slice(&[30.0]));
+        a.merge(b);
+        assert_eq!(a.0.count(), 2);
+        assert!((a.0.mean() - 2.0).abs() < 1e-12);
+        assert!((a.1.mean() - 20.0).abs() < 1e-12);
+    }
+}

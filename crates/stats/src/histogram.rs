@@ -90,6 +90,26 @@ impl Histogram {
             .collect()
     }
 
+    /// Merge another histogram's counts into this one. Panics unless
+    /// both share the same range and bin count (merging differently
+    /// binned histograms has no meaningful result).
+    pub fn merge(&mut self, other: &Histogram) {
+        assert!(
+            self.lo == other.lo && self.hi == other.hi && self.counts.len() == other.counts.len(),
+            "merging histograms with different binning: [{}, {})/{} vs [{}, {})/{}",
+            self.lo,
+            self.hi,
+            self.counts.len(),
+            other.lo,
+            other.hi,
+            other.counts.len()
+        );
+        for (c, &o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        self.total += other.total;
+    }
+
     /// The mode's bin centre (first maximal bin on ties).
     pub fn mode(&self) -> f64 {
         let (idx, _) = self
@@ -102,9 +122,37 @@ impl Histogram {
     }
 }
 
+impl crate::accumulate::Accumulate for Histogram {
+    /// Exact: bin-wise count addition (same-binning histograms only).
+    fn merge(&mut self, other: Self) {
+        Histogram::merge(self, &other);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = Histogram::new(0.0, 10.0, 5);
+        let mut b = Histogram::new(0.0, 10.0, 5);
+        a.add(1.0);
+        b.add(1.5);
+        b.add(9.0);
+        a.merge(&b);
+        assert_eq!(a.total(), 3);
+        assert_eq!(a.counts()[0], 2);
+        assert_eq!(a.counts()[4], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "different binning")]
+    fn merge_rejects_mismatched_bins() {
+        let mut a = Histogram::new(0.0, 10.0, 5);
+        let b = Histogram::new(0.0, 10.0, 6);
+        a.merge(&b);
+    }
 
     #[test]
     fn counts_land_in_right_bins() {

@@ -18,7 +18,10 @@
 //! * [`transient`] — per-packet-index accumulators across Monte-Carlo
 //!   replications and the tolerance-based transient-length estimator of
 //!   §4.1 (Fig 10).
+//! * [`accumulate`] — the [`Accumulate`] mergeable-accumulator trait the
+//!   scenario engine's streaming reduce is built on.
 
+pub mod accumulate;
 pub mod autocorr;
 pub mod ecdf;
 pub mod histogram;
@@ -28,9 +31,11 @@ pub mod online;
 pub mod p2;
 pub mod transient;
 
+pub use accumulate::Accumulate;
 pub use ecdf::Ecdf;
 pub use histogram::Histogram;
 pub use ks::{ks_critical_value, two_sample_ks, KsOutcome};
 pub use mser::{mser_m, MserResult};
 pub use online::OnlineStats;
-pub use transient::{IndexedSeries, TransientEstimate};
+pub use p2::P2Quantile;
+pub use transient::{IndexedSeries, IndexedStats, TransientEstimate};

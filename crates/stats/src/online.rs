@@ -160,6 +160,14 @@ impl OnlineStats {
     }
 }
 
+impl crate::accumulate::Accumulate for OnlineStats {
+    /// Exact (up to floating-point rounding): Chan et al. parallel
+    /// update, identical to pushing both streams into one accumulator.
+    fn merge(&mut self, other: Self) {
+        OnlineStats::merge(self, &other);
+    }
+}
+
 /// The standard normal quantile function Φ⁻¹(p) (Acklam's rational
 /// approximation, |ε| < 1.15e-9).
 ///

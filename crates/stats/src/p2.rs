@@ -119,6 +119,95 @@ impl P2Quantile {
         self.q[i] + d * (self.q[j] - self.q[i]) / (self.n[j] - self.n[i])
     }
 
+    /// Merge another estimator of the **same quantile** into this one.
+    ///
+    /// P² keeps only five markers, so an exact merge is impossible; this
+    /// uses the count-weighted marker combination: exact min/max, the
+    /// interior marker heights averaged by observation count, marker
+    /// positions summed. An estimator with five or fewer observations
+    /// still holds its raw sample and is replayed exactly. The result
+    /// agrees with a sequential single-stream pass to within the
+    /// estimator's own accuracy (property-tested in `tests/property.rs`).
+    pub fn merge(&mut self, other: P2Quantile) {
+        assert!(
+            (self.p - other.p).abs() < 1e-12,
+            "merging P² estimators of different quantiles ({} vs {})",
+            self.p,
+            other.p
+        );
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other;
+            return;
+        }
+        // With ≤ 5 observations `init` still holds the raw sample:
+        // replay it exactly.
+        if other.count <= 5 {
+            for &x in &other.init {
+                self.push(x);
+            }
+            return;
+        }
+        if self.count <= 5 {
+            let small = std::mem::replace(self, other);
+            for &x in &small.init {
+                self.push(x);
+            }
+            return;
+        }
+
+        // Both primed: count-weighted marker combination.
+        let wa = self.count as f64;
+        let wb = other.count as f64;
+        let total = self.count + other.count;
+        let mut q = [
+            self.q[0].min(other.q[0]),
+            (self.q[1] * wa + other.q[1] * wb) / (wa + wb),
+            (self.q[2] * wa + other.q[2] * wb) / (wa + wb),
+            (self.q[3] * wa + other.q[3] * wb) / (wa + wb),
+            self.q[4].max(other.q[4]),
+        ];
+        for i in 1..5 {
+            if q[i] < q[i - 1] {
+                q[i] = q[i - 1];
+            }
+        }
+        // Positions: endpoints exact, interiors summed, forced strictly
+        // increasing with room for the markers that follow.
+        let mut n = [
+            1.0,
+            self.n[1] + other.n[1],
+            self.n[2] + other.n[2],
+            self.n[3] + other.n[3],
+            total as f64,
+        ];
+        for i in 1..4 {
+            n[i] = n[i].max(n[i - 1] + 1.0).min(total as f64 - (4 - i) as f64);
+        }
+        // Desired positions: for a primed stream of n observations,
+        // np(n) = base + (n−5)·dn. The sequential equivalent of the
+        // merged stream is base + (a+b−5)·dn, so summing both streams'
+        // np must subtract one base and add back the 5·dn the second
+        // priming consumed.
+        let base = [
+            1.0,
+            1.0 + 2.0 * self.p,
+            1.0 + 4.0 * self.p,
+            3.0 + 2.0 * self.p,
+            5.0,
+        ];
+        let mut np = [0.0; 5];
+        for i in 0..5 {
+            np[i] = self.np[i] + other.np[i] - base[i] + 5.0 * self.dn[i];
+        }
+        self.q = q;
+        self.n = n;
+        self.np = np;
+        self.count = total;
+    }
+
     /// The current quantile estimate (exact for fewer than five
     /// observations).
     pub fn value(&self) -> f64 {
@@ -135,9 +224,90 @@ impl P2Quantile {
     }
 }
 
+impl crate::accumulate::Accumulate for P2Quantile {
+    /// Approximate (count-weighted marker merge); see
+    /// [`P2Quantile::merge`].
+    fn merge(&mut self, other: Self) {
+        P2Quantile::merge(self, other);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn merge_of_split_stream_matches_whole() {
+        let xs = uniform_stream(60_000, 5);
+        let mut whole = P2Quantile::median();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let mut a = P2Quantile::median();
+        let mut b = P2Quantile::median();
+        for &x in &xs[..37_000] {
+            a.push(x);
+        }
+        for &x in &xs[37_000..] {
+            b.push(x);
+        }
+        a.merge(b);
+        assert_eq!(a.count(), whole.count());
+        assert!(
+            (a.value() - whole.value()).abs() < 0.02,
+            "merged {} vs sequential {}",
+            a.value(),
+            whole.value()
+        );
+    }
+
+    #[test]
+    fn merge_with_tiny_side_replays_exactly() {
+        let mut big = P2Quantile::median();
+        for x in uniform_stream(10_000, 9) {
+            big.push(x);
+        }
+        let mut tiny = P2Quantile::median();
+        tiny.push(0.5);
+        tiny.push(0.25);
+        let mut expect = big.clone();
+        expect.push(0.5);
+        expect.push(0.25);
+        big.merge(tiny);
+        assert_eq!(big.count(), expect.count());
+        assert_eq!(big.value(), expect.value());
+        // And the symmetric case: tiny absorbs big.
+        let mut tiny2 = P2Quantile::median();
+        tiny2.push(0.5);
+        let mut big2 = P2Quantile::median();
+        for x in uniform_stream(10_000, 9) {
+            big2.push(x);
+        }
+        tiny2.merge(big2);
+        assert_eq!(tiny2.count(), 10_001);
+        assert!((tiny2.value() - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = P2Quantile::new(0.9);
+        for x in uniform_stream(5_000, 3) {
+            a.push(x);
+        }
+        let before = a.value();
+        a.merge(P2Quantile::new(0.9));
+        assert_eq!(a.value(), before);
+        let mut e = P2Quantile::new(0.9);
+        e.merge(a);
+        assert_eq!(e.value(), before);
+    }
+
+    #[test]
+    #[should_panic(expected = "different quantiles")]
+    fn merge_rejects_mismatched_p() {
+        let mut a = P2Quantile::new(0.5);
+        a.merge(P2Quantile::new(0.9));
+    }
 
     fn uniform_stream(n: usize, seed: u64) -> Vec<f64> {
         let mut state = seed;

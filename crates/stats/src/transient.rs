@@ -15,11 +15,28 @@ use crate::online::OnlineStats;
 /// Samples of some per-packet quantity (access delay, queue size, …)
 /// indexed by position in the probing sequence, accumulated across
 /// replications.
-#[derive(Debug, Clone, Default)]
+///
+/// Optionally capped: [`IndexedSeries::with_cap`] bounds the samples
+/// retained per index. When an index exceeds the cap it is decimated by
+/// keeping every other sample (deterministic, unbiased for i.i.d.
+/// replications), so memory stays O(indices × cap) at any replication
+/// count.
+#[derive(Debug, Clone)]
 pub struct IndexedSeries {
     /// `samples[i]` holds the observations of packet index `i` (0-based)
     /// across replications.
     samples: Vec<Vec<f64>>,
+    /// Maximum samples retained per index (`usize::MAX` = unbounded).
+    cap: usize,
+}
+
+impl Default for IndexedSeries {
+    fn default() -> Self {
+        IndexedSeries {
+            samples: Vec::new(),
+            cap: usize::MAX,
+        }
+    }
 }
 
 /// Outcome of a transient-length estimation.
@@ -41,6 +58,22 @@ impl IndexedSeries {
         Self::default()
     }
 
+    /// An empty collection retaining at most `cap` samples per index
+    /// (the dense-path reservoir of the scenario engine). Panics when
+    /// `cap == 0`.
+    pub fn with_cap(cap: usize) -> Self {
+        assert!(cap >= 1, "per-index cap must be at least 1");
+        IndexedSeries {
+            samples: Vec::new(),
+            cap,
+        }
+    }
+
+    /// The per-index retention cap (`usize::MAX` when unbounded).
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
     /// Record one replication's trajectory: `values[i]` is the quantity
     /// observed for packet index `i` in this replication. Shorter
     /// trajectories are allowed (replications where fewer packets were
@@ -51,6 +84,23 @@ impl IndexedSeries {
         }
         for (i, &v) in values.iter().enumerate() {
             self.samples[i].push(v);
+            decimate_to_cap(&mut self.samples[i], self.cap);
+        }
+    }
+
+    /// Absorb another collection: index-wise sample concatenation
+    /// (exact when uncapped; decimated deterministically when over the
+    /// cap). Used by the scenario engine's chunk-ordered reduce — with
+    /// chunks merged in replication order, the uncapped result is
+    /// identical to sequential [`IndexedSeries::push_replication`]
+    /// calls.
+    pub fn merge(&mut self, mut other: IndexedSeries) {
+        if self.samples.len() < other.samples.len() {
+            self.samples.resize_with(other.samples.len(), Vec::new);
+        }
+        for (i, src) in other.samples.iter_mut().enumerate() {
+            self.samples[i].append(src);
+            decimate_to_cap(&mut self.samples[i], self.cap);
         }
     }
 
@@ -115,6 +165,122 @@ impl IndexedSeries {
     pub fn transient_length(&self, steady_mean: f64, tolerance: f64) -> TransientEstimate {
         let means = self.means();
         transient_length_of_means(&means, steady_mean, tolerance)
+    }
+}
+
+impl crate::accumulate::Accumulate for IndexedSeries {
+    fn merge(&mut self, other: Self) {
+        IndexedSeries::merge(self, other);
+    }
+}
+
+/// Deterministically thin `v` (keep every other sample) until it fits
+/// `cap`. For i.i.d. replications this is an unbiased subsample: the
+/// kept positions never depend on the values.
+fn decimate_to_cap(v: &mut Vec<f64>, cap: usize) {
+    while v.len() > cap {
+        let mut keep = 0;
+        for i in (0..v.len()).step_by(2) {
+            v[keep] = v[i];
+            keep += 1;
+        }
+        v.truncate(keep);
+    }
+}
+
+/// Streaming per-packet-index moments across replications: the O(train
+/// length) heart of the scenario engine's summary path. Where
+/// [`IndexedSeries`] stores every observation, `IndexedStats` keeps one
+/// [`OnlineStats`] per index — constant memory per index no matter the
+/// replication count — and merges exactly (up to rounding) under the
+/// chunk-ordered reduce.
+#[derive(Debug, Clone, Default)]
+pub struct IndexedStats {
+    stats: Vec<OnlineStats>,
+}
+
+impl IndexedStats {
+    /// An empty collection.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one replication's trajectory (shorter trajectories are
+    /// allowed, as in [`IndexedSeries::push_replication`]).
+    pub fn push_replication(&mut self, values: &[f64]) {
+        if self.stats.len() < values.len() {
+            self.stats.resize_with(values.len(), OnlineStats::new);
+        }
+        for (i, &v) in values.iter().enumerate() {
+            self.stats[i].push(v);
+        }
+    }
+
+    /// Record a single observation for packet index `i`.
+    pub fn push(&mut self, i: usize, value: f64) {
+        if self.stats.len() <= i {
+            self.stats.resize_with(i + 1, OnlineStats::new);
+        }
+        self.stats[i].push(value);
+    }
+
+    /// Number of packet indices tracked.
+    pub fn len(&self) -> usize {
+        self.stats.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.stats.is_empty()
+    }
+
+    /// The accumulated moments of packet index `i`.
+    pub fn stat(&self, i: usize) -> &OnlineStats {
+        &self.stats[i]
+    }
+
+    /// All per-index accumulators.
+    pub fn stats(&self) -> &[OnlineStats] {
+        &self.stats
+    }
+
+    /// Per-index means.
+    pub fn means(&self) -> Vec<f64> {
+        self.stats.iter().map(|s| s.mean()).collect()
+    }
+
+    /// Pooled moments of indices `[from, to)` — e.g. the paper's
+    /// "steady-state statistics over the last 500 packets" without
+    /// holding the pooled sample.
+    pub fn pooled_stats(&self, from: usize, to: usize) -> OnlineStats {
+        let to = to.min(self.stats.len());
+        let mut pooled = OnlineStats::new();
+        for s in &self.stats[from..to] {
+            pooled.merge(s);
+        }
+        pooled
+    }
+
+    /// Absorb another collection (index-wise [`OnlineStats`] merge).
+    pub fn merge(&mut self, other: IndexedStats) {
+        if self.stats.len() < other.stats.len() {
+            self.stats.resize_with(other.stats.len(), OnlineStats::new);
+        }
+        for (i, s) in other.stats.iter().enumerate() {
+            self.stats[i].merge(s);
+        }
+    }
+
+    /// The §4.1 transient length against an explicit steady-state mean
+    /// (relative tolerance), as in [`IndexedSeries::transient_length`].
+    pub fn transient_length(&self, steady_mean: f64, tolerance: f64) -> TransientEstimate {
+        transient_length_of_means(&self.means(), steady_mean, tolerance)
+    }
+}
+
+impl crate::accumulate::Accumulate for IndexedStats {
+    fn merge(&mut self, other: Self) {
+        IndexedStats::merge(self, other);
     }
 }
 
@@ -241,6 +407,102 @@ mod tests {
         let est = transient_length_of_means(&means, 1.0, 0.05);
         assert_eq!(est.first_within, Some(1));
         assert_eq!(est.first_sustained, Some(3));
+    }
+
+    #[test]
+    fn merge_equals_sequential_pushes() {
+        let trajs: Vec<Vec<f64>> = (0..40)
+            .map(|r| (0..7).map(|i| (r * 7 + i) as f64).collect())
+            .collect();
+        let mut whole = IndexedSeries::new();
+        for t in &trajs {
+            whole.push_replication(t);
+        }
+        let mut a = IndexedSeries::new();
+        let mut b = IndexedSeries::new();
+        for t in &trajs[..23] {
+            a.push_replication(t);
+        }
+        for t in &trajs[23..] {
+            b.push_replication(t);
+        }
+        a.merge(b);
+        assert_eq!(a.len(), whole.len());
+        for i in 0..whole.len() {
+            assert_eq!(a.sample(i), whole.sample(i), "index {i}");
+        }
+    }
+
+    #[test]
+    fn cap_bounds_memory_deterministically() {
+        let mut s = IndexedSeries::with_cap(8);
+        for r in 0..100 {
+            s.push_replication(&[r as f64, (r * 2) as f64]);
+        }
+        assert!(s.sample(0).len() <= 8);
+        assert!(s.sample(1).len() <= 8);
+        // Deterministic: the same pushes give the same retained set.
+        let mut t = IndexedSeries::with_cap(8);
+        for r in 0..100 {
+            t.push_replication(&[r as f64, (r * 2) as f64]);
+        }
+        assert_eq!(s.sample(0), t.sample(0));
+        // Retained samples are a subset of what was pushed.
+        assert!(s.sample(0).iter().all(|&x| x.fract() == 0.0 && x < 100.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_cap_rejected() {
+        IndexedSeries::with_cap(0);
+    }
+
+    #[test]
+    fn indexed_stats_matches_indexed_series_means() {
+        let trajs: Vec<Vec<f64>> = (0..30)
+            .map(|r| (0..5).map(|i| ((r + 1) * (i + 2)) as f64).collect())
+            .collect();
+        let mut series = IndexedSeries::new();
+        let mut stats = IndexedStats::new();
+        for t in &trajs {
+            series.push_replication(t);
+            stats.push_replication(t);
+        }
+        let a = series.means();
+        let b = stats.means();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-9);
+        }
+        // Pooled stats over a range match the pooled-sample mean.
+        let pooled = stats.pooled_stats(2, 5);
+        assert!((pooled.mean() - series.pooled_mean(2, 5)).abs() < 1e-9);
+        assert_eq!(pooled.count(), 3 * 30);
+    }
+
+    #[test]
+    fn indexed_stats_merge_is_exact_up_to_rounding() {
+        let trajs: Vec<Vec<f64>> = (0..50)
+            .map(|r| (0..4).map(|i| ((r as f64) * 0.37 + i as f64).sin()).collect())
+            .collect();
+        let mut whole = IndexedStats::new();
+        for t in &trajs {
+            whole.push_replication(t);
+        }
+        let mut a = IndexedStats::new();
+        let mut b = IndexedStats::new();
+        for t in &trajs[..31] {
+            a.push_replication(t);
+        }
+        for t in &trajs[31..] {
+            b.push_replication(t);
+        }
+        a.merge(b);
+        for i in 0..4 {
+            assert_eq!(a.stat(i).count(), whole.stat(i).count());
+            assert!((a.stat(i).mean() - whole.stat(i).mean()).abs() < 1e-12);
+            assert!((a.stat(i).variance() - whole.stat(i).variance()).abs() < 1e-9);
+        }
     }
 
     #[test]

@@ -19,7 +19,10 @@ fn main() {
         seed: 0x715A,
     };
     println!("running {} replications of a 300-packet train...", exp.reps);
-    let data = exp.run();
+    // Dense mode: the KS profile below needs raw per-index samples.
+    // (`exp.run()` gives the O(train-length) streaming summary when
+    // only mean profiles are needed.)
+    let data = exp.run_dense(25_000);
 
     let profile = data.mean_profile();
     let steady = data.steady_mean(150);

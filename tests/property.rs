@@ -12,6 +12,7 @@ use csmaprobe::stats::ecdf::Ecdf;
 use csmaprobe::stats::ks::{ks_critical_value, two_sample_ks};
 use csmaprobe::stats::mser::mser_m;
 use csmaprobe::stats::online::OnlineStats;
+use csmaprobe::stats::p2::P2Quantile;
 use csmaprobe::traffic::probe::ProbeTrain;
 use proptest::prelude::*;
 
@@ -54,6 +55,49 @@ proptest! {
             count += 1;
         }
         prop_assert_eq!(count, times.len());
+    }
+
+    #[test]
+    fn event_queue_time_seq_order_under_interleaved_pushes(
+        times in prop::collection::vec(0u64..50, 2..120),
+        pops_between in prop::collection::vec(0usize..4, 2..120),
+    ) {
+        // Reference model: a stable sort by (time, insertion seq).
+        // Interleave pushes with pops and require the queue to match the
+        // model pop-for-pop — this pins the FIFO tie-break (the narrow
+        // time range forces many equal timestamps), not just time order.
+        let mut q = EventQueue::new();
+        let mut model: Vec<(Time, usize)> = Vec::new();
+        let mut popped = Vec::new();
+        let mut expected = Vec::new();
+        for (seq, (&t, &pops)) in times.iter().zip(&pops_between).enumerate() {
+            let time = Time::from_micros(t);
+            q.push(time, seq);
+            model.push((time, seq));
+            for _ in 0..pops {
+                let Some((qt, qv)) = q.pop() else { break };
+                popped.push((qt, qv));
+                let min_idx = model
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, &(mt, ms))| (mt, ms))
+                    .map(|(i, _)| i)
+                    .unwrap();
+                expected.push(model.remove(min_idx));
+            }
+        }
+        while let Some((qt, qv)) = q.pop() {
+            popped.push((qt, qv));
+            let min_idx = model
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, &(mt, ms))| (mt, ms))
+                .map(|(i, _)| i)
+                .unwrap();
+            expected.push(model.remove(min_idx));
+        }
+        prop_assert!(model.is_empty());
+        prop_assert_eq!(popped, expected);
     }
 
     // ---------- desim::rng ----------
@@ -186,6 +230,65 @@ proptest! {
         prop_assert_eq!(merged.count(), direct.count());
         prop_assert!((merged.mean() - direct.mean()).abs() < 1e-9);
         prop_assert!((merged.variance() - direct.variance()).abs() < 1e-6);
+        prop_assert_eq!(merged.min(), direct.min());
+        prop_assert_eq!(merged.max(), direct.max());
+    }
+
+    // The correctness keystone of the streaming reduce: accumulators
+    // merged from split streams must agree with one sequential pass.
+
+    #[test]
+    fn online_stats_chunked_merge_matches_sequential(
+        xs in prop::collection::vec(-1e3f64..1e3, 1..400),
+        chunk in 1usize..64,
+    ) {
+        // Merge in fixed chunk order, exactly like replicate::run_reduce.
+        let mut merged = OnlineStats::new();
+        for part in xs.chunks(chunk) {
+            merged.merge(&OnlineStats::from_slice(part));
+        }
+        let direct = OnlineStats::from_slice(&xs);
+        prop_assert_eq!(merged.count(), direct.count());
+        prop_assert!((merged.mean() - direct.mean()).abs() < 1e-9);
+        prop_assert!((merged.variance() - direct.variance()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn p2_merge_agrees_with_sequential_push(
+        seed in any::<u64>(),
+        n in 100usize..3000,
+        split_frac in 0.05f64..0.95,
+    ) {
+        // Uniform[0,1) stream split in two, each half into its own P²
+        // median estimator, merged — must agree with one sequential
+        // estimator to within the estimator's own accuracy band.
+        let mut rng = SimRng::new(seed);
+        let xs: Vec<f64> = (0..n).map(|_| rng.f64()).collect();
+        let split = ((n as f64 * split_frac) as usize).clamp(1, n - 1);
+        let mut whole = P2Quantile::median();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let mut a = P2Quantile::median();
+        let mut b = P2Quantile::median();
+        for &x in &xs[..split] {
+            a.push(x);
+        }
+        for &x in &xs[split..] {
+            b.push(x);
+        }
+        a.merge(b);
+        prop_assert_eq!(a.count(), whole.count());
+        prop_assert!(
+            (a.value() - whole.value()).abs() < 0.08,
+            "merged {} vs sequential {} (n={}, split={})",
+            a.value(),
+            whole.value(),
+            n,
+            split
+        );
+        // Both near the true median as a sanity anchor.
+        prop_assert!((a.value() - 0.5).abs() < 0.15);
     }
 
     // ---------- core::sample_path ----------
