@@ -1,0 +1,103 @@
+//! Compare per-figure `elapsed_s` timings of an `experiments.json`
+//! against a checked-in baseline and **warn** (never fail) on
+//! regressions — the BENCH_* trend check of the `figures-smoke` CI job.
+//!
+//! Usage: `bench_trend <current.json> <baseline.json> [--factor F]`
+//!
+//! * figures slower than `F ×` baseline (default 2.0) produce a
+//!   `::warning::` line (rendered as an annotation by GitHub Actions);
+//! * figures missing from either file are reported informationally;
+//! * exit code is 0 unless the inputs are unreadable/empty (exit 2) —
+//!   timing noise on shared CI runners must not gate merges.
+//!
+//! The baseline (`BENCH_baseline.json`) is a full `experiments.json`
+//! from a scale-0.05 run; refresh it with:
+//!
+//! ```text
+//! cargo run --release -p csmaprobe-bench --bin all_figures -- --scale 0.05
+//! cp experiments.json BENCH_baseline.json
+//! ```
+
+use csmaprobe_bench::report::parse_figure_timings;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut paths = Vec::new();
+    let mut factor = 2.0f64;
+    let mut i = 1;
+    while i < args.len() {
+        if args[i] == "--factor" {
+            match args.get(i + 1).map(|s| s.parse::<f64>()) {
+                Some(Ok(v)) => {
+                    factor = v;
+                    i += 1;
+                }
+                bad => {
+                    eprintln!("error: --factor needs a numeric value, got {bad:?}");
+                    std::process::exit(2);
+                }
+            }
+        } else {
+            paths.push(args[i].clone());
+        }
+        i += 1;
+    }
+    if paths.len() != 2 || !factor.is_finite() || factor <= 1.0 {
+        eprintln!("usage: bench_trend <current.json> <baseline.json> [--factor F>1]");
+        std::process::exit(2);
+    }
+
+    let read = |p: &str| -> Vec<(String, f64)> {
+        match std::fs::read_to_string(p) {
+            Ok(text) => parse_figure_timings(&text),
+            Err(e) => {
+                eprintln!("error: cannot read {p}: {e}");
+                std::process::exit(2);
+            }
+        }
+    };
+    let current = read(&paths[0]);
+    let baseline = read(&paths[1]);
+    if current.is_empty() || baseline.is_empty() {
+        eprintln!(
+            "error: no timings parsed ({} current, {} baseline entries)",
+            current.len(),
+            baseline.len()
+        );
+        std::process::exit(2);
+    }
+
+    let base_of = |id: &str| baseline.iter().find(|(b, _)| b == id).map(|&(_, t)| t);
+    let mut regressions = 0usize;
+    let mut total_cur = 0.0f64;
+    let mut total_base = 0.0f64;
+    for (id, cur) in &current {
+        match base_of(id) {
+            None => println!("{id}: no baseline entry (new figure?) — {cur:.2}s"),
+            Some(base) => {
+                total_cur += cur;
+                total_base += base;
+                let ratio = if base > 0.0 { cur / base } else { f64::INFINITY };
+                if *cur > 0.1 && ratio > factor {
+                    regressions += 1;
+                    println!(
+                        "::warning title=figure timing regression::{id}: {cur:.2}s vs \
+                         baseline {base:.2}s ({ratio:.1}x, threshold {factor:.1}x)"
+                    );
+                } else {
+                    println!("{id}: {cur:.2}s vs baseline {base:.2}s ({ratio:.2}x)");
+                }
+            }
+        }
+    }
+    for (id, _) in &baseline {
+        if !current.iter().any(|(c, _)| c == id) {
+            println!("{id}: in baseline but not in current run");
+        }
+    }
+    println!(
+        "== total {total_cur:.2}s vs baseline {total_base:.2}s; \
+         {regressions} figure(s) over the {factor:.1}x threshold =="
+    );
+    // Advisory by design: timing noise must not gate merges.
+}

@@ -11,12 +11,15 @@
 
 use crate::report::FigureReport;
 use crate::scaled;
-use crate::scenarios::{self, FRAME};
+use crate::scenarios::{self, TrainCell, TrainSweep, FRAME};
 use csmaprobe_core::bounds::dispersion_bounds;
+use csmaprobe_core::sweep::run_sweep;
 use csmaprobe_desim::rng::derive_seed;
 use csmaprobe_probe::train::TrainProbe;
 
-/// Run the experiment.
+/// Run the experiment. All per-rate train measurements (plus the final
+/// long steady-state train) run as one [`TrainSweep`] through the
+/// sweep engine, concurrently over the shared worker budget.
 pub fn run(scale: f64, seed: u64) -> FigureReport {
     let mut rep = FigureReport::new(
         "bounds_check",
@@ -38,11 +41,32 @@ pub fn run(scale: f64, seed: u64) -> FigureReport {
     let reps = scaled(600, scale, 120);
     let rates = scenarios::rate_sweep_mbps(1.0, 10.0, 1.0);
 
+    // One cell per rate, plus the long steady-state train at the end.
+    let mut cells: Vec<TrainCell> = rates
+        .iter()
+        .enumerate()
+        .map(|(k, &ri)| TrainCell {
+            probe: TrainProbe::new(n, FRAME, ri),
+            reps,
+            seed: derive_seed(seed, k as u64),
+        })
+        .collect();
+    cells.push(TrainCell {
+        probe: TrainProbe::new(1200, FRAME, 10e6),
+        reps: scaled(5, scale, 3),
+        seed: derive_seed(seed, 999),
+    });
+    let mut measurements = run_sweep(&TrainSweep {
+        name: "bounds_check",
+        target: &link,
+        cells,
+    });
+    let steady_m = measurements.pop().expect("steady-state cell present");
+
     let mut contained = 0usize;
     let mut exact_ok = 0usize;
     let mut exact_total = 0usize;
-    for (k, &ri) in rates.iter().enumerate() {
-        let m = TrainProbe::new(n, FRAME, ri).measure(&link, reps, derive_seed(seed, k as u64));
+    for (&ri, m) in rates.iter().zip(&measurements) {
         let e_mu = m.mean_mu_profile();
         let g_i = m.train.gap.as_secs_f64();
         let b = dispersion_bounds(&e_mu, g_i, 0.0);
@@ -82,9 +106,7 @@ pub fn run(scale: f64, seed: u64) -> FigureReport {
 
     // High-rate over-estimation (§6.2.2): at the highest rates the
     // dispersion-inferred output rate exceeds the steady-state value.
-    let steady = TrainProbe::new(1200, FRAME, 10e6)
-        .measure(&link, scaled(5, scale, 3), derive_seed(seed, 999))
-        .output_rate_bps();
+    let steady = steady_m.output_rate_bps();
     let top = rep.rows.last().unwrap();
     let short_rate = FRAME as f64 * 8.0 / (top[2] / 1e3);
     rep.check(

@@ -12,6 +12,13 @@ use csmaprobe_core::rate_response::achievable_from_curve;
 use csmaprobe_desim::time::Dur;
 
 /// Run the experiment. `scale` multiplies measurement duration.
+///
+/// The sweep runs as a [`csmaprobe_core::sweep::RateResponseSweep`]
+/// (via [`rate_response_curve`]): the 20 rate points are scheduled
+/// concurrently over the shared worker budget instead of serialising
+/// on one thread.
+///
+/// [`rate_response_curve`]: csmaprobe_core::link::WlanLink::rate_response_curve
 pub fn run(scale: f64, seed: u64) -> FigureReport {
     let mut rep = FigureReport::new(
         "fig01",

@@ -14,7 +14,11 @@ use csmaprobe_core::rate_response::complete_rate_response;
 use csmaprobe_desim::time::Dur;
 use csmaprobe_probe::train::TrainProbe;
 
-/// Run the experiment.
+/// Run the experiment. The rate sweep runs as a
+/// [`csmaprobe_core::sweep::RateResponseSweep`] (via
+/// [`csmaprobe_core::link::WlanLink::rate_response_curve`]), so its
+/// rate points are scheduled concurrently over the shared worker
+/// budget.
 pub fn run(scale: f64, seed: u64) -> FigureReport {
     let mut rep = FigureReport::new(
         "fig04",

@@ -9,14 +9,20 @@
 
 use crate::report::FigureReport;
 use crate::scaled;
-use crate::scenarios::{self, FRAME};
+use crate::scenarios::{self, TrainCell, TrainSweep, FRAME};
 use csmaprobe_core::link::WlanLink;
+use csmaprobe_core::sweep::run_sweep;
 use csmaprobe_desim::rng::derive_seed;
 use csmaprobe_probe::train::TrainProbe;
 
 /// Shared with fig15: sweep `rates` with trains of each length in
 /// `train_lens` plus a long steady-state train; returns rows of
 /// `[ri, steady, len1, len2, ...]` in Mb/s.
+///
+/// Runs as one [`TrainSweep`] through the sweep engine — every
+/// `(rate × train-length)` cell is scheduled concurrently, with the
+/// exact per-cell seeds (and therefore bit-identical rates) of the
+/// historical per-point loop.
 pub fn sweep(
     link: &WlanLink,
     rates: &[f64],
@@ -24,28 +30,37 @@ pub fn sweep(
     scale: f64,
     seed: u64,
 ) -> Vec<Vec<f64>> {
-    let mut rows = Vec::new();
+    let mut cells = Vec::with_capacity(rates.len() * (1 + train_lens.len()));
     for (k, &ri) in rates.iter().enumerate() {
-        let mut row = vec![ri / 1e6];
-        let steady = TrainProbe::new(1200, FRAME, ri)
-            .measure(link, scaled(5, scale, 3), derive_seed(seed, 1000 + k as u64))
-            .output_rate_bps();
-        row.push(steady / 1e6);
+        cells.push(TrainCell {
+            probe: TrainProbe::new(1200, FRAME, ri),
+            reps: scaled(5, scale, 3),
+            seed: derive_seed(seed, 1000 + k as u64),
+        });
         for (j, &n) in train_lens.iter().enumerate() {
             // Budget: keep total probe packets per point roughly equal.
-            let reps = scaled(3000 / n.max(1), scale, 30);
-            let rate = TrainProbe::new(n, FRAME, ri)
-                .measure(
-                    link,
-                    reps,
-                    derive_seed(seed, (j * rates.len() + k) as u64),
-                )
-                .output_rate_bps();
-            row.push(rate / 1e6);
+            cells.push(TrainCell {
+                probe: TrainProbe::new(n, FRAME, ri),
+                reps: scaled(3000 / n.max(1), scale, 30),
+                seed: derive_seed(seed, (j * rates.len() + k) as u64),
+            });
         }
-        rows.push(row);
     }
-    rows
+    let measurements = run_sweep(&TrainSweep {
+        name: "short_train_rate_sweep",
+        target: link,
+        cells,
+    });
+    let per_rate = 1 + train_lens.len();
+    rates
+        .iter()
+        .zip(measurements.chunks(per_rate))
+        .map(|(&ri, cells)| {
+            let mut row = vec![ri / 1e6];
+            row.extend(cells.iter().map(|m| m.output_rate_bps() / 1e6));
+            row
+        })
+        .collect()
 }
 
 /// Shared check battery for Figs 13/15.

@@ -8,12 +8,18 @@
 
 use crate::report::FigureReport;
 use crate::scaled;
-use crate::scenarios::{self, FRAME};
+use crate::scenarios::{self, TrainCell, TrainSweep, FRAME};
+use csmaprobe_core::sweep::run_sweep;
 use csmaprobe_desim::rng::derive_seed;
-use csmaprobe_probe::mser::MserProbe;
+use csmaprobe_probe::mser::{measure_rate_sweep, MserCell, MserProbe};
 use csmaprobe_probe::train::TrainProbe;
 
 /// Run the experiment.
+///
+/// Both curves flow through the sweep engine: the steady-state points
+/// as one [`TrainSweep`], the MSER measurements as the two-phase
+/// [`measure_rate_sweep`] — every `(rate × replication)` cell runs
+/// concurrently on the shared worker budget.
 pub fn run(scale: f64, seed: u64) -> FigureReport {
     let mut rep = FigureReport::new(
         "fig17",
@@ -26,18 +32,35 @@ pub fn run(scale: f64, seed: u64) -> FigureReport {
     let link = scenarios::fig1_link();
     let rates = scenarios::rate_sweep_mbps(1.0, 10.0, 1.0);
 
+    let steady_rates = run_sweep(&TrainSweep {
+        name: "fig17_steady",
+        target: &link,
+        cells: rates
+            .iter()
+            .enumerate()
+            .map(|(k, &ri)| TrainCell {
+                probe: TrainProbe::new(1200, FRAME, ri),
+                reps: scaled(5, scale, 3),
+                seed: derive_seed(seed, 300 + k as u64),
+            })
+            .collect(),
+    });
+    let mser_cells: Vec<MserCell> = rates
+        .iter()
+        .enumerate()
+        .map(|(k, &ri)| MserCell {
+            probe: MserProbe::new(20, FRAME, ri, 2),
+            reps: scaled(400, scale, 80),
+            seed: derive_seed(seed, 400 + k as u64),
+        })
+        .collect();
+    let shorts = measure_rate_sweep(&mser_cells, &link);
+
     let mut raw_err_sum = 0.0;
     let mut mser_err_sum = 0.0;
     let mut beyond = 0usize;
-    for (k, &ri) in rates.iter().enumerate() {
-        let steady = TrainProbe::new(1200, FRAME, ri)
-            .measure(&link, scaled(5, scale, 3), derive_seed(seed, 300 + k as u64))
-            .output_rate_bps();
-        let short = MserProbe::new(20, FRAME, ri, 2).measure(
-            &link,
-            scaled(400, scale, 80),
-            derive_seed(seed, 400 + k as u64),
-        );
+    for ((&ri, steady_m), short) in rates.iter().zip(&steady_rates).zip(&shorts) {
+        let steady = steady_m.output_rate_bps();
         let raw = short.raw_rate_bps();
         let corrected = short.corrected_rate_bps();
         rep.row(vec![ri / 1e6, steady / 1e6, raw / 1e6, corrected / 1e6]);

@@ -17,6 +17,11 @@
 //! * [`transient`] — the §4 experiment machinery: replicated probing
 //!   trains, per-index access-delay distributions, KS profiles and the
 //!   tolerance-based transient length (Fig 10).
+//! * [`sweep`] — the sweep scenario subsystem: parameterised families
+//!   of scenarios ([`sweep::SweepScenario`], e.g. one cell per probing
+//!   rate) scheduled by [`sweep::SweepRunner`] as one streaming
+//!   map-reduce over the shared worker budget, with per-cell results
+//!   bit-identical to a standalone per-point reduce.
 //! * [`link`] — runnable link models: [`link::WlanLink`] (Fig 3: a
 //!   FIFO transmission queue feeding a CSMA/CA virtual scheduler, with
 //!   contending stations) and [`link::WiredLink`] (the classic FIFO
@@ -29,6 +34,7 @@ pub mod link;
 pub mod multihop;
 pub mod rate_response;
 pub mod sample_path;
+pub mod sweep;
 pub mod transient;
 
 pub use bounds::{dispersion_bounds, TransientBounds};
@@ -38,6 +44,7 @@ pub use rate_response::{
     achievable_from_curve, achievable_throughput, complete_rate_response, csma_rate_response,
     fifo_rate_response,
 };
+pub use sweep::{run_sweep, RateResponseSweep, SweepRunner, SweepScenario};
 pub use transient::{
     run_dense, run_summary, Scenario, TransientData, TransientExperiment, TransientSummary,
 };

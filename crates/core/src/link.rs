@@ -459,17 +459,23 @@ impl WlanLink {
 
     /// Sweep input rates and produce the steady-state rate-response
     /// curve (Figs 1/4), one [`SteadyPoint`] per rate.
+    ///
+    /// Runs as a [`crate::sweep::RateResponseSweep`] through the sweep
+    /// engine: rate points are scheduled concurrently over the shared
+    /// worker budget, with the exact per-point seeds (and therefore
+    /// bit-identical points) of the historical sequential loop.
     pub fn rate_response_curve(
         &self,
         rates_bps: &[f64],
         duration: Dur,
         seed: u64,
     ) -> Vec<SteadyPoint> {
-        rates_bps
-            .iter()
-            .enumerate()
-            .map(|(i, &ri)| self.steady_state(ri, duration, derive_seed(seed, i as u64)))
-            .collect()
+        crate::sweep::run_sweep(&crate::sweep::RateResponseSweep {
+            link: self.clone(),
+            rates_bps: rates_bps.to_vec(),
+            duration,
+            seed,
+        })
     }
 }
 

@@ -14,6 +14,10 @@
 //!   accumulators are merged **in deterministic chunk order**, so peak
 //!   memory is O(workers × accumulator) instead of O(reps × output).
 //!
+//! [`run_cells`] generalises the same core to a grid of independently
+//! accumulated cells (one per sweep point), with per-cell results
+//! bit-identical to a standalone [`run_reduce`] per cell.
+//!
 //! Determinism: replication `i` always receives `derive_seed(master, i)`
 //! and chunk accumulators are always merged in ascending chunk index,
 //! regardless of which thread executes what. The result is a pure
@@ -224,6 +228,90 @@ where
         worker(); // the calling thread is always a worker
     });
     budget::release(borrowed);
+}
+
+/// Streaming map-reduce over a **grid of cells** — the scheduling
+/// primitive behind `csmaprobe_core::sweep`.
+///
+/// `cells[c]` is the replication count of cell `c` (e.g. one cell per
+/// probing rate of a rate-response sweep). Every `(cell, replication)`
+/// pair becomes one unit of work on the shared worker pool, so a sweep
+/// of 20 × 1 one-replication cells parallelises exactly as well as one
+/// 20-replication cell — this is what gives sweep figures intra-figure
+/// parallelism instead of serialising their rate points.
+///
+/// `map(c, r, &mut acc)` folds replication `r` of cell `c` into that
+/// cell's accumulator (created by `identity(c)`); per-cell accumulators
+/// are combined with `merge` and the finished cells are returned in
+/// cell order. Seed derivation is the caller's job (`map` receives the
+/// raw `(c, r)` pair), which lets a ported sweep reproduce the exact
+/// seeds its hand-rolled loop used.
+///
+/// **Bit-compatibility contract:** each cell's index range is padded to
+/// a [`CHUNK`] boundary, so cell-local chunk boundaries — and therefore
+/// the merge tree — are identical to a standalone
+/// [`run_reduce`]`(cells[c], …)` over the same replications. The result
+/// for cell `c` is bit-identical to that standalone reduce, for any
+/// worker count and any surrounding grid.
+///
+/// ```
+/// use csmaprobe_desim::replicate;
+///
+/// // Three cells with different replication budgets; each counts its
+/// // own replications.
+/// let counts = replicate::run_cells(
+///     &[5, 0, 70],
+///     |_c, _r, acc: &mut u64| *acc += 1,
+///     |_c| 0u64,
+///     |a, b| *a += b,
+/// );
+/// assert_eq!(counts, vec![5, 0, 70]);
+/// ```
+pub fn run_cells<A, F, I, M>(cells: &[usize], map: F, identity: I, merge: M) -> Vec<A>
+where
+    A: Send,
+    F: Fn(usize, usize, &mut A) + Sync,
+    I: Fn(usize) -> A + Sync,
+    M: Fn(&mut A, A) + Send + Sync,
+{
+    // Chunk-count prefix sums: cell `c` owns global chunks
+    // `chunk_offset[c] .. chunk_offset[c + 1]`, each padded range fully
+    // inside one cell so the cell-local chunk grid matches run_reduce's.
+    let mut chunk_offset = Vec::with_capacity(cells.len() + 1);
+    let mut total_chunks = 0usize;
+    chunk_offset.push(0);
+    for &reps in cells {
+        total_chunks += reps.div_ceil(CHUNK);
+        chunk_offset.push(total_chunks);
+    }
+
+    let mut out: Vec<Option<A>> = cells.iter().map(|_| None).collect();
+    run_chunks(
+        total_chunks * CHUNK,
+        |range| {
+            let gchunk = range.start / CHUNK;
+            // The owning cell: last offset <= gchunk. Zero-rep cells
+            // contribute no chunks and are skipped by partition_point.
+            let cell = chunk_offset.partition_point(|&o| o <= gchunk) - 1;
+            let base = chunk_offset[cell] * CHUNK;
+            let mut acc = identity(cell);
+            for g in range {
+                let r = g - base;
+                if r < cells[cell] {
+                    map(cell, r, &mut acc);
+                }
+            }
+            (cell, acc)
+        },
+        |(cell, acc)| match &mut out[cell] {
+            None => out[cell] = Some(acc),
+            Some(g) => merge(g, acc),
+        },
+    );
+    out.into_iter()
+        .enumerate()
+        .map(|(c, a)| a.unwrap_or_else(|| identity(c)))
+        .collect()
 }
 
 /// Run `reps` independent replications of `f` in parallel.
@@ -458,6 +546,81 @@ mod tests {
         set_worker_limit(0);
         assert_eq!(solo.0.to_bits(), quad.0.to_bits());
         assert_eq!(solo.1.to_bits(), quad.1.to_bits());
+    }
+
+    #[test]
+    fn run_cells_counts_and_orders_every_cell() {
+        let cells = [5usize, 0, 70, 1];
+        let out = run_cells(
+            &cells,
+            |c, r, acc: &mut Vec<(usize, usize)>| acc.push((c, r)),
+            |_| Vec::new(),
+            |a, b| a.extend(b),
+        );
+        assert_eq!(out.len(), 4);
+        for (c, pairs) in out.iter().enumerate() {
+            assert_eq!(pairs.len(), cells[c], "cell {c}");
+            for (i, &(pc, pr)) in pairs.iter().enumerate() {
+                assert_eq!(pc, c);
+                assert_eq!(pr, i, "cell {c} replication order");
+            }
+        }
+    }
+
+    #[test]
+    fn run_cells_matches_standalone_run_reduce_bitwise() {
+        // The contract core::sweep relies on: a cell embedded in any
+        // grid reduces bit-identically to its own run_reduce, because
+        // the cell-local chunk grid and merge order are preserved.
+        let cell_reps = [7usize, 33, 100, 64];
+        let standalone: Vec<(f64, f64)> = cell_reps
+            .iter()
+            .enumerate()
+            .map(|(c, &reps)| {
+                run_reduce(
+                    reps,
+                    derive_seed(0xCE11, c as u64),
+                    |_, seed, acc: &mut (f64, f64)| {
+                        let x = SimRng::new(seed).f64();
+                        acc.0 += x;
+                        acc.1 += x * x;
+                    },
+                    || (0.0f64, 0.0f64),
+                    |a, b| {
+                        a.0 += b.0;
+                        a.1 += b.1;
+                    },
+                )
+            })
+            .collect();
+        for workers in [1usize, 3] {
+            set_worker_limit(workers);
+            let grid = run_cells(
+                &cell_reps,
+                |c, r, acc: &mut (f64, f64)| {
+                    let seed = derive_seed(derive_seed(0xCE11, c as u64), r as u64);
+                    let x = SimRng::new(seed).f64();
+                    acc.0 += x;
+                    acc.1 += x * x;
+                },
+                |_| (0.0f64, 0.0f64),
+                |a, b| {
+                    a.0 += b.0;
+                    a.1 += b.1;
+                },
+            );
+            set_worker_limit(0);
+            for (c, (g, s)) in grid.iter().zip(&standalone).enumerate() {
+                assert_eq!(g.0.to_bits(), s.0.to_bits(), "cell {c} sum, {workers} workers");
+                assert_eq!(g.1.to_bits(), s.1.to_bits(), "cell {c} sumsq, {workers} workers");
+            }
+        }
+    }
+
+    #[test]
+    fn run_cells_empty_grid_is_empty() {
+        let out: Vec<u64> = run_cells(&[], |_, _, _| {}, |_| 0, |a, b| *a += b);
+        assert!(out.is_empty());
     }
 
     #[test]

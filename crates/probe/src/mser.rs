@@ -20,12 +20,28 @@
 //! * [`MserMode::PerReplication`] — run MSER independently on each
 //!   train's own gap series (what a single-shot tool would do). Noisier:
 //!   individual DCF backoff variance often swamps the drift.
+//!
+//! Both modes stream. `PooledProfile` needs two passes (the truncation
+//! point depends on the across-replication profile), so it runs as a
+//! **two-phase reduce**: a profile pass folds every replication into
+//! per-position [`IndexedStats`] (O(train length) memory), MSER picks
+//! the cut on the resulting mean profile, and a second, truncated pass
+//! re-runs the same seeds and accumulates the corrected gap. No
+//! replication's gap vector is ever materialised — previously this mode
+//! held all `reps × (n−1)` gaps at once. The phase pieces
+//! ([`MserProbe::profile_rep`], [`MserProbe::truncation_point`],
+//! [`MserProbe::corrected_rep`]) are public so sweep scenarios can
+//! schedule them as cells; [`measure_rate_sweep`] does exactly that for
+//! a family of probes.
 
 use csmaprobe_core::link::ProbeTarget;
+use csmaprobe_core::sweep::{run_sweep, SweepScenario};
 use csmaprobe_desim::replicate;
+use csmaprobe_desim::rng::derive_seed;
+use csmaprobe_stats::accumulate::Accumulate;
 use csmaprobe_stats::mser::mser_m;
 use csmaprobe_stats::online::OnlineStats;
-use csmaprobe_stats::transient::IndexedSeries;
+use csmaprobe_stats::transient::IndexedStats;
 use csmaprobe_traffic::probe::ProbeTrain;
 
 /// How the MSER truncation point is chosen.
@@ -64,6 +80,41 @@ pub struct MserMeasurement {
     pub mean_truncated: f64,
 }
 
+/// Phase-1 (profile pass) accumulator: raw output-gap statistics plus
+/// the per-position gap moments MSER picks its truncation point from.
+/// O(train length) memory regardless of replication count.
+#[derive(Debug, Clone, Default)]
+pub struct MserProfileAcc {
+    /// Across-replication statistics of the raw (untruncated) mean gap.
+    pub raw_gap: OnlineStats,
+    /// Per-position receiver-gap moments across replications.
+    pub profile: IndexedStats,
+}
+
+impl Accumulate for MserProfileAcc {
+    fn merge(&mut self, other: Self) {
+        OnlineStats::merge(&mut self.raw_gap, &other.raw_gap);
+        self.profile.merge(other.profile);
+    }
+}
+
+/// Phase-2 (truncated pass) accumulator: statistics of the mean gap
+/// after discarding each replication's MSER-flagged prefix.
+#[derive(Debug, Clone, Default)]
+pub struct MserCorrectedAcc {
+    /// Across-replication statistics of the truncated mean gap.
+    pub corrected_gap: OnlineStats,
+    /// Total raw observations truncated across replications.
+    pub truncated: usize,
+}
+
+impl Accumulate for MserCorrectedAcc {
+    fn merge(&mut self, other: Self) {
+        OnlineStats::merge(&mut self.corrected_gap, &other.corrected_gap);
+        self.truncated += other.truncated;
+    }
+}
+
 impl MserProbe {
     /// An MSER-`m` corrected probe of `n` packets of `bytes` at
     /// `rate_bps`, in the default pooled-profile mode.
@@ -81,66 +132,239 @@ impl MserProbe {
         self
     }
 
+    /// Phase 1, one replication: send the train with `seed` and fold
+    /// its raw mean gap and per-position gaps into `acc`.
+    pub fn profile_rep<T: ProbeTarget + ?Sized>(
+        &self,
+        target: &T,
+        seed: u64,
+        acc: &mut MserProfileAcc,
+    ) {
+        let gaps = target.probe_train(self.train, seed).receiver_gaps_s();
+        if !gaps.is_empty() {
+            acc.raw_gap.push(gaps.iter().sum::<f64>() / gaps.len() as f64);
+        }
+        acc.profile.push_replication(&gaps);
+    }
+
+    /// The pooled-profile truncation point: MSER-`m` on the
+    /// across-replication mean gap profile (0 when MSER is undefined,
+    /// e.g. trains too short for the batch size).
+    pub fn truncation_point(&self, profile: &MserProfileAcc) -> usize {
+        mser_m(&profile.profile.means(), self.m)
+            .map(|r| r.truncate_raw)
+            .unwrap_or(0)
+    }
+
+    /// Phase 2, one replication: re-run `seed` (replications are pure
+    /// functions of their seed, so this reproduces phase 1's train
+    /// exactly) and fold the gap mean beyond `cut` into `acc`.
+    pub fn corrected_rep<T: ProbeTarget + ?Sized>(
+        &self,
+        target: &T,
+        cut: usize,
+        seed: u64,
+        acc: &mut MserCorrectedAcc,
+    ) {
+        let gaps = target.probe_train(self.train, seed).receiver_gaps_s();
+        let kept = &gaps[cut.min(gaps.len())..];
+        if !kept.is_empty() {
+            acc.corrected_gap
+                .push(kept.iter().sum::<f64>() / kept.len() as f64);
+            acc.truncated += cut.min(gaps.len());
+        }
+    }
+
+    /// Seal the two phase accumulators into a measurement.
+    pub fn assemble(
+        &self,
+        reps: usize,
+        profile: MserProfileAcc,
+        corrected: MserCorrectedAcc,
+    ) -> MserMeasurement {
+        MserMeasurement {
+            train: self.train,
+            raw_gap: profile.raw_gap,
+            corrected_gap: corrected.corrected_gap,
+            mean_truncated: corrected.truncated as f64 / reps.max(1) as f64,
+        }
+    }
+
     /// Run `reps` replications against `target`.
+    ///
+    /// `PooledProfile` runs the two-phase streaming reduce described in
+    /// the module docs; `PerReplication` needs no shared profile and
+    /// streams in a single pass. Peak memory is O(train length) either
+    /// way.
     pub fn measure<T: ProbeTarget + ?Sized>(
         &self,
         target: &T,
         reps: usize,
         seed: u64,
     ) -> MserMeasurement {
-        let train = self.train;
-        let per_rep: Vec<Vec<f64>> = replicate::run(reps, seed, |_, s| {
-            target.probe_train(train, s).receiver_gaps_s()
-        });
-
-        let mut raw_gap = OnlineStats::new();
-        for gaps in &per_rep {
-            if !gaps.is_empty() {
-                raw_gap.push(gaps.iter().sum::<f64>() / gaps.len() as f64);
-            }
-        }
-
-        let mut corrected_gap = OnlineStats::new();
-        let mut truncated = 0usize;
         match self.mode {
             MserMode::PooledProfile => {
-                // Mean gap per train position across replications: the
-                // transient ramp without per-train backoff noise.
-                let mut profile = IndexedSeries::new();
-                for gaps in &per_rep {
-                    profile.push_replication(gaps);
-                }
-                let means = profile.means();
-                let cut = mser_m(&means, self.m)
-                    .map(|r| r.truncate_raw)
-                    .unwrap_or(0);
-                for gaps in &per_rep {
-                    let kept = &gaps[cut.min(gaps.len())..];
-                    if !kept.is_empty() {
-                        corrected_gap.push(kept.iter().sum::<f64>() / kept.len() as f64);
-                        truncated += cut.min(gaps.len());
-                    }
-                }
+                let profile = replicate::run_reduce(
+                    reps,
+                    seed,
+                    |_, s, acc: &mut MserProfileAcc| self.profile_rep(target, s, acc),
+                    MserProfileAcc::default,
+                    Accumulate::merge,
+                );
+                let cut = self.truncation_point(&profile);
+                let corrected = replicate::run_reduce(
+                    reps,
+                    seed,
+                    |_, s, acc: &mut MserCorrectedAcc| self.corrected_rep(target, cut, s, acc),
+                    MserCorrectedAcc::default,
+                    Accumulate::merge,
+                );
+                self.assemble(reps, profile, corrected)
             }
             MserMode::PerReplication => {
-                for gaps in &per_rep {
-                    let cut = mser_m(gaps, self.m).map(|r| r.truncate_raw).unwrap_or(0);
-                    let kept = &gaps[cut..];
-                    if !kept.is_empty() {
-                        corrected_gap.push(kept.iter().sum::<f64>() / kept.len() as f64);
-                        truncated += cut;
-                    }
-                }
+                let (profile, corrected) = replicate::run_reduce(
+                    reps,
+                    seed,
+                    |_, s, (profile, corrected): &mut (MserProfileAcc, MserCorrectedAcc)| {
+                        let gaps = target.probe_train(self.train, s).receiver_gaps_s();
+                        if !gaps.is_empty() {
+                            profile
+                                .raw_gap
+                                .push(gaps.iter().sum::<f64>() / gaps.len() as f64);
+                        }
+                        let cut = mser_m(&gaps, self.m).map(|r| r.truncate_raw).unwrap_or(0);
+                        let kept = &gaps[cut..];
+                        if !kept.is_empty() {
+                            corrected
+                                .corrected_gap
+                                .push(kept.iter().sum::<f64>() / kept.len() as f64);
+                            corrected.truncated += cut;
+                        }
+                    },
+                    Default::default,
+                    Accumulate::merge,
+                );
+                self.assemble(reps, profile, corrected)
             }
         }
-
-        MserMeasurement {
-            train,
-            raw_gap,
-            corrected_gap,
-            mean_truncated: truncated as f64 / reps.max(1) as f64,
-        }
     }
+}
+
+/// One cell of an MSER rate sweep: a probe, its replication budget, and
+/// its master seed (replication `r` uses `derive_seed(seed, r)`).
+#[derive(Debug, Clone, Copy)]
+pub struct MserCell {
+    /// The probe this cell replicates.
+    pub probe: MserProbe,
+    /// Replication budget.
+    pub reps: usize,
+    /// Master seed of the cell.
+    pub seed: u64,
+}
+
+/// Phase-1 sweep: every `(cell × replication)` profile pass scheduled
+/// through the scenario engine.
+struct ProfileSweep<'a, T: ProbeTarget + ?Sized> {
+    cells: &'a [MserCell],
+    target: &'a T,
+}
+
+impl<T: ProbeTarget + ?Sized> SweepScenario for ProfileSweep<'_, T> {
+    type Acc = MserProfileAcc;
+    type Row = MserProfileAcc;
+
+    fn name(&self) -> &str {
+        "mser_profile"
+    }
+    fn points(&self) -> usize {
+        self.cells.len()
+    }
+    fn reps(&self, point: usize) -> usize {
+        self.cells[point].reps
+    }
+    fn identity(&self, _point: usize) -> MserProfileAcc {
+        MserProfileAcc::default()
+    }
+    fn replicate(&self, point: usize, rep: usize, acc: &mut MserProfileAcc) {
+        let cell = &self.cells[point];
+        cell.probe
+            .profile_rep(self.target, derive_seed(cell.seed, rep as u64), acc);
+    }
+    fn finish(&self, _point: usize, acc: MserProfileAcc) -> MserProfileAcc {
+        acc
+    }
+}
+
+/// Phase-2 sweep: the truncated passes, one cut per cell.
+struct TruncatedSweep<'a, T: ProbeTarget + ?Sized> {
+    cells: &'a [MserCell],
+    cuts: &'a [usize],
+    target: &'a T,
+}
+
+impl<T: ProbeTarget + ?Sized> SweepScenario for TruncatedSweep<'_, T> {
+    type Acc = MserCorrectedAcc;
+    type Row = MserCorrectedAcc;
+
+    fn name(&self) -> &str {
+        "mser_truncated"
+    }
+    fn points(&self) -> usize {
+        self.cells.len()
+    }
+    fn reps(&self, point: usize) -> usize {
+        self.cells[point].reps
+    }
+    fn identity(&self, _point: usize) -> MserCorrectedAcc {
+        MserCorrectedAcc::default()
+    }
+    fn replicate(&self, point: usize, rep: usize, acc: &mut MserCorrectedAcc) {
+        let cell = &self.cells[point];
+        cell.probe.corrected_rep(
+            self.target,
+            self.cuts[point],
+            derive_seed(cell.seed, rep as u64),
+            acc,
+        );
+    }
+    fn finish(&self, _point: usize, acc: MserCorrectedAcc) -> MserCorrectedAcc {
+        acc
+    }
+}
+
+/// Measure a family of pooled-profile MSER probes (e.g. one per probing
+/// rate of Fig 17) through the sweep engine: two passes, each
+/// scheduling every `(cell × replication)` concurrently over the shared
+/// worker budget. Cell `c`'s result is bit-identical to
+/// `cells[c].probe.measure(target, cells[c].reps, cells[c].seed)` in
+/// `PooledProfile` mode (per-replication modes are ignored).
+pub fn measure_rate_sweep<T: ProbeTarget + ?Sized>(
+    cells: &[MserCell],
+    target: &T,
+) -> Vec<MserMeasurement> {
+    debug_assert!(
+        cells.iter().all(|c| c.probe.mode == MserMode::PooledProfile),
+        "measure_rate_sweep applies PooledProfile semantics; a \
+         PerReplication probe would silently measure differently than \
+         its own measure()"
+    );
+    let profiles = run_sweep(&ProfileSweep { cells, target });
+    let cuts: Vec<usize> = cells
+        .iter()
+        .zip(&profiles)
+        .map(|(cell, profile)| cell.probe.truncation_point(profile))
+        .collect();
+    let corrected = run_sweep(&TruncatedSweep {
+        cells,
+        cuts: &cuts,
+        target,
+    });
+    cells
+        .iter()
+        .zip(profiles)
+        .zip(corrected)
+        .map(|((cell, profile), cor)| cell.probe.assemble(cell.reps, profile, cor))
+        .collect()
 }
 
 impl MserMeasurement {

@@ -32,17 +32,18 @@ pub struct TrainProbe {
     pub train: ProbeTrain,
 }
 
-/// Streaming accumulator of a train measurement (merged in chunk order
-/// by the scenario engine's reduce).
+/// Streaming accumulator of a train measurement: what one sweep cell
+/// (or one `run_reduce` chunk) folds its replications into, merged in
+/// chunk order by the scenario engine.
 #[derive(Debug, Clone, Default)]
-struct TrainAcc {
+pub struct TrainAccumulator {
     gaps: OnlineStats,
     incomplete: usize,
     delays: IndexedSeries,
     receiver_gaps: IndexedSeries,
 }
 
-impl Accumulate for TrainAcc {
+impl Accumulate for TrainAccumulator {
     fn merge(&mut self, other: Self) {
         OnlineStats::merge(&mut self.gaps, &other.gaps);
         self.incomplete += other.incomplete;
@@ -60,6 +61,40 @@ impl TrainProbe {
         }
     }
 
+    /// Run **one** replication with `seed` and fold its observations
+    /// into `acc` — the cell body a sweep scenario calls with
+    /// `derive_seed(cell_seed, rep)`. [`TrainProbe::measure`] is exactly
+    /// `reps` of these reduced over the chunk grid.
+    pub fn sample_into<T: ProbeTarget + ?Sized>(
+        &self,
+        target: &T,
+        seed: u64,
+        acc: &mut TrainAccumulator,
+    ) {
+        let obs = target.probe_train(self.train, seed);
+        match obs.output_gap_s() {
+            Some(g) => acc.gaps.push(g),
+            None => acc.incomplete += 1,
+        }
+        acc.receiver_gaps.push_replication(&obs.receiver_gaps_s());
+        if let Some(mu) = &obs.access_delays {
+            acc.delays.push_replication(mu);
+        }
+    }
+
+    /// Seal a fully-reduced accumulator into a [`TrainMeasurement`]
+    /// (`reps` is the replication budget that fed `acc`).
+    pub fn finish(&self, reps: usize, acc: TrainAccumulator) -> TrainMeasurement {
+        TrainMeasurement {
+            train: self.train,
+            reps,
+            incomplete: acc.incomplete,
+            output_gap: acc.gaps,
+            access_delays: acc.delays,
+            receiver_gaps: acc.receiver_gaps,
+        }
+    }
+
     /// Run `reps` independent replications against `target`.
     pub fn measure<T: ProbeTarget + ?Sized>(
         &self,
@@ -67,34 +102,16 @@ impl TrainProbe {
         reps: usize,
         seed: u64,
     ) -> TrainMeasurement {
-        let train = self.train;
         // Streaming map-reduce: each replication folds straight into a
         // chunk accumulator; nothing per-replication is materialised.
         let acc = replicate::run_reduce(
             reps,
             seed,
-            |_, s, acc: &mut TrainAcc| {
-                let obs = target.probe_train(train, s);
-                match obs.output_gap_s() {
-                    Some(g) => acc.gaps.push(g),
-                    None => acc.incomplete += 1,
-                }
-                acc.receiver_gaps.push_replication(&obs.receiver_gaps_s());
-                if let Some(mu) = &obs.access_delays {
-                    acc.delays.push_replication(mu);
-                }
-            },
-            TrainAcc::default,
+            |_, s, acc: &mut TrainAccumulator| self.sample_into(target, s, acc),
+            TrainAccumulator::default,
             Accumulate::merge,
         );
-        TrainMeasurement {
-            train,
-            reps,
-            incomplete: acc.incomplete,
-            output_gap: acc.gaps,
-            access_delays: acc.delays,
-            receiver_gaps: acc.receiver_gaps,
-        }
+        self.finish(reps, acc)
     }
 }
 

@@ -41,10 +41,28 @@ impl<A: Accumulate, B: Accumulate> Accumulate for (A, B) {
     }
 }
 
+/// Vectors merge by concatenation. Under the chunk-ordered reduce this
+/// materialises per-replication outputs **in replication order** — the
+/// escape hatch for sweep cells whose rows genuinely are one value per
+/// replication (e.g. one steady-state operating point per cell).
+impl<T> Accumulate for Vec<T> {
+    fn merge(&mut self, mut other: Self) {
+        self.append(&mut other);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::online::OnlineStats;
+
+    #[test]
+    fn vec_merges_by_concatenation() {
+        let mut a = vec![1, 2];
+        a.merge(vec![3]);
+        a.merge(Vec::new());
+        assert_eq!(a, vec![1, 2, 3]);
+    }
 
     #[test]
     fn tuple_merges_componentwise() {
