@@ -7,9 +7,9 @@
 //! numbers come from the `all_figures` binary, not from here.)
 
 use csmaprobe_bench::bench_support::Criterion;
-use csmaprobe_bench::{criterion_group, criterion_main};
 use csmaprobe_bench::figures;
 use csmaprobe_bench::report::FigureReport;
+use csmaprobe_bench::{criterion_group, criterion_main};
 
 const MICRO: f64 = 0.05;
 

@@ -96,10 +96,14 @@ impl BenchmarkGroup<'_> {
     {
         let mut samples = Vec::with_capacity(self.sample_size);
         // One untimed warm-up pass populates caches and lazy statics.
-        let mut b = Bencher { elapsed: Duration::ZERO };
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+        };
         f(&mut b);
         for _ in 0..self.sample_size {
-            let mut b = Bencher { elapsed: Duration::ZERO };
+            let mut b = Bencher {
+                elapsed: Duration::ZERO,
+            };
             f(&mut b);
             samples.push(b.elapsed);
         }
@@ -215,7 +219,9 @@ mod tests {
 
     #[test]
     fn iter_batched_excludes_setup() {
-        let mut b = Bencher { elapsed: Duration::ZERO };
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+        };
         b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::LargeInput);
         assert!(b.elapsed < Duration::from_secs(1));
     }

@@ -32,8 +32,10 @@ fn main() {
     let selected: Vec<&'static FigureDef> = match &opts.only {
         None => figures::REGISTRY.iter().collect(),
         Some(ids) => {
-            let unknown: Vec<&String> =
-                ids.iter().filter(|id| figures::find(id).is_none()).collect();
+            let unknown: Vec<&String> = ids
+                .iter()
+                .filter(|id| figures::find(id).is_none())
+                .collect();
             if !unknown.is_empty() {
                 eprintln!(
                     "error: unknown figure id(s) {:?}; run with --list to see the registry",
@@ -94,7 +96,11 @@ fn main() {
             "{}: {} checks, {} — {:.1}s",
             def.id,
             rep.checks.len(),
-            if rep.all_passed() { "ALL PASS" } else { "FAILURES" },
+            if rep.all_passed() {
+                "ALL PASS"
+            } else {
+                "FAILURES"
+            },
             t0.elapsed().as_secs_f64()
         );
         slots.lock().unwrap()[pos] = Some(rep);

@@ -1,63 +1,202 @@
-//! Compare per-figure `elapsed_s` timings of an `experiments.json`
-//! against a checked-in baseline and **warn** (never fail) on
-//! regressions — the BENCH_* trend check of the `figures-smoke` CI job.
+//! Per-figure `elapsed_s` trend check — the BENCH_* perf-trajectory
+//! gate of the `figures-smoke` CI job. **Warn-only by design**: timing
+//! noise on shared CI runners must not gate merges.
 //!
-//! Usage: `bench_trend <current.json> <baseline.json> [--factor F]`
+//! Two modes:
 //!
-//! * figures slower than `F ×` baseline (default 2.0) produce a
-//!   `::warning::` line (rendered as an annotation by GitHub Actions);
-//! * figures missing from either file are reported informationally;
-//! * exit code is 0 unless the inputs are unreadable/empty (exit 2) —
-//!   timing noise on shared CI runners must not gate merges.
+//! * **Trajectory** (what CI runs):
+//!   `bench_trend <current.json> --history BENCH_history.jsonl
+//!    [--window N] [--k K] [--label L] [--no-append]`
+//!   compares each figure against `median + k·MAD` of its last `N`
+//!   recorded runs (`csmaprobe_bench::trend::TrendGate`) and then
+//!   appends this run to the history (trimmed to the most recent 50
+//!   entries). The history file rides in a CI cache/artifact between
+//!   runs; with fewer than 3 recorded runs a figure is never flagged —
+//!   the gate self-calibrates instead of trusting one checked-in
+//!   number.
 //!
-//! The baseline (`BENCH_baseline.json`) is a full `experiments.json`
-//! from a scale-0.05 run; refresh it with:
+//! * **Baseline** (legacy, for quick local diffs):
+//!   `bench_trend <current.json> <baseline.json> [--factor F]`
+//!   flags figures slower than `F ×` the checked-in baseline
+//!   (`BENCH_baseline.json`), fixed factor, default 2.0.
 //!
-//! ```text
-//! cargo run --release -p csmaprobe-bench --bin all_figures -- --scale 0.05
-//! cp experiments.json BENCH_baseline.json
-//! ```
+//! Exit code is 0 unless the inputs are unreadable/empty (exit 2).
 
 use csmaprobe_bench::report::parse_figure_timings;
+use csmaprobe_bench::trend::{parse_history, trim_history, HistoryEntry, TrendGate};
+
+/// Most recent history entries kept when appending.
+const HISTORY_KEEP: usize = 50;
+
+fn read_timings(path: &str) -> Vec<(String, f64)> {
+    match std::fs::read_to_string(path) {
+        Ok(text) => parse_figure_timings(&text),
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let mut paths = Vec::new();
     let mut factor = 2.0f64;
+    let mut history_path: Option<String> = None;
+    let mut gate = TrendGate::default();
+    let mut label = "run".to_string();
+    let mut append = true;
+
     let mut i = 1;
+    let bad = |what: &str, v: Option<&String>| -> ! {
+        eprintln!("error: {what} needs a valid value, got {v:?}");
+        std::process::exit(2);
+    };
     while i < args.len() {
-        if args[i] == "--factor" {
-            match args.get(i + 1).map(|s| s.parse::<f64>()) {
-                Some(Ok(v)) => {
-                    factor = v;
-                    i += 1;
-                }
-                bad => {
-                    eprintln!("error: --factor needs a numeric value, got {bad:?}");
-                    std::process::exit(2);
-                }
+        let value = |i: usize| args.get(i + 1);
+        match args[i].as_str() {
+            "--factor" => {
+                factor = match value(i).map(|s| s.parse::<f64>()) {
+                    Some(Ok(v)) => v,
+                    _ => bad("--factor", value(i)),
+                };
+                i += 1;
             }
-        } else {
-            paths.push(args[i].clone());
+            "--history" => {
+                history_path = match value(i) {
+                    Some(p) => Some(p.clone()),
+                    None => bad("--history", None),
+                };
+                i += 1;
+            }
+            "--window" => {
+                gate.window = match value(i).map(|s| s.parse::<usize>()) {
+                    Some(Ok(v)) if v > 0 => v,
+                    _ => bad("--window", value(i)),
+                };
+                i += 1;
+            }
+            "--k" => {
+                gate.k = match value(i).map(|s| s.parse::<f64>()) {
+                    Some(Ok(v)) if v.is_finite() && v > 0.0 => v,
+                    _ => bad("--k", value(i)),
+                };
+                i += 1;
+            }
+            "--label" => {
+                label = match value(i) {
+                    Some(l) => l.clone(),
+                    None => bad("--label", None),
+                };
+                i += 1;
+            }
+            "--no-append" => append = false,
+            _ => paths.push(args[i].clone()),
         }
         i += 1;
     }
-    if paths.len() != 2 || !factor.is_finite() || factor <= 1.0 {
-        eprintln!("usage: bench_trend <current.json> <baseline.json> [--factor F>1]");
+
+    match (paths.len(), &history_path) {
+        (1, Some(history)) => run_trajectory(&paths[0], history, gate, &label, append),
+        (2, None) => run_baseline(&paths[0], &paths[1], factor),
+        _ => {
+            eprintln!(
+                "usage: bench_trend <current.json> --history BENCH_history.jsonl \
+                 [--window N] [--k K] [--label L] [--no-append]\n\
+                 \x20      bench_trend <current.json> <baseline.json> [--factor F>1]"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Trajectory mode: robust gate against the stored run history.
+fn run_trajectory(
+    current_path: &str,
+    history_path: &str,
+    gate: TrendGate,
+    label: &str,
+    append: bool,
+) {
+    let current = read_timings(current_path);
+    if current.is_empty() {
+        eprintln!("error: no timings parsed from {current_path}");
         std::process::exit(2);
     }
-
-    let read = |p: &str| -> Vec<(String, f64)> {
-        match std::fs::read_to_string(p) {
-            Ok(text) => parse_figure_timings(&text),
-            Err(e) => {
-                eprintln!("error: cannot read {p}: {e}");
-                std::process::exit(2);
-            }
-        }
+    let history = match std::fs::read_to_string(history_path) {
+        Ok(text) => parse_history(&text),
+        Err(_) => Vec::new(), // first run: no trajectory yet
     };
-    let current = read(&paths[0]);
-    let baseline = read(&paths[1]);
+
+    let mut regressions = 0usize;
+    for f in gate.assess(&history, &current) {
+        if f.regressed {
+            regressions += 1;
+            // The gate floors the MAD (an all-identical window has MAD
+            // 0); print the floored value so the stated arithmetic
+            // reproduces the threshold.
+            println!(
+                "::warning title=figure timing regression::{}: {:.2}s vs median {:.2}s \
+                 + {}x MAD {:.3}s = {:.2}s threshold ({} run(s) of history)",
+                f.id,
+                f.current,
+                f.median,
+                gate.k,
+                f.mad.max(gate.mad_floor),
+                f.threshold,
+                f.samples
+            );
+        } else if f.samples >= 3 {
+            println!(
+                "{}: {:.2}s vs median {:.2}s (threshold {:.2}s, {} run(s))",
+                f.id, f.current, f.median, f.threshold, f.samples
+            );
+        } else {
+            println!(
+                "{}: {:.2}s — {} run(s) of history, calibrating (need 3)",
+                f.id, f.current, f.samples
+            );
+        }
+    }
+    println!(
+        "== {} figure(s) checked against {} stored run(s); {regressions} over \
+         median + {}x MAD ==",
+        current.len(),
+        history.len(),
+        gate.k
+    );
+
+    if append {
+        let mut updated = history;
+        updated.push(HistoryEntry {
+            label: label.to_string(),
+            figures: current,
+        });
+        let updated = trim_history(updated, HISTORY_KEEP);
+        let payload: String = updated
+            .iter()
+            .map(|e| format!("{}\n", e.to_json()))
+            .collect();
+        if let Err(e) = std::fs::write(history_path, payload) {
+            eprintln!("error: cannot write {history_path}: {e}");
+            std::process::exit(2);
+        }
+        println!(
+            "history appended: {} entry(ies) in {history_path}",
+            updated.len()
+        );
+    }
+    // Advisory by design: timing noise must not gate merges.
+}
+
+/// Legacy baseline mode: fixed-factor diff against one snapshot.
+fn run_baseline(current_path: &str, baseline_path: &str, factor: f64) {
+    if !factor.is_finite() || factor <= 1.0 {
+        eprintln!("error: --factor must be a finite value > 1");
+        std::process::exit(2);
+    }
+    let current = read_timings(current_path);
+    let baseline = read_timings(baseline_path);
     if current.is_empty() || baseline.is_empty() {
         eprintln!(
             "error: no timings parsed ({} current, {} baseline entries)",
@@ -77,7 +216,11 @@ fn main() {
             Some(base) => {
                 total_cur += cur;
                 total_base += base;
-                let ratio = if base > 0.0 { cur / base } else { f64::INFINITY };
+                let ratio = if base > 0.0 {
+                    cur / base
+                } else {
+                    f64::INFINITY
+                };
                 if *cur > 0.1 && ratio > factor {
                     regressions += 1;
                     println!(

@@ -1,0 +1,297 @@
+//! The scenario **grid runner**: sweep the link × train × tool product
+//! space in one invocation, persisting each finished cell incrementally
+//! so huge grids never materialise in memory and an interrupted run
+//! resumes where it stopped.
+//!
+//! Usage:
+//! `cargo run --release -p csmaprobe-bench --bin grid --
+//!    [--links wired,wlan_low,wlan_mid] [--trains short,mid,long]
+//!    [--tools train,slops] [--scale F] [--seed N] [--jobs N]
+//!    [--out grid_rows.jsonl] [--table grid.json] [--resume]
+//!    [--max-cells K] [--list]`
+//!
+//! Rows stream into `--out` as append-only JSONL (one line per cell,
+//! flushed as the cell completes; see `report::RowSink`). With
+//! `--resume`, already-persisted cells are skipped and a torn tail line
+//! (from a kill mid-write) is truncated away — by the engine's
+//! cell-local chunk-grid contract the re-run produces rows
+//! **bit-identical** to what an uninterrupted run would have written,
+//! so interrupted-plus-resumed and uninterrupted runs end with the same
+//! row set. The finalize step assembles the rows (sorted by cell, so
+//! completion order never shows) into the `--table` JSON array.
+//!
+//! `--max-cells K` stops after K cells (exit code 3, "interrupted by
+//! budget") — a deterministic interruption for the CI resume proof.
+
+use csmaprobe_bench::grid::{parse_links, parse_tools, parse_trains, BiasGrid, GridRow};
+use csmaprobe_bench::report::RowSink;
+use csmaprobe_core::grid::{GridRunner, GridScenario};
+use csmaprobe_desim::replicate;
+
+const DEFAULT_LINKS: &str = "wired,wlan_low,wlan_mid";
+const DEFAULT_TRAINS: &str = "short,mid,long";
+const DEFAULT_TOOLS: &str = "train,slops";
+
+struct Options {
+    links: String,
+    trains: String,
+    tools: String,
+    scale: f64,
+    seed: u64,
+    jobs: usize,
+    out: String,
+    table: String,
+    resume: bool,
+    max_cells: usize,
+    list: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: grid [--links a,b] [--trains a,b] [--tools a,b] [--scale F] [--seed N] \
+         [--jobs N] [--out rows.jsonl] [--table grid.json] [--resume] [--max-cells K] [--list]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_options() -> Options {
+    let args: Vec<String> = std::env::args().collect();
+    let mut o = Options {
+        links: DEFAULT_LINKS.to_string(),
+        trains: DEFAULT_TRAINS.to_string(),
+        tools: DEFAULT_TOOLS.to_string(),
+        scale: csmaprobe_bench::DEFAULT_SCALE,
+        seed: csmaprobe_bench::DEFAULT_SEED,
+        jobs: 0,
+        out: "grid_rows.jsonl".to_string(),
+        table: "grid.json".to_string(),
+        resume: false,
+        max_cells: usize::MAX,
+        list: false,
+    };
+    let mut i = 1;
+    while i < args.len() {
+        let value = || -> String { args.get(i + 1).cloned().unwrap_or_else(|| usage()) };
+        match args[i].as_str() {
+            "--links" => {
+                o.links = value();
+                i += 1;
+            }
+            "--trains" => {
+                o.trains = value();
+                i += 1;
+            }
+            "--tools" => {
+                o.tools = value();
+                i += 1;
+            }
+            "--scale" => {
+                o.scale = value().parse().unwrap_or_else(|_| usage());
+                i += 1;
+            }
+            "--seed" => {
+                o.seed = value().parse().unwrap_or_else(|_| usage());
+                i += 1;
+            }
+            "--jobs" => {
+                o.jobs = value().parse().unwrap_or_else(|_| usage());
+                i += 1;
+            }
+            "--out" => {
+                o.out = value();
+                i += 1;
+            }
+            "--table" => {
+                o.table = value();
+                i += 1;
+            }
+            "--max-cells" => {
+                o.max_cells = value().parse().unwrap_or_else(|_| usage());
+                i += 1;
+            }
+            "--resume" => o.resume = true,
+            "--list" => o.list = true,
+            _ => usage(),
+        }
+        i += 1;
+    }
+    o.scale = csmaprobe_bench::sanitize_scale(o.scale);
+    o
+}
+
+fn main() {
+    let opts = parse_options();
+
+    if opts.list {
+        println!("links:");
+        for l in csmaprobe_bench::grid::LINKS {
+            println!("  {:<10} {}", l.name, l.title);
+        }
+        println!("trains:");
+        for t in csmaprobe_bench::grid::TRAINS {
+            println!("  {:<10} {} packets", t.name, t.n);
+        }
+        println!("tools:");
+        for t in csmaprobe_probe::tool::ToolKind::ALL {
+            println!("  {}", t.name());
+        }
+        return;
+    }
+
+    let fail = |msg: String| -> ! {
+        eprintln!("error: {msg}");
+        std::process::exit(2);
+    };
+    let links = parse_links(&opts.links).unwrap_or_else(|e| fail(e));
+    let trains = parse_trains(&opts.trains).unwrap_or_else(|e| fail(e));
+    let tools = parse_tools(&opts.tools).unwrap_or_else(|e| fail(e));
+
+    if opts.jobs > 0 {
+        replicate::set_worker_limit(opts.jobs);
+    }
+
+    let grid = BiasGrid::new(links, trains, tools, opts.scale, opts.seed);
+    let total = grid.shape().len();
+
+    let mut sink = if opts.resume {
+        RowSink::resume(&opts.out)
+    } else {
+        RowSink::create(&opts.out)
+    }
+    .unwrap_or_else(|e| fail(format!("cannot open {}: {e}", opts.out)));
+
+    // A resumed file must come from this exact grid configuration:
+    // every persisted row must carry this run's fingerprint (axes,
+    // order, scale, seed) and a key this grid will produce. Anything
+    // else would silently mix statistical populations in the table.
+    if opts.resume && !sink.is_empty() {
+        let expected: std::collections::BTreeSet<String> =
+            (0..total).map(|f| grid.key_of(f)).collect();
+        let fingerprint = grid.fingerprint();
+        let rows = sink
+            .read_rows()
+            .unwrap_or_else(|e| fail(format!("reading {}: {e}", opts.out)));
+        for line in &rows {
+            let key = csmaprobe_bench::report::row_key(line).unwrap_or("?");
+            if GridRow::run_of(line) != Some(fingerprint) {
+                fail(format!(
+                    "{} row {key} was produced by a different grid configuration \
+                     (axes/order, --scale or --seed differ); delete the file or \
+                     re-run with the original options",
+                    opts.out
+                ));
+            }
+            if !expected.contains(key) {
+                fail(format!(
+                    "{} row {key} is not a cell of this grid; delete the file or \
+                     re-run with the original axis selection",
+                    opts.out
+                ));
+            }
+        }
+    }
+
+    // Schedule exactly the cells whose rows are not yet persisted.
+    let pending: Vec<usize> = (0..total)
+        .filter(|&f| !sink.contains(&grid.key_of(f)))
+        .collect();
+    let skipped = total - pending.len();
+    let budgeted: &[usize] = &pending[..pending.len().min(opts.max_cells)];
+    eprintln!(
+        "grid: {total} cell(s) ({} links x {} trains x {} tools) at scale {}; \
+         {skipped} already persisted, running {}{}",
+        grid.axes().0.len(),
+        grid.axes().1.len(),
+        grid.axes().2.len(),
+        opts.scale,
+        budgeted.len(),
+        if budgeted.len() < pending.len() {
+            format!(" (of {} pending, --max-cells)", pending.len())
+        } else {
+            String::new()
+        },
+    );
+
+    let t0 = std::time::Instant::now();
+    let mut done = 0usize;
+    let mut io_error: Option<std::io::Error> = None;
+    GridRunner::new().run_cells_with(&grid, budgeted, |flat, row: GridRow| {
+        if io_error.is_some() {
+            return;
+        }
+        if let Err(e) = sink.append(&row.to_json()) {
+            io_error = Some(e);
+            return;
+        }
+        done += 1;
+        eprintln!(
+            "[{}/{}] cell {flat} {}: {:.2} Mb/s (A {:.2}, {} rep(s), {} failed)",
+            skipped + done,
+            total,
+            row.key(),
+            row.mean_bps / 1e6,
+            row.available_bps / 1e6,
+            row.reps,
+            row.failed,
+        );
+    });
+    if let Some(e) = io_error {
+        fail(format!("writing {}: {e}", opts.out));
+    }
+
+    if sink.len() < total {
+        eprintln!(
+            "== {done} cell(s) persisted in {:.1}s; {} still pending — re-run with --resume ==",
+            t0.elapsed().as_secs_f64(),
+            total - sink.len(),
+        );
+        std::process::exit(3);
+    }
+
+    let table = sink
+        .finalize()
+        .unwrap_or_else(|e| fail(format!("finalize: {e}")));
+    std::fs::write(&opts.table, &table)
+        .unwrap_or_else(|e| fail(format!("cannot write {}: {e}", opts.table)));
+    println!("link\ttrain\ttool\test_mbps\tci95_mbps\ttrue_A_mbps\treps\tfailed");
+    let mut rows = sink
+        .read_rows()
+        .unwrap_or_else(|e| fail(format!("read rows: {e}")));
+    rows.sort_by_key(|l| csmaprobe_bench::report::row_cell(l).unwrap_or(u64::MAX));
+    for line in &rows {
+        // Rows are our own serialisation; a light scan prints the TSV.
+        let field = |name: &str| -> String {
+            let pat = format!("\"{name}\":");
+            line.find(&pat)
+                .map(|at| {
+                    let rest = &line[at + pat.len()..];
+                    let end = rest.find([',', '}']).unwrap_or(rest.len());
+                    rest[..end].trim_matches('"').to_string()
+                })
+                .unwrap_or_default()
+        };
+        let mbps = |name: &str| -> String {
+            field(name)
+                .parse::<f64>()
+                .map(|v| format!("{:.3}", v / 1e6))
+                .unwrap_or_else(|_| "nan".to_string())
+        };
+        println!(
+            "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+            field("link"),
+            field("train"),
+            field("tool"),
+            mbps("mean_bps"),
+            mbps("ci95_bps"),
+            mbps("available_bps"),
+            field("reps"),
+            field("failed"),
+        );
+    }
+    eprintln!(
+        "== {done} cell(s) run, {total} persisted in {}; table {} written ({:.1}s) ==",
+        opts.out,
+        opts.table,
+        t0.elapsed().as_secs_f64(),
+    );
+}

@@ -1,0 +1,6 @@
+//! Regenerate the cross-tool grid-bias experiment. Usage:
+//! `cargo run --release -p csmaprobe-bench --bin grid_bias [--scale F] [--seed N]`
+fn main() {
+    let opts = csmaprobe_bench::cli_options();
+    csmaprobe_bench::figures::grid_bias::run(opts.scale, opts.seed).print();
+}

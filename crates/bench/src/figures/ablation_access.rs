@@ -24,11 +24,7 @@ pub fn run(scale: f64, seed: u64) -> FigureReport {
         "Immediate-access ablation of the Fig 6 transient",
         "disabling immediate access removes part of the first-packet acceleration \
          (the missing backoff) but the cross-traffic build-up transient remains",
-        &[
-            "packet_index",
-            "mu_immediate_ms",
-            "mu_always_backoff_ms",
-        ],
+        &["packet_index", "mu_immediate_ms", "mu_always_backoff_ms"],
     );
 
     let reps = scaled(1500, scale, 250);
@@ -74,9 +70,7 @@ pub fn run(scale: f64, seed: u64) -> FigureReport {
     rep.check(
         "cross-traffic build-up dominates the transient",
         dip_no > 0.5 * dip_ia,
-        format!(
-            "residual dip {dip_no:.3} is the majority of the total {dip_ia:.3}"
-        ),
+        format!("residual dip {dip_no:.3} is the majority of the total {dip_ia:.3}"),
     );
     // Steady states agree: the ablation only affects the transient
     // (in steady contention, immediate access almost never fires).

@@ -30,8 +30,14 @@ pub fn run(scale: f64, seed: u64) -> FigureReport {
     let cross = 3_000_000.0;
     let configs: Vec<(&str, MacOptions)> = vec![
         ("baseline", MacOptions::default()),
-        ("fer_5pct", MacOptions::default().with_frame_error_rate(0.05)),
-        ("fer_20pct", MacOptions::default().with_frame_error_rate(0.20)),
+        (
+            "fer_5pct",
+            MacOptions::default().with_frame_error_rate(0.05),
+        ),
+        (
+            "fer_20pct",
+            MacOptions::default().with_frame_error_rate(0.20),
+        ),
         ("rts_cts", MacOptions::default().with_rts_cts(500)),
     ];
 

@@ -68,7 +68,11 @@ pub fn run(scale: f64, seed: u64) -> FigureReport {
             ),
         );
     } else {
-        rep.check("identity holds past A", false, "no sample between A and B".into());
+        rep.check(
+            "identity holds past A",
+            false,
+            "no sample between A and B".into(),
+        );
     }
 
     // Check 2: B is well above A and in the fair-share band.
@@ -113,7 +117,11 @@ pub fn run(scale: f64, seed: u64) -> FigureReport {
     rep.check(
         "probe flat beyond B",
         (ro_8 - ro_10).abs() / ro_8 < 0.1,
-        format!("ro(8) = {:.2}, ro(10) = {:.2} Mb/s", ro_8 / 1e6, ro_10 / 1e6),
+        format!(
+            "ro(8) = {:.2}, ro(10) = {:.2} Mb/s",
+            ro_8 / 1e6,
+            ro_10 / 1e6
+        ),
     );
 
     rep

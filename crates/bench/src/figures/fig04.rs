@@ -25,7 +25,13 @@ pub fn run(scale: f64, seed: u64) -> FigureReport {
         "Complete rate response with FIFO + contending cross-traffic",
         "probe deviates when probe+FIFO aggregate reaches the fair share; FIFO \
          cross-traffic throughput declines as ri grows; contending flow keeps its share",
-        &["ri_mbps", "ro_mbps", "contending_mbps", "fifo_cross_mbps", "eq4_model_mbps"],
+        &[
+            "ri_mbps",
+            "ro_mbps",
+            "contending_mbps",
+            "fifo_cross_mbps",
+            "eq4_model_mbps",
+        ],
     );
 
     let link = scenarios::fig4_link();
@@ -34,11 +40,14 @@ pub fn run(scale: f64, seed: u64) -> FigureReport {
     // Bf: the probe's fair share against the contender with NO FIFO
     // cross-traffic — measured with a long saturating train.
     let bf_link = csmaprobe_core::link::WlanLink::new(
-        csmaprobe_core::link::LinkConfig::default()
-            .contending(link.config().contending[0]),
+        csmaprobe_core::link::LinkConfig::default().contending(link.config().contending[0]),
     );
     let bf = TrainProbe::new(800, FRAME, 10e6)
-        .measure(&bf_link, (6.0 * scale).round().max(3.0) as usize, seed ^ 0xBF)
+        .measure(
+            &bf_link,
+            (6.0 * scale).round().max(3.0) as usize,
+            seed ^ 0xBF,
+        )
         .output_rate_bps();
     // Each FIFO cross-traffic packet holds the queue head for ~L/Bf, so
     // u_fifo ≈ rate/Bf.

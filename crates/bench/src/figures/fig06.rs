@@ -23,11 +23,7 @@ fn experiment_def(scale: f64, seed: u64, n: usize) -> TransientExperiment {
 
 /// Run the Fig 6/7 experiment in streaming-summary mode (per-index
 /// moments, O(train length) memory).
-pub fn experiment(
-    scale: f64,
-    seed: u64,
-    n: usize,
-) -> csmaprobe_core::transient::TransientSummary {
+pub fn experiment(scale: f64, seed: u64, n: usize) -> csmaprobe_core::transient::TransientSummary {
     experiment_def(scale, seed, n).run()
 }
 
@@ -64,13 +60,17 @@ pub fn run(scale: f64, seed: u64) -> FigureReport {
     rep.check(
         "first packet below steady state",
         profile[0] < 0.92 * steady,
-        format!("mu_1 = {:.3} ms vs steady {:.3} ms", profile[0] * 1e3, steady * 1e3),
+        format!(
+            "mu_1 = {:.3} ms vs steady {:.3} ms",
+            profile[0] * 1e3,
+            steady * 1e3
+        ),
     );
 
     // Check 2: monotone-ish rise over the first packets (packet 1 below
     // the level of packets 10-20).
-    let early_plateau = profile[9..20.min(profile.len())].iter().sum::<f64>()
-        / (20.min(profile.len()) - 9) as f64;
+    let early_plateau =
+        profile[9..20.min(profile.len())].iter().sum::<f64>() / (20.min(profile.len()) - 9) as f64;
     rep.check(
         "delay rises over first packets",
         profile[0] < early_plateau,
@@ -86,7 +86,11 @@ pub fn run(scale: f64, seed: u64) -> FigureReport {
     rep.check(
         "plateau reached within 50 packets",
         (late - steady).abs() / steady < 0.05,
-        format!("mean mu_50..150 = {:.3} ms vs steady {:.3} ms", late * 1e3, steady * 1e3),
+        format!(
+            "mean mu_50..150 = {:.3} ms vs steady {:.3} ms",
+            late * 1e3,
+            steady * 1e3
+        ),
     );
 
     rep

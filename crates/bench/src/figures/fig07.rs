@@ -76,7 +76,11 @@ pub fn run(scale: f64, seed: u64) -> FigureReport {
     rep.check(
         "mode shifts right",
         h1.mode() <= h2.mode(),
-        format!("mode_1 = {:.3} ms, mode_500 = {:.3} ms", h1.mode() * 1e3, h2.mode() * 1e3),
+        format!(
+            "mode_1 = {:.3} ms, mode_500 = {:.3} ms",
+            h1.mode() * 1e3,
+            h2.mode() * 1e3
+        ),
     );
 
     rep

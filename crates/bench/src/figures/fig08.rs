@@ -21,7 +21,12 @@ pub fn run(scale: f64, seed: u64) -> FigureReport {
         "KS test vs steady state + contending queue size (probe 8 Mb/s, cross 2 Mb/s)",
         "KS statistic above the 95% threshold for the first packets, decaying below it \
          within ~10 packets; contending queue size stabilises on the same horizon",
-        &["packet_index", "ks_value", "ks_threshold_95", "mean_contending_queue"],
+        &[
+            "packet_index",
+            "ks_value",
+            "ks_threshold_95",
+            "mean_contending_queue",
+        ],
     );
 
     let n = 1000;

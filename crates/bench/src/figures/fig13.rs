@@ -67,9 +67,8 @@ pub fn sweep(
 pub fn shape_checks(rep: &mut FigureReport, rows: &[Vec<f64>]) {
     // Column layout: [ri, steady, n3, n10, n50].
     let hi_rows: Vec<&Vec<f64>> = rows.iter().filter(|r| r[0] >= 7.0).collect();
-    let avg = |idx: usize| -> f64 {
-        hi_rows.iter().map(|r| r[idx]).sum::<f64>() / hi_rows.len() as f64
-    };
+    let avg =
+        |idx: usize| -> f64 { hi_rows.iter().map(|r| r[idx]).sum::<f64>() / hi_rows.len() as f64 };
     let steady = avg(1);
     let n3 = avg(2);
     let n10 = avg(3);
@@ -104,7 +103,13 @@ pub fn run(scale: f64, seed: u64) -> FigureReport {
         "Rate response of 3/10/50-packet trains, no FIFO cross-traffic",
         "short trains dip below the steady curve near the knee and over-estimate beyond \
          it, ordered 3 > 10 > 50",
-        &["ri_mbps", "steady_mbps", "train3_mbps", "train10_mbps", "train50_mbps"],
+        &[
+            "ri_mbps",
+            "steady_mbps",
+            "train3_mbps",
+            "train10_mbps",
+            "train50_mbps",
+        ],
     );
 
     let link = scenarios::fig1_link();

@@ -19,7 +19,13 @@ pub fn run(scale: f64, seed: u64) -> FigureReport {
         "Rate response of 3/10/50-packet trains, complete system (FIFO cross-traffic)",
         "short-train deviations persist with FIFO cross-traffic; high-rate \
          over-estimation remains, ordered 3 > 10 > 50",
-        &["ri_mbps", "steady_mbps", "train3_mbps", "train10_mbps", "train50_mbps"],
+        &[
+            "ri_mbps",
+            "steady_mbps",
+            "train3_mbps",
+            "train10_mbps",
+            "train50_mbps",
+        ],
     );
 
     let link = scenarios::fig4_link();

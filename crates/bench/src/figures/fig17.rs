@@ -26,7 +26,12 @@ pub fn run(scale: f64, seed: u64) -> FigureReport {
         "MSER-2 corrected 20-packet-train rate response",
         "the MSER-2 curve lies closer to the steady-state response than the raw \
          20-packet curve, especially beyond the knee",
-        &["ri_mbps", "steady_mbps", "train20_mbps", "train20_mser2_mbps"],
+        &[
+            "ri_mbps",
+            "steady_mbps",
+            "train20_mbps",
+            "train20_mser2_mbps",
+        ],
     );
 
     let link = scenarios::fig1_link();

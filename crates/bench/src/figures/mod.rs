@@ -17,6 +17,7 @@
 //! | [`fig17`] | Fig 17 | MSER-2 corrected 20-packet trains |
 //! | [`bounds_check`] | §6 eqs (29)/(30)/(33)/(34) | measured E\[gO\] vs bounds |
 //! | [`tool_bias`] | §7.2 | SLoPS-style tool on FIFO vs CSMA/CA |
+//! | [`grid_bias`] | §7.2 (grid) | tool bias across link × train × tool |
 //! | [`ablation_access`] | (ablation) | immediate-access share of the transient |
 //! | [`ext_ofdm`] | (extension) | same phenomena on 802.11g OFDM |
 //! | [`ext_impairments`] | (extension) | frame errors + RTS/CTS effects |
@@ -38,6 +39,7 @@ pub mod fig13;
 pub mod fig15;
 pub mod fig16;
 pub mod fig17;
+pub mod grid_bias;
 pub mod tool_bias;
 
 use crate::report::FigureReport;
@@ -140,6 +142,12 @@ pub const REGISTRY: &[FigureDef] = &[
         weight: 8,
     },
     FigureDef {
+        id: "grid_bias",
+        title: "tool bias across the link x train x tool grid",
+        run: grid_bias::run,
+        weight: 30,
+    },
+    FigureDef {
         id: "ablation_access",
         title: "immediate-access share of the transient",
         run: ablation_access::run,
@@ -182,7 +190,7 @@ mod registry_tests {
             assert!(find(d.id).is_some());
             assert!(d.weight > 0, "{} needs a scheduling weight", d.id);
         }
-        assert_eq!(REGISTRY.len(), 17);
+        assert_eq!(REGISTRY.len(), 18);
         assert!(find("nope").is_none());
     }
 }

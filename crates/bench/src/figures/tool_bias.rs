@@ -90,7 +90,11 @@ pub fn run(scale: f64, seed: u64) -> FigureReport {
     rep.check(
         "wired SLoPS finds A",
         (w_slops - wired.available_bps()).abs() / wired.available_bps() < 0.18,
-        format!("{:.2} vs A {:.2} Mb/s", w_slops / 1e6, wired.available_bps() / 1e6),
+        format!(
+            "{:.2} vs A {:.2} Mb/s",
+            w_slops / 1e6,
+            wired.available_bps() / 1e6
+        ),
     );
     rep.check(
         "wired TOPP finds A and C",
@@ -134,7 +138,12 @@ pub fn run(scale: f64, seed: u64) -> FigureReport {
     rep.check(
         "wlan chirp exceeds A, stays near B",
         l_chirp > 1.3 * a_wlan && l_chirp < 0.9 * c,
-        format!("{:.2} vs A {:.2}, B {:.2} Mb/s", l_chirp / 1e6, a_wlan / 1e6, b_wlan / 1e6),
+        format!(
+            "{:.2} vs A {:.2}, B {:.2} Mb/s",
+            l_chirp / 1e6,
+            a_wlan / 1e6,
+            b_wlan / 1e6
+        ),
     );
 
     rep

@@ -1,0 +1,630 @@
+//! The link × train × tool scenario grid: named axis catalogs, the
+//! [`BiasGrid`] scenario they compose into, and the JSONL row format
+//! the `grid` binary persists.
+//!
+//! This is the paper's experiment matrix as one schedulable object:
+//! every cell is "run tool T with train shape N over link L", the axes
+//! are independently enumerable (and CLI-selectable by name), and the
+//! flattened cell space runs through [`csmaprobe_core::grid`] with the
+//! engine's per-cell bit-identity — so any subset of cells (a resumed
+//! run) reproduces exactly the rows of an uninterrupted run.
+
+use crate::report::{json_f64, json_str};
+use crate::scaled;
+use crate::scenarios::{self, FRAME};
+use csmaprobe_core::grid::{GridScenario, GridShape};
+use csmaprobe_core::link::{LinkConfig, ProbeTarget, TrainObservation, WiredLink, WlanLink};
+use csmaprobe_desim::rng::derive_seed;
+use csmaprobe_desim::time::Dur;
+use csmaprobe_probe::tool::{ToolKind, ToolProbe};
+use csmaprobe_stats::accumulate::Accumulate;
+use csmaprobe_stats::online::OnlineStats;
+
+/// Probing rate of the plain train tool, bits/s: saturating, so its
+/// dispersion reads the achievable throughput (§5.2).
+pub const TRAIN_TOOL_RATE_BPS: f64 = 10e6;
+
+/// A link either tool family can probe (the link axis currency).
+#[derive(Clone)]
+pub enum GridTarget {
+    /// Classic FIFO path.
+    Wired(WiredLink),
+    /// CSMA/CA WLAN link.
+    Wlan(WlanLink),
+}
+
+impl ProbeTarget for GridTarget {
+    fn probe_train(
+        &self,
+        train: csmaprobe_traffic::probe::ProbeTrain,
+        seed: u64,
+    ) -> TrainObservation {
+        match self {
+            GridTarget::Wired(l) => l.probe_train(train, seed),
+            GridTarget::Wlan(l) => l.probe_train(train, seed),
+        }
+    }
+
+    fn probe_sequence(&self, offsets: &[Dur], bytes: u32, seed: u64) -> TrainObservation {
+        match self {
+            GridTarget::Wired(l) => l.probe_sequence(offsets, bytes, seed),
+            GridTarget::Wlan(l) => l.probe_sequence(offsets, bytes, seed),
+        }
+    }
+
+    fn probe_bytes(&self) -> u32 {
+        match self {
+            GridTarget::Wired(l) => l.probe_bytes(),
+            GridTarget::Wlan(l) => l.probe_bytes(),
+        }
+    }
+}
+
+/// How a [`LinkPoint`] builds its target.
+#[derive(Debug, Clone, Copy)]
+enum LinkKind {
+    Wired { capacity_bps: f64, cross_bps: f64 },
+    Wlan { contending_bps: f64, fifo_bps: f64 },
+}
+
+/// One named point of the link axis.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkPoint {
+    /// Catalog name (what `--links` matches).
+    pub name: &'static str,
+    /// One-line description.
+    pub title: &'static str,
+    kind: LinkKind,
+}
+
+impl LinkPoint {
+    /// Build the runnable target.
+    pub fn build(&self) -> GridTarget {
+        match self.kind {
+            LinkKind::Wired {
+                capacity_bps,
+                cross_bps,
+            } => GridTarget::Wired(WiredLink::new(capacity_bps, cross_bps)),
+            LinkKind::Wlan {
+                contending_bps,
+                fifo_bps,
+            } => {
+                let mut cfg = LinkConfig::default().contending_bps(contending_bps);
+                if fifo_bps > 0.0 {
+                    cfg = cfg.fifo_cross_bps(fifo_bps);
+                }
+                GridTarget::Wlan(WlanLink::new(cfg))
+            }
+        }
+    }
+
+    /// The true available bandwidth `A = C − cross` of this link,
+    /// bits/s (measured stand-alone capacity for WLAN links).
+    pub fn available_bps(&self) -> f64 {
+        match self.kind {
+            LinkKind::Wired {
+                capacity_bps,
+                cross_bps,
+            } => (capacity_bps - cross_bps).max(0.0),
+            LinkKind::Wlan {
+                contending_bps,
+                fifo_bps,
+            } => (scenarios::capacity_bps(FRAME) - contending_bps - fifo_bps).max(0.0),
+        }
+    }
+
+    /// CSMA/CA link (access delays, fair-share bias)?
+    pub fn is_wlan(&self) -> bool {
+        matches!(self.kind, LinkKind::Wlan { .. })
+    }
+}
+
+/// The link-axis catalog: the paper's FIFO baseline plus CSMA/CA
+/// links at increasing contention, and the Fig 4 "complete picture"
+/// variant with FIFO cross-traffic in the probe queue.
+pub const LINKS: &[LinkPoint] = &[
+    LinkPoint {
+        name: "wired",
+        title: "FIFO path, C = 10, cross 4 Mb/s (A = 6)",
+        kind: LinkKind::Wired {
+            capacity_bps: 10e6,
+            cross_bps: 4e6,
+        },
+    },
+    LinkPoint {
+        name: "wlan_low",
+        title: "802.11b, one contender at 2 Mb/s",
+        kind: LinkKind::Wlan {
+            contending_bps: 2e6,
+            fifo_bps: 0.0,
+        },
+    },
+    LinkPoint {
+        name: "wlan_mid",
+        title: "802.11b, one contender at 4.5 Mb/s (the Fig 1 link)",
+        kind: LinkKind::Wlan {
+            contending_bps: scenarios::FIG1_CROSS_BPS,
+            fifo_bps: 0.0,
+        },
+    },
+    LinkPoint {
+        name: "wlan_fifo",
+        title: "802.11b, contender 3 Mb/s + FIFO cross 1.5 Mb/s (Fig 4)",
+        kind: LinkKind::Wlan {
+            contending_bps: 3e6,
+            fifo_bps: 1.5e6,
+        },
+    },
+];
+
+/// One named point of the train-shape axis.
+#[derive(Debug, Clone, Copy)]
+pub struct TrainPoint {
+    /// Catalog name (what `--trains` matches).
+    pub name: &'static str,
+    /// Packets per train.
+    pub n: usize,
+}
+
+/// The train-shape catalog: the short trains real tools send (and the
+/// transient bites hardest on), up to trains long enough to wash the
+/// transient out (§5.3).
+pub const TRAINS: &[TrainPoint] = &[
+    TrainPoint {
+        name: "short",
+        n: 5,
+    },
+    TrainPoint { name: "mid", n: 20 },
+    TrainPoint {
+        name: "long",
+        n: 100,
+    },
+];
+
+/// Look up a link-axis point by name.
+pub fn find_link(name: &str) -> Option<&'static LinkPoint> {
+    LINKS
+        .iter()
+        .find(|l| l.name.eq_ignore_ascii_case(name.trim()))
+}
+
+/// Look up a train-axis point by name.
+pub fn find_train(name: &str) -> Option<&'static TrainPoint> {
+    TRAINS
+        .iter()
+        .find(|t| t.name.eq_ignore_ascii_case(name.trim()))
+}
+
+fn parse_axis<T>(
+    what: &str,
+    csv: &str,
+    lookup: impl Fn(&str) -> Option<T>,
+    catalog: &[&str],
+) -> Result<Vec<T>, String> {
+    let mut out = Vec::new();
+    for part in csv.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+        match lookup(part) {
+            Some(p) => out.push(p),
+            None => {
+                return Err(format!(
+                    "unknown {what} {part:?}; catalog: {}",
+                    catalog.join(", ")
+                ))
+            }
+        }
+    }
+    if out.is_empty() {
+        return Err(format!(
+            "empty {what} axis; catalog: {}",
+            catalog.join(", ")
+        ));
+    }
+    Ok(out)
+}
+
+/// Parse a `--links` comma list against [`LINKS`].
+pub fn parse_links(csv: &str) -> Result<Vec<&'static LinkPoint>, String> {
+    let names: Vec<&str> = LINKS.iter().map(|l| l.name).collect();
+    parse_axis("link", csv, find_link, &names)
+}
+
+/// Parse a `--trains` comma list against [`TRAINS`].
+pub fn parse_trains(csv: &str) -> Result<Vec<&'static TrainPoint>, String> {
+    let names: Vec<&str> = TRAINS.iter().map(|t| t.name).collect();
+    parse_axis("train", csv, find_train, &names)
+}
+
+/// Parse a `--tools` comma list against [`ToolKind::ALL`].
+pub fn parse_tools(csv: &str) -> Result<Vec<ToolKind>, String> {
+    let names: Vec<&str> = ToolKind::ALL.iter().map(|t| t.name()).collect();
+    parse_axis("tool", csv, ToolKind::parse, &names)
+}
+
+/// FNV-1a hash of a string — a stable 64-bit fingerprint for cell
+/// names and run configurations (no `std::hash` — `DefaultHasher` is
+/// not guaranteed stable across releases, and these values end up in
+/// seeds and persisted files).
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Streaming accumulator of one grid cell: across-replication
+/// statistics of the tool estimate, plus failed-run count.
+#[derive(Debug, Clone, Default)]
+pub struct EstimateAcc {
+    /// Finite estimates, bits/s.
+    pub est: OnlineStats,
+    /// Tool runs that produced no estimate (non-finite).
+    pub failed: usize,
+}
+
+impl Accumulate for EstimateAcc {
+    fn merge(&mut self, other: Self) {
+        OnlineStats::merge(&mut self.est, &other.est);
+        self.failed += other.failed;
+    }
+}
+
+/// One finished grid cell: tool × train × link, with the estimate
+/// statistics and the link's ground truth.
+#[derive(Debug, Clone)]
+pub struct GridRow {
+    /// Flat (row-major) cell index in the scheduled grid.
+    pub cell: usize,
+    /// Link-axis point name.
+    pub link: &'static str,
+    /// Train-axis point name.
+    pub train: &'static str,
+    /// Tool family.
+    pub tool: ToolKind,
+    /// Packets per train.
+    pub n: usize,
+    /// Replications (independent tool runs) attempted.
+    pub reps: usize,
+    /// Runs that produced no estimate.
+    pub failed: usize,
+    /// Mean estimate, bits/s (NaN when every run failed).
+    pub mean_bps: f64,
+    /// Across-run standard deviation, bits/s.
+    pub sd_bps: f64,
+    /// 95% confidence half-width of the mean, bits/s.
+    pub ci95_bps: f64,
+    /// True available bandwidth of the link, bits/s.
+    pub available_bps: f64,
+    /// The producing run's configuration fingerprint
+    /// ([`BiasGrid::fingerprint`]): resume refuses to mix rows from a
+    /// different grid configuration.
+    pub run: u64,
+}
+
+impl GridRow {
+    /// The unique cell key (`link/train/tool`) the row sink indexes by.
+    pub fn cell_key(link: &str, train: &str, tool: ToolKind) -> String {
+        format!("{link}/{train}/{tool}")
+    }
+
+    /// This row's key.
+    pub fn key(&self) -> String {
+        GridRow::cell_key(self.link, self.train, self.tool)
+    }
+
+    /// The `"run"` fingerprint of a persisted row line, if present.
+    pub fn run_of(line: &str) -> Option<u64> {
+        let at = line.find(",\"run\":\"")?;
+        let rest = &line[at + ",\"run\":\"".len()..];
+        u64::from_str_radix(rest.get(..16)?, 16).ok()
+    }
+
+    /// Serialize as one [`crate::report::RowSink`] JSONL line
+    /// (`"cell"` and `"key"` first, as the sink requires).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"cell\":{},\"key\":{},\"run\":\"{:016x}\",\"link\":{},\"train\":{},\"tool\":{},\
+             \"n\":{},\"reps\":{},\"failed\":{},\"mean_bps\":{},\"sd_bps\":{},\
+             \"ci95_bps\":{},\"available_bps\":{}}}",
+            self.cell,
+            json_str(&self.key()),
+            self.run,
+            json_str(self.link),
+            json_str(self.train),
+            json_str(self.tool.name()),
+            self.n,
+            self.reps,
+            self.failed,
+            json_f64(self.mean_bps),
+            json_f64(self.sd_bps),
+            json_f64(self.ci95_bps),
+            json_f64(self.available_bps),
+        )
+    }
+}
+
+/// The link × train × tool grid as a [`GridScenario`]: one cell per
+/// coordinate, one independent tool run per replication.
+pub struct BiasGrid {
+    links: Vec<&'static LinkPoint>,
+    trains: Vec<&'static TrainPoint>,
+    tools: Vec<ToolKind>,
+    targets: Vec<GridTarget>,
+    available: Vec<f64>,
+    scale: f64,
+    seed: u64,
+}
+
+impl BiasGrid {
+    /// Compose the axes (builds each link's target once).
+    pub fn new(
+        links: Vec<&'static LinkPoint>,
+        trains: Vec<&'static TrainPoint>,
+        tools: Vec<ToolKind>,
+        scale: f64,
+        seed: u64,
+    ) -> Self {
+        let targets = links.iter().map(|l| l.build()).collect();
+        let available = links.iter().map(|l| l.available_bps()).collect();
+        BiasGrid {
+            links,
+            trains,
+            tools,
+            targets,
+            available,
+            scale,
+            seed,
+        }
+    }
+
+    /// The axes, in coordinate order (link, train, tool — tool fastest).
+    pub fn axes(&self) -> (&[&'static LinkPoint], &[&'static TrainPoint], &[ToolKind]) {
+        (&self.links, &self.trains, &self.tools)
+    }
+
+    /// The cell key of the flat cell `flat` (what the persisted row
+    /// will carry) — lets a resuming caller enumerate expected keys
+    /// without running anything.
+    pub fn key_of(&self, flat: usize) -> String {
+        let coord = self.shape().unflatten(flat);
+        GridRow::cell_key(
+            self.links[coord[0]].name,
+            self.trains[coord[1]].name,
+            self.tools[coord[2]],
+        )
+    }
+
+    /// Fingerprint of this grid's full configuration — axis selection
+    /// *and order* (cell indices depend on both), scale and seed.
+    /// Persisted in every row; resume refuses a file whose rows carry
+    /// a different fingerprint instead of silently mixing populations.
+    pub fn fingerprint(&self) -> u64 {
+        let mut desc = format!("scale={};seed={}", self.scale.to_bits(), self.seed);
+        for l in &self.links {
+            desc.push_str(";link=");
+            desc.push_str(l.name);
+        }
+        for t in &self.trains {
+            desc.push_str(";train=");
+            desc.push_str(t.name);
+        }
+        for t in &self.tools {
+            desc.push_str(";tool=");
+            desc.push_str(t.name());
+        }
+        fnv1a(&desc)
+    }
+
+    fn tool_probe(&self, coord: &[usize]) -> ToolProbe {
+        ToolProbe::new(
+            self.tools[coord[2]],
+            self.trains[coord[1]].n,
+            FRAME,
+            TRAIN_TOOL_RATE_BPS,
+        )
+    }
+}
+
+impl GridScenario for BiasGrid {
+    type Acc = EstimateAcc;
+    type Row = GridRow;
+
+    fn name(&self) -> &str {
+        "bias_grid"
+    }
+
+    fn shape(&self) -> GridShape {
+        GridShape::new(vec![self.links.len(), self.trains.len(), self.tools.len()])
+    }
+
+    fn reps(&self, coord: &[usize]) -> usize {
+        // Budget per tool family: single trains are cheap, a searching
+        // tool run is dozens of trains.
+        // Floors keep smoke-scale grids statistically meaningful: a
+        // single train is ~ms of simulation, so 24 of them is still
+        // the cheapest cell by far.
+        match self.tools[coord[2]] {
+            ToolKind::Train => scaled(40, self.scale, 24),
+            ToolKind::Chirp => scaled(20, self.scale, 8),
+            ToolKind::Slops | ToolKind::Topp => scaled(4, self.scale, 1),
+        }
+    }
+
+    fn identity(&self, _coord: &[usize]) -> EstimateAcc {
+        EstimateAcc::default()
+    }
+
+    fn replicate(&self, coord: &[usize], rep: usize, acc: &mut EstimateAcc) {
+        // Pure function of (cell *identity*, rep): the seed chains the
+        // cell's name key, not its positional coordinate, so the same
+        // named cell produces the same data no matter which other axis
+        // points were selected or in what order.
+        let s = derive_seed(self.seed, fnv1a(&self.key_of(self.shape().flatten(coord))));
+        let est = self
+            .tool_probe(coord)
+            .estimate_once(&self.targets[coord[0]], derive_seed(s, rep as u64));
+        if est.is_finite() {
+            acc.est.push(est);
+        } else {
+            acc.failed += 1;
+        }
+    }
+
+    fn finish(&self, coord: &[usize], acc: EstimateAcc) -> GridRow {
+        GridRow {
+            cell: self.shape().flatten(coord),
+            link: self.links[coord[0]].name,
+            train: self.trains[coord[1]].name,
+            tool: self.tools[coord[2]],
+            n: self.trains[coord[1]].n,
+            reps: self.reps(coord),
+            failed: acc.failed,
+            mean_bps: if acc.est.count() > 0 {
+                acc.est.mean()
+            } else {
+                f64::NAN
+            },
+            sd_bps: acc.est.std_dev(),
+            ci95_bps: acc.est.ci_half_width(0.95),
+            available_bps: self.available[coord[0]],
+            run: self.fingerprint(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::row_key;
+    use csmaprobe_core::grid::run_grid;
+
+    #[test]
+    fn catalogs_parse_and_reject() {
+        let links = parse_links("wired, WLAN_MID").unwrap();
+        assert_eq!(links.len(), 2);
+        assert_eq!(links[1].name, "wlan_mid");
+        assert!(parse_links("wired,ethernet").is_err());
+        assert!(parse_links(" , ").is_err());
+        let trains = parse_trains("short,long").unwrap();
+        assert_eq!(trains[1].n, 100);
+        assert!(parse_trains("huge").is_err());
+        let tools = parse_tools("train,slops").unwrap();
+        assert_eq!(tools, vec![ToolKind::Train, ToolKind::Slops]);
+        assert!(parse_tools("pathload").is_err());
+    }
+
+    #[test]
+    fn link_truths_are_sane() {
+        let wired = find_link("wired").unwrap();
+        assert_eq!(wired.available_bps(), 6e6);
+        assert!(!wired.is_wlan());
+        let mid = find_link("wlan_mid").unwrap();
+        assert!(mid.is_wlan());
+        // C ≈ 6.2 Mb/s, cross 4.5 ⇒ A ≈ 1.7 Mb/s.
+        let a = mid.available_bps();
+        assert!((1.2e6..2.2e6).contains(&a), "A = {a}");
+    }
+
+    #[test]
+    fn small_grid_rows_are_complete_and_keyed() {
+        let grid = BiasGrid::new(
+            vec![find_link("wired").unwrap()],
+            vec![find_train("short").unwrap(), find_train("mid").unwrap()],
+            vec![ToolKind::Train],
+            0.05,
+            42,
+        );
+        let rows = run_grid(&grid);
+        assert_eq!(rows.len(), 2);
+        let mut keys = std::collections::BTreeSet::new();
+        for (flat, row) in rows.iter().enumerate() {
+            assert_eq!(row.cell, flat);
+            assert_eq!(row.key(), grid.key_of(flat));
+            assert!(keys.insert(row.key()), "duplicate key {}", row.key());
+            assert!(row.mean_bps.is_finite(), "wired trains always complete");
+            assert_eq!(row.failed, 0);
+            let line = row.to_json();
+            assert_eq!(row_key(&line), Some(row.key().as_str()), "sink format");
+        }
+    }
+
+    #[test]
+    fn cell_data_independent_of_axis_selection() {
+        // The wired/short/train cell must produce identical data
+        // whether it sits at coord [0,0,0] or [1,0,0]: seeds chain the
+        // cell's *name*, not its position.
+        let solo = BiasGrid::new(
+            vec![find_link("wired").unwrap()],
+            vec![find_train("short").unwrap()],
+            vec![ToolKind::Train],
+            0.05,
+            42,
+        );
+        let moved = BiasGrid::new(
+            vec![find_link("wlan_low").unwrap(), find_link("wired").unwrap()],
+            vec![find_train("short").unwrap()],
+            vec![ToolKind::Train],
+            0.05,
+            42,
+        );
+        let a = &run_grid(&solo)[0];
+        let b = &run_grid(&moved)[1];
+        assert_eq!(a.key(), b.key());
+        assert_eq!(a.mean_bps.to_bits(), b.mean_bps.to_bits());
+        assert_eq!(a.sd_bps.to_bits(), b.sd_bps.to_bits());
+    }
+
+    #[test]
+    fn fingerprint_tracks_configuration_and_round_trips() {
+        let base = || {
+            BiasGrid::new(
+                vec![find_link("wired").unwrap()],
+                vec![find_train("short").unwrap()],
+                vec![ToolKind::Train],
+                0.05,
+                42,
+            )
+        };
+        let a = base();
+        assert_eq!(a.fingerprint(), base().fingerprint(), "stable");
+        let other_seed = BiasGrid::new(
+            vec![find_link("wired").unwrap()],
+            vec![find_train("short").unwrap()],
+            vec![ToolKind::Train],
+            0.05,
+            43,
+        );
+        assert_ne!(a.fingerprint(), other_seed.fingerprint());
+        let other_axis = BiasGrid::new(
+            vec![find_link("wired").unwrap()],
+            vec![find_train("mid").unwrap()],
+            vec![ToolKind::Train],
+            0.05,
+            42,
+        );
+        assert_ne!(a.fingerprint(), other_axis.fingerprint());
+        // The fingerprint lands in every row and parses back out.
+        let row = &run_grid(&a)[0];
+        assert_eq!(row.run, a.fingerprint());
+        assert_eq!(GridRow::run_of(&row.to_json()), Some(a.fingerprint()));
+    }
+
+    #[test]
+    fn grid_rows_deterministic_across_runs() {
+        let make = || {
+            BiasGrid::new(
+                vec![find_link("wired").unwrap()],
+                vec![find_train("short").unwrap()],
+                vec![ToolKind::Train, ToolKind::Slops],
+                0.05,
+                7,
+            )
+        };
+        let a = run_grid(&make());
+        let b = run_grid(&make());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.to_json(), y.to_json());
+        }
+    }
+}

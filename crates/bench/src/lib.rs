@@ -16,8 +16,10 @@
 
 pub mod bench_support;
 pub mod figures;
+pub mod grid;
 pub mod report;
 pub mod scenarios;
+pub mod trend;
 
 /// Default master seed for every figure binary (overridable via
 /// `--seed` / `SEED`).
@@ -210,7 +212,11 @@ mod tests {
 
     #[test]
     fn argv_beats_env() {
-        let o = opts(&["--scale", "4.0", "--seed", "123"], Some("2.5"), Some("77"));
+        let o = opts(
+            &["--scale", "4.0", "--seed", "123"],
+            Some("2.5"),
+            Some("77"),
+        );
         assert_eq!(o.scale, 4.0);
         assert_eq!(o.seed, 123);
     }
@@ -272,10 +278,7 @@ mod tests {
     #[test]
     fn only_parses_comma_list() {
         let o = opts(&["--only", "fig08, fig13,,"], None, None);
-        assert_eq!(
-            o.only,
-            Some(vec!["fig08".to_string(), "fig13".to_string()])
-        );
+        assert_eq!(o.only, Some(vec!["fig08".to_string(), "fig13".to_string()]));
     }
 
     #[test]
@@ -283,10 +286,7 @@ mod tests {
         let o = cli_options_from(&argv(&["--only", "fig06"]), None, None, Some("fig08"));
         assert_eq!(o.only, Some(vec!["fig06".to_string()]));
         let o = cli_options_from(&argv(&[]), None, None, Some("fig08,fig10"));
-        assert_eq!(
-            o.only,
-            Some(vec!["fig08".to_string(), "fig10".to_string()])
-        );
+        assert_eq!(o.only, Some(vec!["fig08".to_string(), "fig10".to_string()]));
     }
 
     #[test]

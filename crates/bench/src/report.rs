@@ -1,6 +1,10 @@
-//! Figure reports: the common output format of every experiment.
+//! Figure reports: the common output format of every experiment — plus
+//! [`RowSink`], the incremental, crash-tolerant JSONL persister behind
+//! the scenario grid runner.
 
 use std::fmt::Write as _;
+use std::io::{Read as _, Seek as _, Write as _};
+use std::path::{Path, PathBuf};
 
 /// One qualitative reproduction check ("shape" assertion).
 #[derive(Debug, Clone)]
@@ -204,8 +208,179 @@ pub fn parse_figure_timings(json: &str) -> Vec<(String, f64)> {
     out
 }
 
+/// Append-only JSONL row store with crash-tolerant resume: the
+/// persistence layer of the grid runner (`bin/grid`).
+///
+/// Each row is one line, a JSON object whose **first two fields are**
+/// `"cell":<flat index>` and `"key":"<unique cell key>"` (the rest is
+/// free-form). Rows are flushed line-by-line, so an interrupted run
+/// loses at most the line being written. [`RowSink::resume`] scans an
+/// existing file, keeps the longest prefix of complete rows, truncates
+/// any torn tail (a kill mid-`write` leaves a partial last line), and
+/// reports the persisted keys so the caller can schedule only the
+/// missing cells.
+///
+/// [`RowSink::finalize`] assembles the rows — sorted by cell index, so
+/// the output is independent of completion or resume order — into an
+/// `experiments.json`-style JSON array.
+#[derive(Debug)]
+pub struct RowSink {
+    path: PathBuf,
+    file: std::fs::File,
+    keys: std::collections::BTreeSet<String>,
+    rows: usize,
+}
+
+/// The `"key"` field of a complete JSONL row line, if the line is one.
+///
+/// A line qualifies when it starts with `{"cell":`, carries a
+/// `"key":"…"` field, and closes its object (`}`): the format
+/// [`RowSink::append`] enforces and [`RowSink::resume`] trusts.
+pub fn row_key(line: &str) -> Option<&str> {
+    let line = line.trim_end_matches('\r');
+    if !line.starts_with("{\"cell\":") || !line.ends_with('}') {
+        return None;
+    }
+    let at = line.find(",\"key\":\"")?;
+    let rest = &line[at + ",\"key\":\"".len()..];
+    rest.find('"').map(|end| &rest[..end])
+}
+
+/// The `"cell"` field of a complete JSONL row line.
+pub fn row_cell(line: &str) -> Option<u64> {
+    let rest = line.strip_prefix("{\"cell\":")?;
+    let end = rest.find(|c: char| !c.is_ascii_digit())?;
+    rest[..end].parse().ok()
+}
+
+impl RowSink {
+    /// Open `path` fresh, discarding any existing content.
+    pub fn create(path: impl Into<PathBuf>) -> std::io::Result<RowSink> {
+        let path = path.into();
+        let file = std::fs::File::create(&path)?;
+        Ok(RowSink {
+            path,
+            file,
+            keys: Default::default(),
+            rows: 0,
+        })
+    }
+
+    /// Open `path` for resuming: keep the longest prefix of complete
+    /// rows, truncate everything after it (torn tail line or trailing
+    /// garbage), and load the persisted keys. A missing file resumes
+    /// from nothing.
+    pub fn resume(path: impl Into<PathBuf>) -> std::io::Result<RowSink> {
+        let path = path.into();
+        let mut file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+
+        let mut keys = std::collections::BTreeSet::new();
+        let mut rows = 0usize;
+        let mut good = 0usize; // byte length of the valid prefix
+        let mut start = 0usize;
+        while let Some(nl) = bytes[start..].iter().position(|&b| b == b'\n') {
+            let line = &bytes[start..start + nl];
+            match std::str::from_utf8(line).ok().and_then(row_key) {
+                Some(key) if keys.insert(key.to_string()) => {
+                    rows += 1;
+                    start += nl + 1;
+                    good = start;
+                }
+                // A malformed or duplicate row invalidates everything
+                // after it: the writer never produces either, so the
+                // rest of the file is not trustworthy.
+                _ => break,
+            }
+        }
+        if good < bytes.len() {
+            file.set_len(good as u64)?;
+        }
+        file.seek(std::io::SeekFrom::Start(good as u64))?;
+        Ok(RowSink {
+            path,
+            file,
+            keys,
+            rows,
+        })
+    }
+
+    /// Number of persisted rows.
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// No rows yet?
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Has a row with this key already been persisted?
+    pub fn contains(&self, key: &str) -> bool {
+        self.keys.contains(key)
+    }
+
+    /// The path rows are persisted to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Append one row line (a complete JSON object, no newline) and
+    /// flush it to disk.
+    ///
+    /// # Panics
+    /// If `line` is not in the sink's row format ([`row_key`] must
+    /// accept it), contains a newline, or repeats a persisted key.
+    pub fn append(&mut self, line: &str) -> std::io::Result<()> {
+        assert!(!line.contains('\n'), "row must be a single line");
+        let key = row_key(line).expect("row line must carry cell and key fields");
+        assert!(!self.keys.contains(key), "duplicate row key {key}");
+        self.file.write_all(line.as_bytes())?;
+        self.file.write_all(b"\n")?;
+        self.file.flush()?;
+        self.keys.insert(key.to_string());
+        self.rows += 1;
+        Ok(())
+    }
+
+    /// Read the persisted rows back (complete lines, file order).
+    pub fn read_rows(&self) -> std::io::Result<Vec<String>> {
+        let text = std::fs::read_to_string(&self.path)?;
+        Ok(text
+            .lines()
+            .filter(|l| row_key(l).is_some())
+            .map(String::from)
+            .collect())
+    }
+
+    /// Assemble the persisted rows into an `experiments.json`-style
+    /// JSON array, **sorted by cell index** so the table is identical
+    /// for interrupted-and-resumed and uninterrupted runs.
+    pub fn finalize(&self) -> std::io::Result<String> {
+        let mut rows = self.read_rows()?;
+        rows.sort_by_key(|l| row_cell(l).unwrap_or(u64::MAX));
+        let mut out = String::from("[\n");
+        for (i, r) in rows.iter().enumerate() {
+            out.push_str("  ");
+            out.push_str(r);
+            if i + 1 < rows.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("]\n");
+        Ok(out)
+    }
+}
+
 /// JSON string literal with the escapes required by RFC 8259.
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for ch in s.chars() {
@@ -227,7 +402,7 @@ fn json_str(s: &str) -> String {
 
 /// JSON number for an `f64`. JSON has no NaN/Infinity; encode them as
 /// null so the output always parses.
-fn json_f64(v: f64) -> String {
+pub(crate) fn json_f64(v: f64) -> String {
     if v.is_finite() {
         // `{v:?}` round-trips f64 exactly and always includes a decimal
         // point or exponent, so the value re-parses as a float.
@@ -319,6 +494,89 @@ mod tests {
         assert_eq!(timings.len(), 1);
         assert_eq!(timings[0].0, "figX");
         assert_eq!(timings[0].1, 2.0);
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("csmaprobe-rowsink-{}-{name}", std::process::id()))
+    }
+
+    fn row_line(cell: u64, key: &str, v: f64) -> String {
+        format!(
+            "{{\"cell\":{cell},\"key\":{},\"v\":{}}}",
+            json_str(key),
+            json_f64(v)
+        )
+    }
+
+    #[test]
+    fn row_key_and_cell_accept_only_complete_rows() {
+        let line = row_line(4, "a/b", 1.5);
+        assert_eq!(row_key(&line), Some("a/b"));
+        assert_eq!(row_cell(&line), Some(4));
+        assert_eq!(row_key(&line[..line.len() - 3]), None, "torn line");
+        assert_eq!(row_key("{\"v\":1}"), None, "missing cell/key");
+        assert_eq!(row_key(""), None);
+    }
+
+    #[test]
+    fn sink_appends_flushes_and_finalizes_sorted() {
+        let p = tmp("basic");
+        let mut sink = RowSink::create(&p).unwrap();
+        // Out-of-cell-order appends (a resumed run does this).
+        sink.append(&row_line(2, "c", 3.0)).unwrap();
+        sink.append(&row_line(0, "a", 1.0)).unwrap();
+        sink.append(&row_line(1, "b", 2.0)).unwrap();
+        assert_eq!(sink.len(), 3);
+        assert!(sink.contains("b") && !sink.contains("d"));
+        let table = sink.finalize().unwrap();
+        let a = table.find("\"key\":\"a\"").unwrap();
+        let b = table.find("\"key\":\"b\"").unwrap();
+        let c = table.find("\"key\":\"c\"").unwrap();
+        assert!(a < b && b < c, "finalize sorts by cell index");
+        assert!(table.trim_start().starts_with('[') && table.trim_end().ends_with(']'));
+        let _ = std::fs::remove_file(&p);
+    }
+
+    #[test]
+    fn resume_truncates_torn_tail_and_skips_done_cells() {
+        let p = tmp("resume");
+        {
+            let mut sink = RowSink::create(&p).unwrap();
+            sink.append(&row_line(0, "a", 1.0)).unwrap();
+            sink.append(&row_line(1, "b", 2.0)).unwrap();
+        }
+        // Simulate a kill mid-write: a torn third line.
+        let mut bytes = std::fs::read(&p).unwrap();
+        bytes.extend_from_slice(b"{\"cell\":2,\"key\":\"c\",\"v\":3");
+        std::fs::write(&p, &bytes).unwrap();
+
+        let mut sink = RowSink::resume(&p).unwrap();
+        assert_eq!(sink.len(), 2, "torn tail dropped");
+        assert!(sink.contains("a") && sink.contains("b") && !sink.contains("c"));
+        sink.append(&row_line(2, "c", 3.0)).unwrap();
+        let rows = sink.read_rows().unwrap();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(row_key(&rows[2]), Some("c"));
+        let _ = std::fs::remove_file(&p);
+    }
+
+    #[test]
+    fn resume_of_missing_file_starts_empty() {
+        let p = tmp("fresh");
+        let _ = std::fs::remove_file(&p);
+        let sink = RowSink::resume(&p).unwrap();
+        assert!(sink.is_empty());
+        let _ = std::fs::remove_file(&p);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate row key")]
+    fn duplicate_keys_are_rejected() {
+        let p = tmp("dup");
+        let mut sink = RowSink::create(&p).unwrap();
+        sink.append(&row_line(0, "a", 1.0)).unwrap();
+        let _ = std::fs::remove_file(&p);
+        sink.append(&row_line(1, "a", 2.0)).unwrap();
     }
 
     #[test]

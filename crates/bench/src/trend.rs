@@ -1,0 +1,290 @@
+//! The BENCH_* performance **trajectory**: per-figure `elapsed_s`
+//! history as JSONL, and the variance-aware regression gate the
+//! `bench_trend` binary applies to it.
+//!
+//! PR 3's trend check diffed one run against one checked-in baseline
+//! with a fixed 2× factor — blind to runner-to-runner variance (a noisy
+//! figure trips it; a quietly creeping one never does). This module
+//! stores one JSONL line per CI run (`BENCH_history.jsonl`, carried
+//! between runs as a cache/artifact) and flags a figure only when its
+//! current time exceeds `median + k·MAD` over the last `window` runs —
+//! the standard robust outlier rule, self-calibrating per figure.
+
+use crate::report::{json_f64, json_str};
+
+/// One run's per-figure timings, as recorded in the history file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistoryEntry {
+    /// Free-form run label (commit SHA, date, …).
+    pub label: String,
+    /// `(figure id, elapsed_s)` pairs.
+    pub figures: Vec<(String, f64)>,
+}
+
+impl HistoryEntry {
+    /// Serialize as one history JSONL line.
+    pub fn to_json(&self) -> String {
+        let figs: Vec<String> = self
+            .figures
+            .iter()
+            .map(|(id, t)| format!("[{},{}]", json_str(id), json_f64(*t)))
+            .collect();
+        format!(
+            "{{\"label\":{},\"figures\":[{}]}}",
+            json_str(&self.label),
+            figs.join(",")
+        )
+    }
+
+    /// This run's time for figure `id`.
+    pub fn elapsed(&self, id: &str) -> Option<f64> {
+        self.figures.iter().find(|(f, _)| f == id).map(|&(_, t)| t)
+    }
+}
+
+/// Parse a history file (one [`HistoryEntry`] JSON object per line;
+/// malformed lines are skipped — a torn tail from a killed CI run must
+/// not poison the trajectory).
+pub fn parse_history(jsonl: &str) -> Vec<HistoryEntry> {
+    jsonl.lines().filter_map(parse_entry).collect()
+}
+
+fn parse_entry(line: &str) -> Option<HistoryEntry> {
+    let line = line.trim();
+    if !line.starts_with("{\"label\":\"") || !line.ends_with('}') {
+        return None;
+    }
+    let rest = &line["{\"label\":\"".len()..];
+    let label_end = rest.find('"')?;
+    let label = rest[..label_end].to_string();
+    let figs_at = rest.find("\"figures\":[")?;
+    let mut figures = Vec::new();
+    let mut tail = &rest[figs_at + "\"figures\":[".len()..];
+    while let Some(open) = tail.find("[\"") {
+        tail = &tail[open + 2..];
+        let id_end = tail.find('"')?;
+        let id = tail[..id_end].to_string();
+        let num = tail[id_end..].strip_prefix("\",")?;
+        let num_end = num
+            .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
+            .unwrap_or(num.len());
+        let t: f64 = num[..num_end].parse().ok()?;
+        figures.push((id, t));
+        tail = &num[num_end..];
+    }
+    Some(HistoryEntry { label, figures })
+}
+
+/// Median and MAD (median absolute deviation) of `xs`; `(NaN, NaN)`
+/// when empty.
+pub fn median_mad(xs: &[f64]) -> (f64, f64) {
+    fn median(sorted: &[f64]) -> f64 {
+        let n = sorted.len();
+        if n == 0 {
+            return f64::NAN;
+        }
+        if n % 2 == 1 {
+            sorted[n / 2]
+        } else {
+            0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
+        }
+    }
+    let mut sorted: Vec<f64> = xs.iter().copied().filter(|v| v.is_finite()).collect();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let med = median(&sorted);
+    let mut dev: Vec<f64> = sorted.iter().map(|v| (v - med).abs()).collect();
+    dev.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    (med, median(&dev))
+}
+
+/// The robust trend gate: `current > median + k·MAD` over the recent
+/// window flags a regression.
+#[derive(Debug, Clone, Copy)]
+pub struct TrendGate {
+    /// How many most-recent history entries to calibrate on.
+    pub window: usize,
+    /// MAD multiplier (the `k` of `median + k·MAD`).
+    pub k: f64,
+    /// Figures faster than this (seconds) are never flagged — timer
+    /// granularity noise dominates below it.
+    pub min_elapsed: f64,
+    /// MAD floor, seconds: an all-identical window has MAD 0, which
+    /// would flag any change at all.
+    pub mad_floor: f64,
+}
+
+impl Default for TrendGate {
+    fn default() -> Self {
+        TrendGate {
+            window: 10,
+            k: 5.0,
+            min_elapsed: 0.1,
+            mad_floor: 0.02,
+        }
+    }
+}
+
+/// One figure's verdict against the trajectory.
+#[derive(Debug, Clone)]
+pub struct TrendFinding {
+    /// Figure id.
+    pub id: String,
+    /// This run's time, seconds.
+    pub current: f64,
+    /// Median over the calibration window (NaN with no history).
+    pub median: f64,
+    /// MAD over the calibration window (NaN with no history).
+    pub mad: f64,
+    /// The threshold applied (NaN with no history).
+    pub threshold: f64,
+    /// History entries that carried this figure.
+    pub samples: usize,
+    /// Over the threshold?
+    pub regressed: bool,
+}
+
+impl TrendGate {
+    /// Assess `current` per-figure timings against `history` (oldest
+    /// first; only the last [`TrendGate::window`] entries calibrate).
+    /// Figures with fewer than 3 historical samples are never flagged —
+    /// the trajectory needs a few runs before MAD means anything.
+    pub fn assess(&self, history: &[HistoryEntry], current: &[(String, f64)]) -> Vec<TrendFinding> {
+        let recent = &history[history.len().saturating_sub(self.window)..];
+        current
+            .iter()
+            .map(|(id, cur)| {
+                let samples: Vec<f64> = recent.iter().filter_map(|e| e.elapsed(id)).collect();
+                let (median, mad) = median_mad(&samples);
+                let threshold = median + self.k * mad.max(self.mad_floor);
+                let regressed = samples.len() >= 3
+                    && *cur > self.min_elapsed
+                    && threshold.is_finite()
+                    && *cur > threshold;
+                TrendFinding {
+                    id: id.clone(),
+                    current: *cur,
+                    median,
+                    mad,
+                    threshold,
+                    samples: samples.len(),
+                    regressed,
+                }
+            })
+            .collect()
+    }
+}
+
+/// Cap a history to its most recent `keep` entries (the file rides in a
+/// CI cache; it must not grow without bound).
+pub fn trim_history(mut history: Vec<HistoryEntry>, keep: usize) -> Vec<HistoryEntry> {
+    let excess = history.len().saturating_sub(keep);
+    history.drain(..excess);
+    history
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(label: &str, times: &[(&str, f64)]) -> HistoryEntry {
+        HistoryEntry {
+            label: label.to_string(),
+            figures: times.iter().map(|&(id, t)| (id.to_string(), t)).collect(),
+        }
+    }
+
+    #[test]
+    fn history_round_trips_through_jsonl() {
+        let entries = vec![
+            entry("abc123", &[("fig01", 1.25), ("fig10", 0.5)]),
+            entry("def456", &[("fig01", 1.5)]),
+        ];
+        let jsonl: String = entries
+            .iter()
+            .map(|e| format!("{}\n", e.to_json()))
+            .collect();
+        assert_eq!(parse_history(&jsonl), entries);
+    }
+
+    #[test]
+    fn torn_and_garbage_lines_are_skipped() {
+        let good = entry("ok", &[("fig01", 1.0)]);
+        let jsonl = format!("not json\n{}\n{{\"label\":\"torn", good.to_json());
+        let parsed = parse_history(&jsonl);
+        assert_eq!(parsed, vec![good]);
+    }
+
+    #[test]
+    fn median_mad_basics() {
+        let (m, d) = median_mad(&[1.0, 2.0, 3.0, 4.0, 100.0]);
+        assert_eq!(m, 3.0);
+        assert_eq!(d, 1.0);
+        let (m, d) = median_mad(&[2.0, 4.0]);
+        assert_eq!(m, 3.0);
+        assert_eq!(d, 1.0);
+        let (m, _) = median_mad(&[]);
+        assert!(m.is_nan());
+        let (m, _) = median_mad(&[f64::NAN, 5.0]);
+        assert_eq!(m, 5.0, "non-finite samples ignored");
+    }
+
+    #[test]
+    fn gate_flags_only_with_enough_history() {
+        let gate = TrendGate::default();
+        let history: Vec<HistoryEntry> = (0..6)
+            .map(|i| entry(&format!("r{i}"), &[("fig01", 1.0 + 0.02 * i as f64)]))
+            .collect();
+        // Way over median + 5·MAD.
+        let findings = gate.assess(&history, &[("fig01".to_string(), 3.0)]);
+        assert!(findings[0].regressed, "{:?}", findings[0]);
+        // Inside the band.
+        let findings = gate.assess(&history, &[("fig01".to_string(), 1.08)]);
+        assert!(!findings[0].regressed, "{:?}", findings[0]);
+        // Two samples only: never flagged.
+        let findings = gate.assess(&history[..2], &[("fig01".to_string(), 50.0)]);
+        assert!(!findings[0].regressed);
+        assert_eq!(findings[0].samples, 2);
+        // Below the absolute floor: never flagged.
+        let findings = gate.assess(&history, &[("fig01".to_string(), 0.09)]);
+        assert!(!findings[0].regressed);
+    }
+
+    #[test]
+    fn gate_survives_identical_window_via_mad_floor() {
+        let gate = TrendGate::default();
+        let history: Vec<HistoryEntry> = (0..5)
+            .map(|i| entry(&format!("r{i}"), &[("a", 1.0)]))
+            .collect();
+        // MAD is 0; the floor keeps a 5% wobble unflagged...
+        let findings = gate.assess(&history, &[("a".to_string(), 1.05)]);
+        assert!(!findings[0].regressed);
+        // ...but a real jump still trips.
+        let findings = gate.assess(&history, &[("a".to_string(), 2.0)]);
+        assert!(findings[0].regressed);
+    }
+
+    #[test]
+    fn window_limits_calibration() {
+        let gate = TrendGate {
+            window: 3,
+            ..Default::default()
+        };
+        // Old slow era, recent fast era: calibration must use only the
+        // recent window, so a return to the old time IS a regression.
+        let mut history: Vec<HistoryEntry> = (0..5)
+            .map(|i| entry(&format!("s{i}"), &[("a", 10.0)]))
+            .collect();
+        history.extend((0..4).map(|i| entry(&format!("f{i}"), &[("a", 1.0)])));
+        let findings = gate.assess(&history, &[("a".to_string(), 10.0)]);
+        assert!(findings[0].regressed, "{:?}", findings[0]);
+    }
+
+    #[test]
+    fn trim_keeps_most_recent() {
+        let history: Vec<HistoryEntry> = (0..10).map(|i| entry(&format!("r{i}"), &[])).collect();
+        let trimmed = trim_history(history, 3);
+        assert_eq!(trimmed.len(), 3);
+        assert_eq!(trimmed[0].label, "r7");
+        assert_eq!(trimmed[2].label, "r9");
+    }
+}

@@ -152,7 +152,7 @@ mod tests {
         let (lo, hi) = residual_bounds(&mu, 1e-3);
         assert!((lo - 3e-3).abs() < 1e-15); // 3 * (2-1)ms
         assert!((hi - 6e-3).abs() < 1e-15); // 3 * 2ms
-        // Slow probing: lower bound clamps to 0.
+                                            // Slow probing: lower bound clamps to 0.
         let (lo2, _) = residual_bounds(&mu, 10e-3);
         assert_eq!(lo2, 0.0);
     }

@@ -1,0 +1,405 @@
+//! The scenario **grid** subsystem: composing independent parameter
+//! axes (link × train × tool, or any other enumerable dimensions) into
+//! one flattened cell space scheduled through the replication engine.
+//!
+//! `core::sweep` schedules a *single* parameter axis per figure; the
+//! paper's core claim is a function of three axes at once — the link
+//! configuration, the probe-train shape, and the measurement tool. A
+//! [`GridScenario`] describes one cell of that product space by its
+//! multi-dimensional coordinate; [`GridRunner`] flattens the coordinate
+//! space row-major (last axis fastest) and schedules every
+//! `(cell × replication)` pair through
+//! [`csmaprobe_desim::replicate::run_cells_emit`], streaming finished
+//! rows to a consumer in ascending cell order.
+//!
+//! # Determinism guarantees
+//!
+//! The runner inherits the engine's bit-compatibility contract: each
+//! cell's replications fold on the cell-local
+//! [`CHUNK`](csmaprobe_desim::replicate::CHUNK) grid and merge in
+//! ascending chunk order, so every cell's accumulator is
+//! **bit-identical** to a standalone
+//! `run_reduce(reps(coord), …)` over the same replications — for any
+//! worker count, any surrounding grid, and (crucially for resume) any
+//! *subset* of scheduled cells: [`GridRunner::run_cells_with`] over the
+//! still-missing cells of an interrupted run reproduces exactly the
+//! rows an uninterrupted run would have produced for them.
+//!
+//! # Streaming
+//!
+//! [`GridRunner::run_cells_with`] emits each finished row as soon as
+//! its cell's last chunk has merged, holding at most one pending cell
+//! plus O(workers) chunk accumulators — a grid of a million cells never
+//! materialises a million accumulators. This is what makes incremental,
+//! crash-tolerant persistence (the `bench` JSONL row sink) possible.
+
+use crate::sweep::SweepScenario;
+use csmaprobe_desim::replicate;
+use csmaprobe_stats::accumulate::Accumulate;
+
+/// The shape of a grid: one extent per axis, flattened row-major (the
+/// **last** axis varies fastest, like a nested `for` loop).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GridShape {
+    dims: Vec<usize>,
+}
+
+impl GridShape {
+    /// A shape with the given per-axis extents.
+    pub fn new(dims: Vec<usize>) -> Self {
+        GridShape { dims }
+    }
+
+    /// Per-axis extents.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of axes.
+    pub fn ndim(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of cells (product of extents; 1 for a zero-axis
+    /// grid, 0 if any axis is empty).
+    pub fn len(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// No cells at all?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Row-major flat index of `coord` (last axis fastest).
+    ///
+    /// # Panics
+    /// If `coord` has the wrong arity or any component is out of range.
+    pub fn flatten(&self, coord: &[usize]) -> usize {
+        assert_eq!(coord.len(), self.dims.len(), "coordinate arity");
+        let mut flat = 0usize;
+        for (c, d) in coord.iter().zip(&self.dims) {
+            assert!(c < d, "coordinate {c} out of range {d}");
+            flat = flat * d + c;
+        }
+        flat
+    }
+
+    /// Inverse of [`GridShape::flatten`].
+    ///
+    /// # Panics
+    /// If `flat >= self.len()`.
+    pub fn unflatten(&self, flat: usize) -> Vec<usize> {
+        assert!(flat < self.len(), "flat index {flat} out of range");
+        let mut coord = vec![0usize; self.dims.len()];
+        let mut rest = flat;
+        for (slot, d) in coord.iter_mut().zip(&self.dims).rev() {
+            *slot = rest % d;
+            rest /= d;
+        }
+        coord
+    }
+
+    /// Iterate all coordinates in flat (row-major) order.
+    pub fn coords(&self) -> impl Iterator<Item = Vec<usize>> + '_ {
+        (0..self.len()).map(|f| self.unflatten(f))
+    }
+}
+
+/// A parameterised *grid* of scenarios — one cell per coordinate of the
+/// product space of independent axes.
+///
+/// The contract mirrors [`SweepScenario`] with multi-dimensional cell
+/// addressing: [`GridScenario::replicate`] must be a pure function of
+/// `(coord, rep)` (derive all randomness from them), and
+/// [`GridScenario::Acc`] must satisfy the [`Accumulate`] merge law, so
+/// the runner may execute cells in any order on any worker.
+pub trait GridScenario: Sync {
+    /// Streaming per-cell accumulator.
+    type Acc: Accumulate + Send;
+    /// Finished row type, one per cell.
+    type Row: Send;
+
+    /// Short identifier (for registries and logs).
+    fn name(&self) -> &str;
+
+    /// The axis extents of the product space.
+    fn shape(&self) -> GridShape;
+
+    /// Replication budget of the cell at `coord`.
+    fn reps(&self, coord: &[usize]) -> usize;
+
+    /// A fresh (identity) accumulator for the cell at `coord`.
+    fn identity(&self, coord: &[usize]) -> Self::Acc;
+
+    /// Run replication `rep` of the cell at `coord`, folding its
+    /// observations into `acc`. Must be a pure function of
+    /// `(coord, rep)`.
+    fn replicate(&self, coord: &[usize], rep: usize, acc: &mut Self::Acc);
+
+    /// Turn a fully-reduced cell into its row.
+    fn finish(&self, coord: &[usize], acc: Self::Acc) -> Self::Row;
+}
+
+/// Adapter presenting a [`GridScenario`]'s flattened cell space as a
+/// [`SweepScenario`] — the compatibility bridge that lets grid cells
+/// ride every scheduling path built for sweeps.
+pub struct GridSweep<'a, G: GridScenario + ?Sized> {
+    grid: &'a G,
+    shape: GridShape,
+}
+
+impl<'a, G: GridScenario + ?Sized> GridSweep<'a, G> {
+    /// Wrap `grid` (snapshots its shape).
+    pub fn new(grid: &'a G) -> Self {
+        let shape = grid.shape();
+        GridSweep { grid, shape }
+    }
+}
+
+impl<G: GridScenario + ?Sized> SweepScenario for GridSweep<'_, G> {
+    type Acc = G::Acc;
+    type Row = G::Row;
+
+    fn name(&self) -> &str {
+        self.grid.name()
+    }
+    fn points(&self) -> usize {
+        self.shape.len()
+    }
+    fn reps(&self, point: usize) -> usize {
+        self.grid.reps(&self.shape.unflatten(point))
+    }
+    fn identity(&self, point: usize) -> Self::Acc {
+        self.grid.identity(&self.shape.unflatten(point))
+    }
+    fn replicate(&self, point: usize, rep: usize, acc: &mut Self::Acc) {
+        self.grid.replicate(&self.shape.unflatten(point), rep, acc)
+    }
+    fn finish(&self, point: usize, acc: Self::Acc) -> Self::Row {
+        self.grid.finish(&self.shape.unflatten(point), acc)
+    }
+}
+
+/// Schedules the cells of a [`GridScenario`] through the shared
+/// replication worker budget.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GridRunner;
+
+impl GridRunner {
+    /// A runner with default scheduling.
+    pub fn new() -> Self {
+        GridRunner
+    }
+
+    /// Run **every** cell and return one row per cell, in flat
+    /// (row-major) order.
+    pub fn run<G: GridScenario + ?Sized>(&self, grid: &G) -> Vec<G::Row> {
+        let shape = grid.shape();
+        let all: Vec<usize> = (0..shape.len()).collect();
+        let mut rows = Vec::with_capacity(all.len());
+        self.run_cells_with(grid, &all, |_, row| rows.push(row));
+        rows
+    }
+
+    /// Run only the cells whose **flat indices** are listed in `cells`
+    /// (ascending, no duplicates), streaming each finished row to
+    /// `emit(flat, row)` in ascending flat order as soon as the cell
+    /// completes.
+    ///
+    /// This is the resume path: an interrupted run re-schedules exactly
+    /// the cells missing from its persisted row set, and — by the
+    /// engine's cell-local chunk-grid contract — produces rows
+    /// bit-identical to what the uninterrupted run would have written.
+    ///
+    /// # Panics
+    /// If `cells` is not strictly ascending or indexes past the grid.
+    pub fn run_cells_with<G, E>(&self, grid: &G, cells: &[usize], mut emit: E)
+    where
+        G: GridScenario + ?Sized,
+        E: FnMut(usize, G::Row) + Send,
+    {
+        let shape = grid.shape();
+        assert!(
+            cells.windows(2).all(|w| w[0] < w[1]),
+            "cell list must be strictly ascending"
+        );
+        if let Some(&last) = cells.last() {
+            assert!(
+                last < shape.len(),
+                "cell {last} out of range {}",
+                shape.len()
+            );
+        }
+        let coords: Vec<Vec<usize>> = cells.iter().map(|&f| shape.unflatten(f)).collect();
+        let budgets: Vec<usize> = coords.iter().map(|c| grid.reps(c)).collect();
+        replicate::run_cells_emit(
+            &budgets,
+            |i, rep, acc: &mut G::Acc| grid.replicate(&coords[i], rep, acc),
+            |i| grid.identity(&coords[i]),
+            |a, b| a.merge(b),
+            |i, acc| emit(cells[i], grid.finish(&coords[i], acc)),
+        );
+    }
+}
+
+/// Convenience: run every cell of `grid` with a default [`GridRunner`].
+pub fn run_grid<G: GridScenario + ?Sized>(grid: &G) -> Vec<G::Row> {
+    GridRunner::new().run(grid)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csmaprobe_desim::rng::{derive_seed, SimRng};
+    use csmaprobe_stats::online::OnlineStats;
+
+    /// A synthetic 3-axis grid: cell `(i, j, k)` averages
+    /// `reps(i,j,k)` pseudo observations derived from the coordinate.
+    struct Synthetic {
+        dims: Vec<usize>,
+        seed: u64,
+    }
+
+    impl Synthetic {
+        fn cell_seed(&self, coord: &[usize]) -> u64 {
+            coord
+                .iter()
+                .fold(self.seed, |s, &c| derive_seed(s, c as u64))
+        }
+    }
+
+    impl GridScenario for Synthetic {
+        type Acc = OnlineStats;
+        type Row = (Vec<usize>, u64, f64);
+
+        fn name(&self) -> &str {
+            "synthetic"
+        }
+        fn shape(&self) -> GridShape {
+            GridShape::new(self.dims.clone())
+        }
+        fn reps(&self, coord: &[usize]) -> usize {
+            // Deterministic, coordinate-dependent budget incl. zeros.
+            (coord.iter().sum::<usize>() * 3) % 5
+        }
+        fn identity(&self, _coord: &[usize]) -> OnlineStats {
+            OnlineStats::new()
+        }
+        fn replicate(&self, coord: &[usize], rep: usize, acc: &mut OnlineStats) {
+            let s = derive_seed(self.cell_seed(coord), rep as u64);
+            acc.push(SimRng::new(s).f64());
+        }
+        fn finish(&self, coord: &[usize], acc: OnlineStats) -> Self::Row {
+            (coord.to_vec(), acc.count(), acc.mean())
+        }
+    }
+
+    #[test]
+    fn shape_flatten_unflatten_roundtrip() {
+        let s = GridShape::new(vec![3, 4, 2]);
+        assert_eq!(s.len(), 24);
+        for flat in 0..s.len() {
+            let coord = s.unflatten(flat);
+            assert_eq!(s.flatten(&coord), flat);
+        }
+        // Row-major: last axis fastest.
+        assert_eq!(s.unflatten(0), vec![0, 0, 0]);
+        assert_eq!(s.unflatten(1), vec![0, 0, 1]);
+        assert_eq!(s.unflatten(2), vec![0, 1, 0]);
+        assert_eq!(s.unflatten(23), vec![2, 3, 1]);
+    }
+
+    #[test]
+    fn empty_axis_means_empty_grid() {
+        let s = GridShape::new(vec![3, 0, 2]);
+        assert_eq!(s.len(), 0);
+        assert!(s.is_empty());
+        let g = Synthetic {
+            dims: vec![3, 0, 2],
+            seed: 1,
+        };
+        assert!(run_grid(&g).is_empty());
+    }
+
+    #[test]
+    fn grid_matches_nested_sequential_reference() {
+        let g = Synthetic {
+            dims: vec![2, 3, 2],
+            seed: 0x9E1D,
+        };
+        let rows = run_grid(&g);
+        assert_eq!(rows.len(), 12);
+        let shape = g.shape();
+        for (flat, (coord, count, mean)) in rows.iter().enumerate() {
+            assert_eq!(*coord, shape.unflatten(flat));
+            // Sequential reference for this cell.
+            let mut acc = OnlineStats::new();
+            for rep in 0..g.reps(coord) {
+                g.replicate(coord, rep, &mut acc);
+            }
+            assert_eq!(*count, acc.count());
+            assert_eq!(mean.to_bits(), acc.mean().to_bits(), "cell {coord:?}");
+        }
+    }
+
+    #[test]
+    fn subset_rows_bit_identical_to_full_run() {
+        let g = Synthetic {
+            dims: vec![3, 3],
+            seed: 7,
+        };
+        let full = run_grid(&g);
+        // Run the odd cells only, as a resume would.
+        let subset: Vec<usize> = (0..g.shape().len()).filter(|f| f % 2 == 1).collect();
+        let mut got = Vec::new();
+        GridRunner::new().run_cells_with(&g, &subset, |flat, row| got.push((flat, row)));
+        assert_eq!(got.len(), subset.len());
+        let mut last = None;
+        for (flat, (coord, count, mean)) in &got {
+            assert!(
+                last.map(|l| l < *flat).unwrap_or(true),
+                "ascending emission"
+            );
+            last = Some(*flat);
+            let (rc, rn, rm) = &full[*flat];
+            assert_eq!(coord, rc);
+            assert_eq!(count, rn);
+            assert_eq!(mean.to_bits(), rm.to_bits(), "cell {flat}");
+        }
+    }
+
+    #[test]
+    fn grid_as_sweep_equals_run_grid() {
+        let g = Synthetic {
+            dims: vec![2, 2, 3],
+            seed: 0xA11,
+        };
+        let direct = run_grid(&g);
+        let swept = crate::sweep::run_sweep(&GridSweep::new(&g));
+        assert_eq!(direct.len(), swept.len());
+        for ((dc, dn, dm), (sc, sn, sm)) in direct.iter().zip(&swept) {
+            assert_eq!(dc, sc);
+            assert_eq!(dn, sn);
+            assert_eq!(dm.to_bits(), sm.to_bits());
+        }
+    }
+
+    #[test]
+    fn grid_bit_identical_across_worker_counts() {
+        let g = Synthetic {
+            dims: vec![2, 4],
+            seed: 0x5EED,
+        };
+        csmaprobe_desim::replicate::set_worker_limit(1);
+        let solo = run_grid(&g);
+        csmaprobe_desim::replicate::set_worker_limit(4);
+        let quad = run_grid(&g);
+        csmaprobe_desim::replicate::set_worker_limit(0);
+        for (a, b) in solo.iter().zip(&quad) {
+            assert_eq!(a.0, b.0);
+            assert_eq!(a.1, b.1);
+            assert_eq!(a.2.to_bits(), b.2.to_bits());
+        }
+    }
+}

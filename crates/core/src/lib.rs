@@ -22,6 +22,12 @@
 //!   rate) scheduled by [`sweep::SweepRunner`] as one streaming
 //!   map-reduce over the shared worker budget, with per-cell results
 //!   bit-identical to a standalone per-point reduce.
+//! * [`grid`] — the scenario grid subsystem: independent parameter
+//!   axes (link × train × tool) composed into one flattened cell space
+//!   ([`grid::GridScenario`]) scheduled by [`grid::GridRunner`], with
+//!   streaming row emission in cell order and bit-identical per-cell
+//!   results for any worker count or scheduled subset (the resume
+//!   contract).
 //! * [`link`] — runnable link models: [`link::WlanLink`] (Fig 3: a
 //!   FIFO transmission queue feeding a CSMA/CA virtual scheduler, with
 //!   contending stations) and [`link::WiredLink`] (the classic FIFO
@@ -30,6 +36,7 @@
 //!   consume.
 
 pub mod bounds;
+pub mod grid;
 pub mod link;
 pub mod multihop;
 pub mod rate_response;
@@ -38,6 +45,7 @@ pub mod sweep;
 pub mod transient;
 
 pub use bounds::{dispersion_bounds, TransientBounds};
+pub use grid::{run_grid, GridRunner, GridScenario, GridShape, GridSweep};
 pub use link::{CrossSpec, LinkConfig, ProbeTarget, TrainObservation, WiredLink, WlanLink};
 pub use multihop::{Hop, WiredPath};
 pub use rate_response::{

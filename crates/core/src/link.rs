@@ -26,9 +26,7 @@ use csmaprobe_mac::sim::{PacketRecord, StationId, WlanSim};
 use csmaprobe_phy::Phy;
 use csmaprobe_queueing::fifo::{fifo_serve, Job};
 use csmaprobe_traffic::probe::ProbeTrain;
-use csmaprobe_traffic::{
-    CbrSource, MergeSource, PoissonSource, SizeModel, Source, TraceSource,
-};
+use csmaprobe_traffic::{CbrSource, MergeSource, PoissonSource, SizeModel, Source, TraceSource};
 
 /// Flow tag of probe packets inside the probe station's queue.
 pub const FLOW_PROBE: u16 = 1;
@@ -112,20 +110,16 @@ impl CrossSpec {
             CrossShape::ExpOnOff { duty } => {
                 assert!(duty > 0.0 && duty < 1.0, "duty {duty} out of (0,1)");
                 let peak = self.rate_bps / duty;
-                let mean_off =
-                    Dur::from_secs_f64(MEAN_ON.as_secs_f64() * (1.0 - duty) / duty);
+                let mean_off = Dur::from_secs_f64(MEAN_ON.as_secs_f64() * (1.0 - duty) / duty);
                 Box::new(
-                    OnOffSource::new(peak, MEAN_ON, mean_off, sizes, start, until)
-                        .with_flow(flow),
+                    OnOffSource::new(peak, MEAN_ON, mean_off, sizes, start, until).with_flow(flow),
                 )
             }
             CrossShape::ParetoOnOff { alpha, duty } => {
                 assert!(duty > 0.0 && duty < 1.0, "duty {duty} out of (0,1)");
                 let peak = self.rate_bps / duty;
-                let on_min =
-                    Dur::from_secs_f64(MEAN_ON.as_secs_f64() * (alpha - 1.0) / alpha);
-                let mean_off =
-                    Dur::from_secs_f64(MEAN_ON.as_secs_f64() * (1.0 - duty) / duty);
+                let on_min = Dur::from_secs_f64(MEAN_ON.as_secs_f64() * (alpha - 1.0) / alpha);
+                let mean_off = Dur::from_secs_f64(MEAN_ON.as_secs_f64() * (1.0 - duty) / duty);
                 Box::new(
                     ParetoOnOffSource::new(peak, alpha, on_min, mean_off, sizes, start, until)
                         .with_flow(flow),
@@ -257,8 +251,7 @@ impl TrainObservation {
 
     /// Dispersion-inferred output rate `L/gO` in bits/s.
     pub fn output_rate_bps(&self) -> Option<f64> {
-        self.output_gap_s()
-            .map(|g| self.bytes as f64 * 8.0 / g)
+        self.output_gap_s().map(|g| self.bytes as f64 * 8.0 / g)
     }
 }
 
@@ -368,8 +361,7 @@ impl WlanLink {
         let last = probe_arrivals.last().map(|p| p.time).unwrap_or(Time::ZERO);
         // Generous completion budget: sequence span + 20 ms per packet
         // (a DCF exchange is ~2 ms even under heavy contention).
-        let horizon =
-            last + Dur::from_millis(20) * n as u64 + Dur::from_millis(100);
+        let horizon = last + Dur::from_millis(20) * n as u64 + Dur::from_millis(100);
 
         let mut sim = WlanSim::new(self.cfg.phy.clone(), seed).with_options(self.cfg.mac);
         let probe_src: Box<dyn Source> = match &self.cfg.fifo_cross {
@@ -411,13 +403,8 @@ impl WlanLink {
         let mut sim = WlanSim::new(self.cfg.phy.clone(), seed).with_options(self.cfg.mac);
 
         let probe_cbr: Box<dyn Source> = Box::new(
-            CbrSource::from_bitrate(
-                ri_bps,
-                SizeModel::Fixed(self.cfg.probe_bytes),
-                start,
-                end,
-            )
-            .with_flow(FLOW_PROBE),
+            CbrSource::from_bitrate(ri_bps, SizeModel::Fixed(self.cfg.probe_bytes), start, end)
+                .with_flow(FLOW_PROBE),
         );
         let probe_src: Box<dyn Source> = match &self.cfg.fifo_cross {
             None => probe_cbr,
@@ -569,7 +556,8 @@ impl WiredLink {
         bytes: u32,
     ) -> TrainObservation {
         let last = probe.last().map(|&(t, _)| t).unwrap_or(Time::ZERO);
-        let horizon = last + self.service_time(bytes) * (probe.len() as u64 + 8) + Dur::from_secs(2);
+        let horizon =
+            last + self.service_time(bytes) * (probe.len() as u64 + 8) + Dur::from_secs(2);
 
         // Cross-traffic jobs from t=0 so the queue is stationary when
         // probing starts.
@@ -668,10 +656,7 @@ mod tests {
         let obs = link.probe_train(train, 3);
         // Without cross-traffic, 3 Mb/s < C so output ≈ input.
         let ro = obs.output_rate_bps().unwrap();
-        assert!(
-            (ro - 3_000_000.0).abs() / 3e6 < 0.05,
-            "output rate {ro}"
-        );
+        assert!((ro - 3_000_000.0).abs() / 3e6 < 0.05, "output rate {ro}");
         let gaps = obs.receiver_gaps_s();
         assert_eq!(gaps.len(), 19);
         let mean_gap = gaps.iter().sum::<f64>() / gaps.len() as f64;

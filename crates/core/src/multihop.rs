@@ -88,11 +88,10 @@ impl WiredPath {
     fn traverse(&self, probe: &[(Time, u32)], seed: u64) -> Vec<(Time, u32)> {
         let mut current: Vec<(Time, u32)> = probe.to_vec();
         for (h, hop) in self.hops.iter().enumerate() {
-            let service =
-                |bytes: u32| Dur::from_secs_f64(bytes as f64 * 8.0 / hop.capacity_bps);
+            let service = |bytes: u32| Dur::from_secs_f64(bytes as f64 * 8.0 / hop.capacity_bps);
             let last = current.last().map(|&(t, _)| t).unwrap_or(Time::ZERO);
-            let horizon = last + service(self.probe_bytes) * (current.len() as u64 + 8)
-                + Dur::from_secs(2);
+            let horizon =
+                last + service(self.probe_bytes) * (current.len() as u64 + 8) + Dur::from_secs(2);
             // Independent cross-traffic stream per hop.
             let mut rng = SimRng::new(derive_seed(seed, 0xB0B + h as u64));
             let mut cross = PoissonSource::from_bitrate(
@@ -201,17 +200,17 @@ mod tests {
         let train = ProbeTrain::from_rate(1500, 1500, 9e6);
         let ro = path.probe_train(train, 7).output_rate_bps().unwrap();
         let fluid = crate::rate_response::fifo_rate_response(9e6, 10e6, 6e6);
-        assert!((ro - fluid).abs() / fluid < 0.06, "ro {ro} vs fluid {fluid}");
+        assert!(
+            (ro - fluid).abs() / fluid < 0.06,
+            "ro {ro} vs fluid {fluid}"
+        );
     }
 
     #[test]
     fn packet_pair_reads_narrow_link() {
         // Pair dispersion after the narrow link survives wide
         // downstream hops (no cross-traffic to re-compress it).
-        let path = WiredPath::new(vec![
-            Hop::new(10e6, 0.0),
-            Hop::new(100e6, 0.0),
-        ]);
+        let path = WiredPath::new(vec![Hop::new(10e6, 0.0), Hop::new(100e6, 0.0)]);
         let train = ProbeTrain::packet_pair(1500);
         let obs = path.probe_train(train, 9);
         let rate = obs.output_rate_bps().unwrap();

@@ -434,9 +434,7 @@ mod tests {
             assert!((x - y).abs() < 1e-12, "{x} vs {y}");
         }
         assert!(
-            (summary.steady_mean(25) - dense.steady_mean(25)).abs()
-                / dense.steady_mean(25)
-                < 1e-9
+            (summary.steady_mean(25) - dense.steady_mean(25)).abs() / dense.steady_mean(25) < 1e-9
         );
         let qa = summary.queue_profile();
         let qb = dense.queue_profile();

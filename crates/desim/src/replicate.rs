@@ -16,7 +16,10 @@
 //!
 //! [`run_cells`] generalises the same core to a grid of independently
 //! accumulated cells (one per sweep point), with per-cell results
-//! bit-identical to a standalone [`run_reduce`] per cell.
+//! bit-identical to a standalone [`run_reduce`] per cell;
+//! [`run_cells_emit`] is its streaming form, handing each finished cell
+//! to a consumer in ascending cell order so arbitrarily large grids
+//! never materialise all their accumulators at once.
 //!
 //! Determinism: replication `i` always receives `derive_seed(master, i)`
 //! and chunk accumulators are always merged in ascending chunk index,
@@ -274,6 +277,37 @@ where
     I: Fn(usize) -> A + Sync,
     M: Fn(&mut A, A) + Send + Sync,
 {
+    let mut out: Vec<A> = Vec::with_capacity(cells.len());
+    run_cells_emit(cells, map, identity, merge, |cell, acc| {
+        debug_assert_eq!(out.len(), cell, "cells emitted in ascending order");
+        out.push(acc);
+    });
+    out
+}
+
+/// [`run_cells`] with **streaming emission**: each cell's fully-reduced
+/// accumulator is handed to `emit(cell, acc)` in ascending cell order,
+/// as soon as its last chunk has merged — instead of materialising one
+/// accumulator per cell for the whole grid.
+///
+/// This is the primitive behind incremental grid persistence
+/// (`csmaprobe_core::grid`): a huge grid holds O(workers) in-flight
+/// chunk accumulators plus at most one pending cell, never the full
+/// cell space, and a crash loses only cells not yet emitted.
+///
+/// Reduction is identical to [`run_cells`] — same chunk grid, same
+/// ascending-chunk merge order — so every emitted accumulator is
+/// bit-identical to the corresponding [`run_cells`] (and standalone
+/// [`run_reduce`]) result, for any worker count. Zero-replication cells
+/// emit `identity(cell)` at their position in the order.
+pub fn run_cells_emit<A, F, I, M, E>(cells: &[usize], map: F, identity: I, merge: M, mut emit: E)
+where
+    A: Send,
+    F: Fn(usize, usize, &mut A) + Sync,
+    I: Fn(usize) -> A + Sync,
+    M: Fn(&mut A, A) + Send + Sync,
+    E: FnMut(usize, A) + Send,
+{
     // Chunk-count prefix sums: cell `c` owns global chunks
     // `chunk_offset[c] .. chunk_offset[c + 1]`, each padded range fully
     // inside one cell so the cell-local chunk grid matches run_reduce's.
@@ -285,33 +319,54 @@ where
         chunk_offset.push(total_chunks);
     }
 
-    let mut out: Vec<Option<A>> = cells.iter().map(|_| None).collect();
-    run_chunks(
-        total_chunks * CHUNK,
-        |range| {
-            let gchunk = range.start / CHUNK;
-            // The owning cell: last offset <= gchunk. Zero-rep cells
-            // contribute no chunks and are skipped by partition_point.
-            let cell = chunk_offset.partition_point(|&o| o <= gchunk) - 1;
-            let base = chunk_offset[cell] * CHUNK;
-            let mut acc = identity(cell);
-            for g in range {
-                let r = g - base;
-                if r < cells[cell] {
-                    map(cell, r, &mut acc);
-                }
+    // Chunk outputs arrive in ascending global-chunk order (the
+    // run_chunks contract) and each cell's chunks are contiguous, so
+    // incoming cell indices are non-decreasing: one pending cell
+    // suffices. `next_cell` is the lowest not-yet-emitted cell;
+    // zero-rep cells produce no chunks and are emitted as identities
+    // when the stream steps past them.
+    let mut pending: Option<(usize, A)> = None;
+    let mut next_cell = 0usize;
+    {
+        let mut flush_through = |upto: usize, pending: &mut Option<(usize, A)>, emit: &mut E| {
+            if let Some((c, acc)) = pending.take() {
+                debug_assert_eq!(c, next_cell);
+                emit(c, acc);
+                next_cell = c + 1;
             }
-            (cell, acc)
-        },
-        |(cell, acc)| match &mut out[cell] {
-            None => out[cell] = Some(acc),
-            Some(g) => merge(g, acc),
-        },
-    );
-    out.into_iter()
-        .enumerate()
-        .map(|(c, a)| a.unwrap_or_else(|| identity(c)))
-        .collect()
+            while next_cell < upto {
+                debug_assert_eq!(cells[next_cell], 0, "non-empty cell skipped");
+                emit(next_cell, identity(next_cell));
+                next_cell += 1;
+            }
+        };
+        run_chunks(
+            total_chunks * CHUNK,
+            |range| {
+                let gchunk = range.start / CHUNK;
+                // The owning cell: last offset <= gchunk. Zero-rep cells
+                // contribute no chunks and are skipped by partition_point.
+                let cell = chunk_offset.partition_point(|&o| o <= gchunk) - 1;
+                let base = chunk_offset[cell] * CHUNK;
+                let mut acc = identity(cell);
+                for g in range {
+                    let r = g - base;
+                    if r < cells[cell] {
+                        map(cell, r, &mut acc);
+                    }
+                }
+                (cell, acc)
+            },
+            |(cell, acc)| match &mut pending {
+                Some((c, g)) if *c == cell => merge(g, acc),
+                _ => {
+                    flush_through(cell, &mut pending, &mut emit);
+                    pending = Some((cell, acc));
+                }
+            },
+        );
+        flush_through(cells.len(), &mut pending, &mut emit);
+    }
 }
 
 /// Run `reps` independent replications of `f` in parallel.
@@ -482,10 +537,16 @@ mod tests {
 
     #[test]
     fn run_fold_accumulates_in_order() {
-        let s = run_fold(10, 3, |i, _| i as u64, Vec::new(), |mut acc, v| {
-            acc.push(v);
-            acc
-        });
+        let s = run_fold(
+            10,
+            3,
+            |i, _| i as u64,
+            Vec::new(),
+            |mut acc, v| {
+                acc.push(v);
+                acc
+            },
+        );
         assert_eq!(s, (0..10).collect::<Vec<u64>>());
     }
 
@@ -611,8 +672,90 @@ mod tests {
             );
             set_worker_limit(0);
             for (c, (g, s)) in grid.iter().zip(&standalone).enumerate() {
-                assert_eq!(g.0.to_bits(), s.0.to_bits(), "cell {c} sum, {workers} workers");
-                assert_eq!(g.1.to_bits(), s.1.to_bits(), "cell {c} sumsq, {workers} workers");
+                assert_eq!(
+                    g.0.to_bits(),
+                    s.0.to_bits(),
+                    "cell {c} sum, {workers} workers"
+                );
+                assert_eq!(
+                    g.1.to_bits(),
+                    s.1.to_bits(),
+                    "cell {c} sumsq, {workers} workers"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn run_cells_emit_streams_in_cell_order() {
+        // Zero-rep cells at the head, middle and tail must all emit
+        // their identity at the right position.
+        let cells = [0usize, 40, 0, 0, 7, 0];
+        for workers in [1usize, 4] {
+            set_worker_limit(workers);
+            let mut emitted: Vec<(usize, u64)> = Vec::new();
+            run_cells_emit(
+                &cells,
+                |_c, _r, acc: &mut u64| *acc += 1,
+                |c| (c as u64) << 32,
+                |a, b| *a += b & 0xFFFF_FFFF,
+                |cell, acc| emitted.push((cell, acc)),
+            );
+            set_worker_limit(0);
+            assert_eq!(emitted.len(), cells.len());
+            for (i, &(cell, acc)) in emitted.iter().enumerate() {
+                assert_eq!(cell, i, "ascending emission order");
+                assert_eq!(acc >> 32, i as u64, "identity tagged with its cell");
+                assert_eq!(acc & 0xFFFF_FFFF, cells[i] as u64, "replication count");
+            }
+        }
+    }
+
+    #[test]
+    fn run_cells_emit_matches_run_cells_bitwise() {
+        let cells = [33usize, 0, 100, 64, 1];
+        let reference = run_cells(
+            &cells,
+            |c, r, acc: &mut (f64, f64)| {
+                let x = SimRng::new(derive_seed(c as u64, r as u64)).f64();
+                acc.0 += x;
+                acc.1 += x * x;
+            },
+            |_| (0.0f64, 0.0f64),
+            |a, b| {
+                a.0 += b.0;
+                a.1 += b.1;
+            },
+        );
+        for workers in [1usize, 3] {
+            set_worker_limit(workers);
+            let mut streamed = Vec::new();
+            run_cells_emit(
+                &cells,
+                |c, r, acc: &mut (f64, f64)| {
+                    let x = SimRng::new(derive_seed(c as u64, r as u64)).f64();
+                    acc.0 += x;
+                    acc.1 += x * x;
+                },
+                |_| (0.0f64, 0.0f64),
+                |a, b| {
+                    a.0 += b.0;
+                    a.1 += b.1;
+                },
+                |_, acc| streamed.push(acc),
+            );
+            set_worker_limit(0);
+            for (c, (s, r)) in streamed.iter().zip(&reference).enumerate() {
+                assert_eq!(
+                    s.0.to_bits(),
+                    r.0.to_bits(),
+                    "cell {c} sum, {workers} workers"
+                );
+                assert_eq!(
+                    s.1.to_bits(),
+                    r.1.to_bits(),
+                    "cell {c} sumsq, {workers} workers"
+                );
             }
         }
     }

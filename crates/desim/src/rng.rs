@@ -90,10 +90,7 @@ impl SimRng {
     #[inline]
     fn step(&mut self) -> u64 {
         let s = &mut self.s;
-        let result = s[0]
-            .wrapping_add(s[3])
-            .rotate_left(23)
-            .wrapping_add(s[0]);
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
         let t = s[1] << 17;
         s[2] ^= s[0];
         s[3] ^= s[1];
@@ -203,7 +200,9 @@ mod tests {
         // SplitMix64 from seed 0 gives these first outputs.
         let mut sm = 0u64;
         let s: Vec<u64> = (0..4).map(|_| split_mix64(&mut sm)).collect();
-        let mut rng = SimRng { s: [s[0], s[1], s[2], s[3]] };
+        let mut rng = SimRng {
+            s: [s[0], s[1], s[2], s[3]],
+        };
         // First output of xoshiro256++: rotl(s0 + s3, 23) + s0.
         let expected = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
         assert_eq!(rng.next_u64(), expected);

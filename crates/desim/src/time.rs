@@ -367,7 +367,10 @@ mod tests {
         let b = Time::from_micros(25);
         assert_eq!(b.since(a), Dur::from_micros(15));
         assert_eq!(a.saturating_since(b), Dur::ZERO);
-        assert_eq!(Dur::from_micros(5).saturating_sub(Dur::from_micros(9)), Dur::ZERO);
+        assert_eq!(
+            Dur::from_micros(5).saturating_sub(Dur::from_micros(9)),
+            Dur::ZERO
+        );
     }
 
     #[test]

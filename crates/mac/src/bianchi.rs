@@ -53,7 +53,8 @@ impl BianchiModel {
         let mut tau = 2.0 / (w + 1.0);
         for _ in 0..10_000 {
             let p_iter = 1.0 - (1.0 - tau).powi(n as i32 - 1);
-            let denom = (1.0 - 2.0 * p_iter) * (w + 1.0) + p_iter * w * (1.0 - (2.0 * p_iter).powf(m));
+            let denom =
+                (1.0 - 2.0 * p_iter) * (w + 1.0) + p_iter * w * (1.0 - (2.0 * p_iter).powf(m));
             let tau_next = if denom.abs() < 1e-30 {
                 tau
             } else {
@@ -83,8 +84,7 @@ impl BianchiModel {
             + phy.sifs.as_secs_f64()
             + phy.ack_airtime().as_secs_f64();
 
-        let mean_slot =
-            (1.0 - p_tr) * sigma + p_tr * p_s * t_s + p_tr * (1.0 - p_s) * t_c;
+        let mean_slot = (1.0 - p_tr) * sigma + p_tr * p_s * t_s + p_tr * (1.0 - p_s) * t_c;
         let payload_bits = payload_bytes as f64 * 8.0;
         let throughput = p_tr * p_s * payload_bits / mean_slot;
 

@@ -453,8 +453,10 @@ impl WlanSim {
                 } else if st.slots_left == 0 {
                     // Lost its immediate-access opportunity to this busy
                     // period: must back off like everyone else.
-                    st.slots_left =
-                        st.rng.range_inclusive(0, self.phy.cw_at_stage(st.stage) as u64) as u32;
+                    st.slots_left = st
+                        .rng
+                        .range_inclusive(0, self.phy.cw_at_stage(st.stage) as u64)
+                        as u32;
                 }
             }
 
@@ -591,7 +593,6 @@ impl WlanSim {
                     st.count_start = anchor;
                 }
             }
-
         }
 
         // Teardown doubles as the reuse path: queue deques go straight
@@ -940,11 +941,8 @@ mod tests {
         let st = sim.add_station(saturated_source(1500, 1000));
         let out = sim.run(Time::MAX);
         let t_all = out.throughput_bps(st, out.last_done);
-        let t_win = out.throughput_bps_window(
-            st,
-            Time::from_secs_f64(0.2),
-            Time::from_secs_f64(0.4),
-        );
+        let t_win =
+            out.throughput_bps_window(st, Time::from_secs_f64(0.2), Time::from_secs_f64(0.4));
         // Steady portion should be close to the overall average.
         assert!((t_all - t_win).abs() / t_all < 0.1, "{t_all} vs {t_win}");
     }
@@ -1056,12 +1054,7 @@ mod tests {
         let a = sim.add_station(saturated_source(1500, n));
         let b = sim.add_station(saturated_source(1500, n));
         let out = sim.run(Time::MAX);
-        let delivered = |id| {
-            out.records(id)
-                .iter()
-                .filter(|r| !r.dropped)
-                .count()
-        };
+        let delivered = |id| out.records(id).iter().filter(|r| !r.dropped).count();
         // Retry limit 7 with CWmax 1023 makes drops essentially
         // impossible for 2 stations.
         assert_eq!(delivered(a), n);

@@ -21,8 +21,8 @@ fn frame_errors_cause_retries_and_slowdown() {
         (out.records(st).last().unwrap().done, out.channel)
     };
     let lossy = {
-        let mut sim = WlanSim::new(phy(), 5)
-            .with_options(MacOptions::default().with_frame_error_rate(0.2));
+        let mut sim =
+            WlanSim::new(phy(), 5).with_options(MacOptions::default().with_frame_error_rate(0.2));
         let st = sim.add_station(saturated_source(1500, n));
         let out = sim.run(Time::MAX);
         let recs = out.records(st);
@@ -88,8 +88,8 @@ fn rts_cts_adds_overhead_for_lone_station() {
 #[test]
 fn rts_cts_threshold_spares_small_frames() {
     let run = |bytes: u32| {
-        let mut sim = WlanSim::new(phy(), 11)
-            .with_options(MacOptions::default().with_rts_cts(1000));
+        let mut sim =
+            WlanSim::new(phy(), 11).with_options(MacOptions::default().with_rts_cts(1000));
         let st = sim.add_station(saturated_source(bytes, 200));
         let out = sim.run(Time::MAX);
         let recs = out.records(st);
@@ -99,8 +99,7 @@ fn rts_cts_threshold_spares_small_frames() {
         r.done - r.rx_end // SIFS + ACK, same either way
     };
     // The tail is identical; compare rx_end-head instead.
-    let mut sim = WlanSim::new(phy(), 11)
-        .with_options(MacOptions::default().with_rts_cts(1000));
+    let mut sim = WlanSim::new(phy(), 11).with_options(MacOptions::default().with_rts_cts(1000));
     let small = sim.add_station(saturated_source(576, 50));
     let out = sim.run(Time::MAX);
     let p = phy();

@@ -115,10 +115,7 @@ impl ChirpProbe {
             return f64::INFINITY;
         }
         // Last index still at the baseline.
-        let j = q
-            .iter()
-            .rposition(|&x| x <= floor)
-            .unwrap_or(0);
+        let j = q.iter().rposition(|&x| x <= floor).unwrap_or(0);
         self.rate_at(j.min(self.n.saturating_sub(2)))
     }
 
@@ -216,10 +213,7 @@ mod tests {
         let est = r.estimate_bps();
         // Above the available bandwidth: the chirp is not delayed until
         // it pushes past the fair share.
-        assert!(
-            est > 2.2e6,
-            "chirp estimate {est:.0} must exceed A = 1.7e6"
-        );
+        assert!(est > 2.2e6, "chirp estimate {est:.0} must exceed A = 1.7e6");
         assert!(est < 6.5e6, "chirp estimate {est:.0} should stay near B");
     }
 

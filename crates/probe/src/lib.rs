@@ -28,12 +28,17 @@
 //! * [`chirp`] — pathChirp-style exponential chirps (ref \[19\]) with a
 //!   simplified excursion analysis; same CSMA/CA bias, one train per
 //!   estimate.
+//! * [`tool`] — the tool **axis**: every family above behind one
+//!   uniform [`tool::ToolProbe::estimate_once`] interface, so the
+//!   scenario grid (`csmaprobe_core::grid`) can enumerate tools as a
+//!   dimension of the link × train × tool product space.
 
 pub mod chirp;
 pub mod mser;
 pub mod pair;
 pub mod scan;
 pub mod slops;
+pub mod tool;
 pub mod topp;
 pub mod train;
 
@@ -42,5 +47,6 @@ pub use mser::MserProbe;
 pub use pair::PacketPairProbe;
 pub use scan::RateScan;
 pub use slops::SlopsEstimator;
+pub use tool::{ToolKind, ToolProbe};
 pub use topp::ToppEstimator;
 pub use train::{TrainMeasurement, TrainProbe};

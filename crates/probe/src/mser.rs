@@ -142,7 +142,8 @@ impl MserProbe {
     ) {
         let gaps = target.probe_train(self.train, seed).receiver_gaps_s();
         if !gaps.is_empty() {
-            acc.raw_gap.push(gaps.iter().sum::<f64>() / gaps.len() as f64);
+            acc.raw_gap
+                .push(gaps.iter().sum::<f64>() / gaps.len() as f64);
         }
         acc.profile.push_replication(&gaps);
     }
@@ -343,7 +344,9 @@ pub fn measure_rate_sweep<T: ProbeTarget + ?Sized>(
     target: &T,
 ) -> Vec<MserMeasurement> {
     debug_assert!(
-        cells.iter().all(|c| c.probe.mode == MserMode::PooledProfile),
+        cells
+            .iter()
+            .all(|c| c.probe.mode == MserMode::PooledProfile),
         "measure_rate_sweep applies PooledProfile semantics; a \
          PerReplication probe would silently measure differently than \
          its own measure()"

@@ -41,11 +41,7 @@ impl PacketPairProbe {
     }
 
     /// Run the measurement.
-    pub fn measure<T: ProbeTarget + ?Sized>(
-        &self,
-        target: &T,
-        seed: u64,
-    ) -> PairMeasurement {
+    pub fn measure<T: ProbeTarget + ?Sized>(&self, target: &T, seed: u64) -> PairMeasurement {
         let train = ProbeTrain::packet_pair(self.bytes);
         let gaps: Vec<Option<f64>> = replicate::run(self.pairs, seed, |_, s| {
             target.probe_train(train, s).output_gap_s()
@@ -100,7 +96,11 @@ impl PairMeasurement {
         let mut modes: Vec<(u64, f64)> = Vec::new();
         for i in 0..counts.len() {
             let left = if i == 0 { 0 } else { counts[i - 1] };
-            let right = if i + 1 == counts.len() { 0 } else { counts[i + 1] };
+            let right = if i + 1 == counts.len() {
+                0
+            } else {
+                counts[i + 1]
+            };
             if counts[i] > 0 && counts[i] >= left && counts[i] >= right {
                 modes.push((counts[i], hist.bin_center(i)));
             }
@@ -153,9 +153,7 @@ mod tests {
     fn median_and_mean_close_on_idle_link() {
         let link = WiredLink::new(10e6, 0.0);
         let m = PacketPairProbe::new(1000, 11).measure(&link, 5);
-        assert!(
-            (m.rate_from_mean_bps() - m.rate_from_median_bps()).abs() < 1.0
-        );
+        assert!((m.rate_from_mean_bps() - m.rate_from_median_bps()).abs() < 1.0);
     }
 
     #[test]

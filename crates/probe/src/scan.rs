@@ -79,10 +79,7 @@ impl RateScan {
 /// Eq. (2) on a measured scan: the largest probed rate still achieving
 /// `ro/ri ≥ 1 − tolerance`.
 pub fn achievable_throughput_bps(points: &[ScanPoint], tolerance: f64) -> f64 {
-    let curve: Vec<(f64, f64)> = points
-        .iter()
-        .map(|p| (p.input_bps, p.output_bps))
-        .collect();
+    let curve: Vec<(f64, f64)> = points.iter().map(|p| (p.input_bps, p.output_bps)).collect();
     achievable_from_curve(&curve, tolerance)
 }
 

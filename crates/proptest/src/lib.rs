@@ -52,7 +52,9 @@ pub struct TestRng {
 impl TestRng {
     /// Seeded construction; each (property, case) pair gets its own seed.
     pub fn new(seed: u64) -> Self {
-        TestRng { state: seed ^ 0x9E37_79B9_7F4A_7C15 }
+        TestRng {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
     }
 
     /// Next 64 uniformly random bits.
@@ -184,7 +186,11 @@ pub mod prop {
         pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
             let (min, max_exclusive) = size.bounds();
             assert!(min < max_exclusive, "empty vec size range");
-            VecStrategy { element, min, max_exclusive }
+            VecStrategy {
+                element,
+                min,
+                max_exclusive,
+            }
         }
     }
 }

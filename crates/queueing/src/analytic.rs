@@ -78,7 +78,9 @@ mod tests {
         let lambda = 0.4;
         let s = 1.0;
         // Exponential service: E[S²] = 2s².
-        assert!((mg1_mean_wait(lambda, s, 2.0 * s * s) - mm1_mean_wait(lambda, 1.0 / s)).abs() < 1e-12);
+        assert!(
+            (mg1_mean_wait(lambda, s, 2.0 * s * s) - mm1_mean_wait(lambda, 1.0 / s)).abs() < 1e-12
+        );
         // Deterministic service: E[S²] = s².
         assert!((mg1_mean_wait(lambda, s, s * s) - md1_mean_wait(lambda, s)).abs() < 1e-12);
     }

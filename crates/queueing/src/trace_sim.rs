@@ -74,7 +74,10 @@ impl TraceOutcome {
     /// length `n−1`.
     pub fn probe_gaps(&self) -> Vec<Dur> {
         let probes = self.probe_served();
-        probes.windows(2).map(|w| w[1].depart - w[0].depart).collect()
+        probes
+            .windows(2)
+            .map(|w| w[1].depart - w[0].depart)
+            .collect()
     }
 }
 
@@ -159,10 +162,7 @@ mod tests {
     fn cross_traffic_inflates_dispersion() {
         // A cross packet lands between two probes: the probe gap grows
         // by its service time.
-        let merged = merge_arrivals(
-            &[probe(0), probe(10)],
-            &[cross(5)],
-        );
+        let merged = merge_arrivals(&[probe(0), probe(10)], &[cross(5)]);
         assert_eq!(merged.len(), 3);
         let out = simulate(&merged, |_, _| Dur::from_micros(50));
         // probe1 departs at 50; cross at 100; probe2 at 150.

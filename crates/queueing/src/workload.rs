@@ -248,13 +248,17 @@ mod tests {
         // [0, 20): busy 10 of 20.
         assert!((b.utilisation(Time::ZERO, Dur::from_micros(20)) - 0.5).abs() < 1e-12);
         // [5, 55): busy 5 + 5 = 10 of 50.
-        assert!(
-            (b.utilisation(Time::from_micros(5), Dur::from_micros(50)) - 0.2).abs() < 1e-12
-        );
+        assert!((b.utilisation(Time::from_micros(5), Dur::from_micros(50)) - 0.2).abs() < 1e-12);
         // Fully idle window.
-        assert_eq!(b.utilisation(Time::from_micros(20), Dur::from_micros(10)), 0.0);
+        assert_eq!(
+            b.utilisation(Time::from_micros(20), Dur::from_micros(10)),
+            0.0
+        );
         // Fully busy window.
-        assert_eq!(b.utilisation(Time::from_micros(2), Dur::from_micros(5)), 1.0);
+        assert_eq!(
+            b.utilisation(Time::from_micros(2), Dur::from_micros(5)),
+            1.0
+        );
     }
 
     #[test]

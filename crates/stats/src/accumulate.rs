@@ -66,8 +66,14 @@ mod tests {
 
     #[test]
     fn tuple_merges_componentwise() {
-        let mut a = (OnlineStats::from_slice(&[1.0]), OnlineStats::from_slice(&[10.0]));
-        let b = (OnlineStats::from_slice(&[3.0]), OnlineStats::from_slice(&[30.0]));
+        let mut a = (
+            OnlineStats::from_slice(&[1.0]),
+            OnlineStats::from_slice(&[10.0]),
+        );
+        let b = (
+            OnlineStats::from_slice(&[3.0]),
+            OnlineStats::from_slice(&[30.0]),
+        );
         a.merge(b);
         assert_eq!(a.0.count(), 2);
         assert!((a.0.mean() - 2.0).abs() < 1e-12);

@@ -111,7 +111,9 @@ mod tests {
         // Two independent uniform samples.
         let mut state = 12345u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 11) as f64 / (1u64 << 53) as f64
         };
         let a: Vec<f64> = (0..800).map(|_| next()).collect();

@@ -129,7 +129,10 @@ impl IndexedSeries {
 
     /// Per-index summary statistics.
     pub fn stats(&self) -> Vec<OnlineStats> {
-        self.samples.iter().map(|s| OnlineStats::from_slice(s)).collect()
+        self.samples
+            .iter()
+            .map(|s| OnlineStats::from_slice(s))
+            .collect()
     }
 
     /// Pool the observations of indices `[from, to)` into one sample —
@@ -483,7 +486,11 @@ mod tests {
     #[test]
     fn indexed_stats_merge_is_exact_up_to_rounding() {
         let trajs: Vec<Vec<f64>> = (0..50)
-            .map(|r| (0..4).map(|i| ((r as f64) * 0.37 + i as f64).sin()).collect())
+            .map(|r| {
+                (0..4)
+                    .map(|i| ((r as f64) * 0.37 + i as f64).sin())
+                    .collect()
+            })
             .collect();
         let mut whole = IndexedStats::new();
         for t in &trajs {

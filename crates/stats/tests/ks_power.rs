@@ -138,8 +138,14 @@ fn ks_power_vs_reference_pool_cap() {
     // The uncapped test has real power against a 15 % shift…
     assert!(pfull > 0.7, "uncapped power only {pfull}");
     // …the engine's default cap is statistically free, 5 000 nearly so…
-    assert!(p25k >= pfull - 0.03, "25k pool lost too much: {p25k} vs {pfull}");
-    assert!(p5k >= pfull - 0.05, "5k pool lost too much: {p5k} vs {pfull}");
+    assert!(
+        p25k >= pfull - 0.03,
+        "25k pool lost too much: {p25k} vs {pfull}"
+    );
+    assert!(
+        p5k >= pfull - 0.05,
+        "5k pool lost too much: {p5k} vs {pfull}"
+    );
     // …and a pool near the per-index sample size visibly collapses.
     assert!(p1k < pfull - 0.10, "1k pool should hurt: {p1k} vs {pfull}");
 }

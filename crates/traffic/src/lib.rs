@@ -243,7 +243,11 @@ impl Source for PoissonSource {
         };
         self.next_time = self.advance(rng, time);
         let bytes = self.sizes.sample(rng);
-        Some(PacketArrival { time, bytes, flow: self.flow })
+        Some(PacketArrival {
+            time,
+            bytes,
+            flow: self.flow,
+        })
     }
 }
 
@@ -315,7 +319,11 @@ impl Source for CbrSource {
             time += Dur::from_nanos(rng.below(self.jitter.as_nanos()));
         }
         let bytes = self.sizes.sample(rng);
-        Some(PacketArrival { time, bytes, flow: self.flow })
+        Some(PacketArrival {
+            time,
+            bytes,
+            flow: self.flow,
+        })
     }
 }
 
@@ -387,7 +395,11 @@ impl Source for OnOffSource {
                     let time = self.next_time;
                     self.next_time += self.gap_in_burst;
                     let bytes = self.sizes.sample(rng);
-                    return Some(PacketArrival { time, bytes, flow: self.flow });
+                    return Some(PacketArrival {
+                        time,
+                        bytes,
+                        flow: self.flow,
+                    });
                 }
                 Some(end) => {
                     // Burst over: exponential OFF period.
@@ -578,12 +590,8 @@ mod tests {
     fn poisson_rate_is_honoured() {
         let mut rng = SimRng::new(1);
         let horizon = Time::from_secs_f64(50.0);
-        let mut src = PoissonSource::from_bitrate(
-            2_000_000.0,
-            SizeModel::Fixed(1000),
-            Time::ZERO,
-            horizon,
-        );
+        let mut src =
+            PoissonSource::from_bitrate(2_000_000.0, SizeModel::Fixed(1000), Time::ZERO, horizon);
         let pkts = drain(&mut src, &mut rng, usize::MAX);
         // Expect about rate * T / (8*bytes) = 2e6*50/8000 = 12_500 packets.
         let n = pkts.len() as f64;
@@ -660,13 +668,9 @@ mod tests {
     #[test]
     fn cbr_jitter_stays_in_bound() {
         let mut rng = SimRng::new(6);
-        let mut src = CbrSource::with_interval(
-            Dur::from_millis(1),
-            SizeModel::Fixed(64),
-            Time::ZERO,
-            1000,
-        )
-        .with_jitter(Dur::from_micros(100));
+        let mut src =
+            CbrSource::with_interval(Dur::from_millis(1), SizeModel::Fixed(64), Time::ZERO, 1000)
+                .with_jitter(Dur::from_micros(100));
         let pkts = drain(&mut src, &mut rng, usize::MAX);
         for (i, p) in pkts.iter().enumerate() {
             let nominal = Time::from_millis(i as u64);

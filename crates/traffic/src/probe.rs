@@ -28,7 +28,12 @@ impl ProbeTrain {
     pub fn from_rate(n: usize, bytes: u32, rate_bps: f64) -> Self {
         debug_assert!(rate_bps > 0.0);
         let gap = Dur::from_secs_f64(bytes as f64 * 8.0 / rate_bps);
-        ProbeTrain { n, bytes, gap, flow: 0 }
+        ProbeTrain {
+            n,
+            bytes,
+            gap,
+            flow: 0,
+        }
     }
 
     /// A packet pair: two back-to-back packets (`gI = 0`, i.e. the
@@ -244,8 +249,7 @@ mod tests {
             gap: Dur::from_micros(10),
             flow: 0,
         };
-        let mut sched =
-            TrainSchedule::new(train, 20_000, Dur::from_millis(5), Time::ZERO);
+        let mut sched = TrainSchedule::new(train, 20_000, Dur::from_millis(5), Time::ZERO);
         let mut rng = SimRng::new(12);
         let mut starts = Vec::new();
         let mut idx = 0usize;

@@ -33,7 +33,10 @@ fn main() {
         ..Default::default()
     }
     .run(&path, 1);
-    println!("\nSLoPS-style estimate: {:.2} Mb/s (tight link)", slops.estimate_bps / 1e6);
+    println!(
+        "\nSLoPS-style estimate: {:.2} Mb/s (tight link)",
+        slops.estimate_bps / 1e6
+    );
 
     if let Some(topp) = ToppEstimator::default().run(&path, 2) {
         println!(

@@ -51,5 +51,7 @@ fn main() {
             m.gap_ci95_s() * m.output_rate_bps() / m.mean_output_gap_s() / 1e6
         );
     }
-    println!("\nshorter trains → more optimistic estimates; see examples/mser_truncation.rs for the fix");
+    println!(
+        "\nshorter trains → more optimistic estimates; see examples/mser_truncation.rs for the fix"
+    );
 }

@@ -76,11 +76,17 @@ fn parse() -> Args {
     let mut i = 2;
     while i < argv.len() {
         let need = |i: usize| -> &str {
-            argv.get(i + 1).map(|s| s.as_str()).unwrap_or_else(|| usage())
+            argv.get(i + 1)
+                .map(|s| s.as_str())
+                .unwrap_or_else(|| usage())
         };
         match argv[i].as_str() {
-            "--cross" => args.cross_mbps.push(need(i).parse().unwrap_or_else(|_| usage())),
-            "--fifo-cross" => args.fifo_cross_mbps = Some(need(i).parse().unwrap_or_else(|_| usage())),
+            "--cross" => args
+                .cross_mbps
+                .push(need(i).parse().unwrap_or_else(|_| usage())),
+            "--fifo-cross" => {
+                args.fifo_cross_mbps = Some(need(i).parse().unwrap_or_else(|_| usage()))
+            }
             "--wired" => args.wired_mbps = Some(need(i).parse().unwrap_or_else(|_| usage())),
             "--rate" => args.rate_mbps = need(i).parse().unwrap_or_else(|_| usage()),
             "--n" => args.n = need(i).parse().unwrap_or_else(|_| usage()),
@@ -120,7 +126,8 @@ fn main() {
     let args = parse();
     match args.cmd.as_str() {
         "capacity" => {
-            let c = measured_standalone_capacity_bps(&Phy::dsss_11mbps(), args.bytes, 3000, args.seed);
+            let c =
+                measured_standalone_capacity_bps(&Phy::dsss_11mbps(), args.bytes, 3000, args.seed);
             println!(
                 "stand-alone DCF capacity ({}B frames): {:.3} Mb/s",
                 args.bytes,
@@ -141,22 +148,38 @@ fn main() {
         }
         "train" => {
             let t = target(&args);
-            let m = TrainProbe::new(args.n, args.bytes, args.rate_mbps * 1e6)
-                .measure(t.as_ref(), args.reps, args.seed);
+            let m = TrainProbe::new(args.n, args.bytes, args.rate_mbps * 1e6).measure(
+                t.as_ref(),
+                args.reps,
+                args.seed,
+            );
             println!(
                 "{}-packet trains at {:.2} Mb/s over {} reps:",
                 args.n, args.rate_mbps, args.reps
             );
-            println!("E[gO]   = {:.6} ms (95% ±{:.6})", m.mean_output_gap_s() * 1e3, m.gap_ci95_s() * 1e3);
+            println!(
+                "E[gO]   = {:.6} ms (95% ±{:.6})",
+                m.mean_output_gap_s() * 1e3,
+                m.gap_ci95_s() * 1e3
+            );
             println!("L/E[gO] = {:.3} Mb/s", m.output_rate_bps() / 1e6);
         }
         "pair" => {
             let t = target(&args);
             let m = PacketPairProbe::new(args.bytes, args.pairs).measure(t.as_ref(), args.seed);
             println!("packet pairs ({}):", args.pairs);
-            println!("mean-dispersion rate:   {:.3} Mb/s", m.rate_from_mean_bps() / 1e6);
-            println!("median-dispersion rate: {:.3} Mb/s", m.rate_from_median_bps() / 1e6);
-            println!("min-dispersion rate:    {:.3} Mb/s", m.rate_from_min_bps() / 1e6);
+            println!(
+                "mean-dispersion rate:   {:.3} Mb/s",
+                m.rate_from_mean_bps() / 1e6
+            );
+            println!(
+                "median-dispersion rate: {:.3} Mb/s",
+                m.rate_from_median_bps() / 1e6
+            );
+            println!(
+                "min-dispersion rate:    {:.3} Mb/s",
+                m.rate_from_min_bps() / 1e6
+            );
         }
         "slops" => {
             let t = target(&args);
@@ -167,7 +190,10 @@ fn main() {
             let t = target(&args);
             match ToppEstimator::default().run(t.as_ref(), args.seed) {
                 Some(r) => {
-                    println!("TOPP available bandwidth: {:.3} Mb/s", r.available_bps / 1e6);
+                    println!(
+                        "TOPP available bandwidth: {:.3} Mb/s",
+                        r.available_bps / 1e6
+                    );
                     println!("TOPP capacity:            {:.3} Mb/s", r.capacity_bps / 1e6);
                 }
                 None => println!("TOPP: no congestion within the probed range"),

@@ -1,0 +1,223 @@
+//! Property tests of the scenario-grid subsystem (`core::grid`) and
+//! the crash-tolerant JSONL row sink (`bench::report::RowSink`).
+//!
+//! The properties pin the two contracts the grid runner advertises:
+//!
+//! 1. **Nested-sequential equivalence** — for arbitrary axis counts,
+//!    extents and replication budgets, `GridRunner` output equals a
+//!    plain nested-loop fold over the coordinates (and each cell is
+//!    *bit-identical* to a standalone `run_reduce`), and scheduling any
+//!    subset of cells reproduces exactly the full run's rows for those
+//!    cells — the resume contract.
+//! 2. **Truncation recovery** — a `RowSink` file truncated at *any*
+//!    byte offset resumes to the longest complete-row prefix, and
+//!    re-appending the missing rows reconstructs the original file
+//!    byte-for-byte: no duplicate, lost, or corrupt rows.
+
+use csmaprobe::core::grid::{run_grid, GridRunner, GridScenario, GridShape};
+use csmaprobe::desim::replicate;
+use csmaprobe::desim::rng::{derive_seed, SimRng};
+use csmaprobe::stats::accumulate::Accumulate;
+use csmaprobe::stats::online::OnlineStats;
+use csmaprobe_bench::report::{row_key, RowSink};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A synthetic grid: the cell at `coord` folds a coordinate-dependent
+/// number of pseudorandom observations (pure functions of
+/// `(seed, coord, rep)`) into `OnlineStats`.
+struct SyntheticGrid {
+    dims: Vec<usize>,
+    seed: u64,
+}
+
+impl SyntheticGrid {
+    fn cell_seed(&self, coord: &[usize]) -> u64 {
+        coord
+            .iter()
+            .fold(self.seed, |s, &c| derive_seed(s, c as u64))
+    }
+}
+
+impl GridScenario for SyntheticGrid {
+    type Acc = OnlineStats;
+    type Row = OnlineStats;
+
+    fn name(&self) -> &str {
+        "synthetic"
+    }
+    fn shape(&self) -> GridShape {
+        GridShape::new(self.dims.clone())
+    }
+    fn reps(&self, coord: &[usize]) -> usize {
+        // Coordinate-dependent budgets spanning zero, sub-chunk and
+        // multi-chunk cells (CHUNK = 32).
+        (coord
+            .iter()
+            .enumerate()
+            .map(|(a, &c)| (a + 2) * c)
+            .sum::<usize>()
+            * 7)
+            % 71
+    }
+    fn identity(&self, _coord: &[usize]) -> OnlineStats {
+        OnlineStats::new()
+    }
+    fn replicate(&self, coord: &[usize], rep: usize, acc: &mut OnlineStats) {
+        let s = derive_seed(self.cell_seed(coord), rep as u64);
+        acc.push(SimRng::new(s).f64());
+    }
+    fn finish(&self, _coord: &[usize], acc: OnlineStats) -> OnlineStats {
+        acc
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    // GridRunner == nested sequential loops, for arbitrary axis sizes.
+    #[test]
+    fn grid_runner_matches_nested_sequential_reference(
+        dims in prop::collection::vec(0usize..4, 1..4),
+        seed in any::<u64>(),
+    ) {
+        let grid = SyntheticGrid { dims: dims.clone(), seed };
+        let rows = run_grid(&grid);
+        let shape = grid.shape();
+        prop_assert_eq!(rows.len(), shape.len());
+        // Independent row-major enumeration: a hand-rolled odometer,
+        // last axis fastest (nested `for` loops of arbitrary depth).
+        let mut coords: Vec<Vec<usize>> = Vec::new();
+        if dims.iter().all(|&d| d > 0) {
+            let mut coord = vec![0usize; dims.len()];
+            'odometer: loop {
+                coords.push(coord.clone());
+                let mut axis = dims.len();
+                while axis > 0 {
+                    axis -= 1;
+                    coord[axis] += 1;
+                    if coord[axis] < dims[axis] {
+                        continue 'odometer;
+                    }
+                    coord[axis] = 0;
+                }
+                break;
+            }
+        }
+        prop_assert_eq!(coords.len(), shape.len(), "visited every cell");
+        for (flat, coord) in coords.iter().enumerate() {
+            prop_assert_eq!(&shape.unflatten(flat), coord);
+            let mut reference = OnlineStats::new();
+            for rep in 0..grid.reps(coord) {
+                grid.replicate(coord, rep, &mut reference);
+            }
+            prop_assert_eq!(rows[flat].count(), reference.count());
+            if reference.count() > 0 {
+                prop_assert!((rows[flat].mean() - reference.mean()).abs() <= 1e-12);
+            }
+            // Standalone run_reduce over the same cell: bit-identical
+            // (the engine's advertised contract).
+            let standalone = replicate::run_reduce(
+                grid.reps(coord),
+                grid.cell_seed(coord),
+                |_, s, acc: &mut OnlineStats| acc.push(SimRng::new(s).f64()),
+                OnlineStats::new,
+                Accumulate::merge,
+            );
+            prop_assert_eq!(rows[flat].mean().to_bits(), standalone.mean().to_bits());
+            prop_assert_eq!(
+                rows[flat].variance().to_bits(),
+                standalone.variance().to_bits()
+            );
+        }
+    }
+
+    // Scheduling any subset of cells reproduces the full run's rows
+    // bit-for-bit — the resume contract.
+    #[test]
+    fn grid_subset_scheduling_is_bit_identical(
+        dims in prop::collection::vec(1usize..4, 1..4),
+        seed in any::<u64>(),
+        mask in any::<u64>(),
+    ) {
+        let grid = SyntheticGrid { dims: dims.clone(), seed };
+        let full = run_grid(&grid);
+        let subset: Vec<usize> = (0..grid.shape().len())
+            .filter(|f| mask >> (f % 64) & 1 == 1)
+            .collect();
+        let mut got = Vec::new();
+        GridRunner::new().run_cells_with(&grid, &subset, |flat, row| got.push((flat, row)));
+        prop_assert_eq!(got.len(), subset.len());
+        let mut previous = None;
+        for (flat, row) in &got {
+            prop_assert!(previous.map(|p: usize| p < *flat).unwrap_or(true));
+            previous = Some(*flat);
+            prop_assert_eq!(row.count(), full[*flat].count());
+            prop_assert_eq!(row.mean().to_bits(), full[*flat].mean().to_bits());
+        }
+    }
+}
+
+/// A deterministic row line for sink tests.
+fn sink_row(cell: usize) -> String {
+    format!(
+        "{{\"cell\":{cell},\"key\":\"cell-{cell}\",\"v\":{}}}",
+        (cell as f64) * 1.5 - 2.0
+    )
+}
+
+/// A unique scratch path per proptest case.
+fn scratch_path() -> std::path::PathBuf {
+    static CASE: AtomicUsize = AtomicUsize::new(0);
+    std::env::temp_dir().join(format!(
+        "csmaprobe-gridprop-{}-{}",
+        std::process::id(),
+        CASE.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // RowSink resume after truncation at ANY byte offset recovers the
+    // longest complete prefix; re-appending the missing rows
+    // reconstructs the original file byte-for-byte.
+    #[test]
+    fn rowsink_truncation_resume_recovers(
+        rows in 1usize..12,
+        cut in any::<u64>(),
+    ) {
+        let path = scratch_path();
+        {
+            let mut sink = RowSink::create(&path).unwrap();
+            for c in 0..rows {
+                sink.append(&sink_row(c)).unwrap();
+            }
+        }
+        let original = std::fs::read(&path).unwrap();
+        let offset = (cut % (original.len() as u64 + 1)) as usize;
+        std::fs::write(&path, &original[..offset]).unwrap();
+
+        // The survivor set must be exactly the complete-line prefix of
+        // the truncated bytes.
+        let surviving = original[..offset].iter().filter(|&&b| b == b'\n').count();
+        let mut sink = RowSink::resume(&path).unwrap();
+        prop_assert_eq!(sink.len(), surviving, "offset {}", offset);
+        for c in 0..rows {
+            prop_assert_eq!(sink.contains(&format!("cell-{c}")), c < surviving);
+        }
+
+        // Re-run "the missing cells" and compare byte-for-byte.
+        for c in surviving..rows {
+            sink.append(&sink_row(c)).unwrap();
+        }
+        let recovered = std::fs::read(&path).unwrap();
+        prop_assert_eq!(&recovered, &original, "offset {}", offset);
+        let read_back = sink.read_rows().unwrap();
+        prop_assert_eq!(read_back.len(), rows);
+        for (c, line) in read_back.iter().enumerate() {
+            prop_assert_eq!(row_key(line), Some(format!("cell-{c}")).as_deref());
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -30,12 +30,8 @@ fn build(probe_n: usize, g_i: Dur, probe_service: Dur, cross_bps: f64, seed: u64
         .collect();
     let horizon = start + g_i * probe_n as u64 + Dur::from_secs(2);
     let mut rng = SimRng::new(seed);
-    let mut src = PoissonSource::from_bitrate(
-        cross_bps,
-        SizeModel::Fixed(1500),
-        Time::ZERO,
-        horizon,
-    );
+    let mut src =
+        PoissonSource::from_bitrate(cross_bps, SizeModel::Fixed(1500), Time::ZERO, horizon);
     let mut cross = Vec::new();
     while let Some(p) = src.next_packet(&mut rng) {
         cross.push(TaggedJob {

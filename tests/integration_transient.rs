@@ -2,8 +2,8 @@
 //! simulator → transient experiment → statistics → measurement bias →
 //! MSER correction.
 
-use csmaprobe::core::link::{LinkConfig, WlanLink};
 use csmaprobe::core::bounds::{achievable_throughput_transient, dispersion_bounds};
+use csmaprobe::core::link::{LinkConfig, WlanLink};
 use csmaprobe::core::transient::TransientExperiment;
 use csmaprobe::probe::mser::MserProbe;
 use csmaprobe::probe::train::TrainProbe;
@@ -45,9 +45,7 @@ fn transient_longest_near_fair_share() {
             seed: 0x7A2,
         };
         let data = exp.run();
-        data.transient_length(150, 0.05)
-            .first_within
-            .unwrap_or(300)
+        data.transient_length(150, 0.05).first_within.unwrap_or(300)
     };
     let light = mk(0.6e6);
     let near_share = mk(3.1e6);

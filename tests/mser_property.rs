@@ -82,7 +82,9 @@ fn materialising_reference(per_rep: &[Vec<f64>], m: usize) -> (f64, f64, usize) 
     for gaps in per_rep {
         profile.push_replication(gaps);
     }
-    let cut = mser_m(&profile.means(), m).map(|r| r.truncate_raw).unwrap_or(0);
+    let cut = mser_m(&profile.means(), m)
+        .map(|r| r.truncate_raw)
+        .unwrap_or(0);
     let mut corrected = Vec::new();
     let mut truncated = 0usize;
     for gaps in per_rep {
