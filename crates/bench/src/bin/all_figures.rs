@@ -4,19 +4,21 @@
 //! Usage: `cargo run --release -p csmaprobe-bench --bin all_figures
 //! [--scale F] [--seed N] [--only fig08,fig13] [--list] [--jobs N]`
 //!
-//! Figures come from `figures::REGISTRY` and are scheduled concurrently
-//! (up to `--jobs`, default: available parallelism) by descending cost
-//! weight, sharing one process-wide simulation worker budget with the
-//! per-figure replication engine. Reports are printed and serialised in
-//! registry order regardless of completion order, and per-figure
-//! wall-clock lands in `experiments.json` as `elapsed_s` — the only
-//! field that varies between otherwise identical runs.
+//! Figures come from `figures::REGISTRY` and are submitted — by
+//! descending cost weight — as one task batch to the process-wide
+//! work-stealing chunk executor (`csmaprobe_desim::executor`), the same
+//! pool their replication reduces run on. `--jobs` caps how many
+//! figures execute concurrently; a figure that finishes hands its
+//! workers to the remaining figures' replication chunks mid-flight, so
+//! the multi-figure tail no longer serialises on one core. Reports are
+//! printed and serialised in registry order regardless of completion
+//! order, and per-figure wall-clock lands in `experiments.json` as
+//! `elapsed_s` — the only field that varies between otherwise identical
+//! runs.
 
 use csmaprobe_bench::figures::{self, FigureDef};
 use csmaprobe_bench::report::FigureReport;
 use csmaprobe_desim::replicate;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 fn main() {
     let opts = csmaprobe_bench::cli_options();
@@ -55,15 +57,7 @@ fn main() {
         std::process::exit(2);
     }
 
-    // Figure-level concurrency shares the replication engine's worker
-    // budget: the scheduler borrows its extra threads from the same
-    // pool the per-figure reduces draw from, so the process's CPU-bound
-    // thread count stays at the hardware parallelism. Each borrowed
-    // thread hands its permit back the moment it runs out of figures,
-    // letting the tail figure's own replication re-parallelise.
-    let want = opts.jobs.min(selected.len()).max(1);
-    let extra = replicate::acquire_workers(want - 1);
-    let jobs = 1 + extra;
+    let jobs = opts.jobs.min(selected.len()).max(1);
     eprintln!(
         "running {} experiment(s) at scale {} (seed {}, {} figure job(s))...",
         selected.len(),
@@ -73,55 +67,45 @@ fn main() {
     );
     let t_all = std::time::Instant::now();
 
-    // Schedule expensive figures first so short ones pack the tail.
+    // Submit expensive figures first so short ones pack the tail; the
+    // executor hands a finished figure's workers to the replication
+    // chunks of whatever is still running.
     let mut order: Vec<usize> = (0..selected.len()).collect();
     order.sort_by_key(|&i| std::cmp::Reverse(selected[i].weight));
 
-    let next = AtomicUsize::new(0);
+    let scale = opts.scale;
+    let seed = opts.seed;
+    let tasks: Vec<_> = order
+        .iter()
+        .map(|&pos| {
+            let def = selected[pos];
+            move || {
+                let t0 = std::time::Instant::now();
+                let mut rep = (def.run)(scale, seed);
+                rep.elapsed_s = Some(t0.elapsed().as_secs_f64());
+                eprintln!(
+                    "{}: {} checks, {} — {:.1}s",
+                    def.id,
+                    rep.checks.len(),
+                    if rep.all_passed() {
+                        "ALL PASS"
+                    } else {
+                        "FAILURES"
+                    },
+                    t0.elapsed().as_secs_f64()
+                );
+                (pos, rep)
+            }
+        })
+        .collect();
+
     let mut slots: Vec<Option<FigureReport>> = Vec::new();
     slots.resize_with(selected.len(), || None);
-    let slots = Mutex::new(slots);
-
-    let worker = || loop {
-        let k = next.fetch_add(1, Ordering::Relaxed);
-        if k >= order.len() {
-            break;
-        }
-        let pos = order[k];
-        let def = selected[pos];
-        let t0 = std::time::Instant::now();
-        let mut rep = (def.run)(opts.scale, opts.seed);
-        rep.elapsed_s = Some(t0.elapsed().as_secs_f64());
-        eprintln!(
-            "{}: {} checks, {} — {:.1}s",
-            def.id,
-            rep.checks.len(),
-            if rep.all_passed() {
-                "ALL PASS"
-            } else {
-                "FAILURES"
-            },
-            t0.elapsed().as_secs_f64()
-        );
-        slots.lock().unwrap()[pos] = Some(rep);
-    };
-    std::thread::scope(|scope| {
-        let worker = &worker;
-        for _ in 0..jobs - 1 {
-            // Borrowed scheduler threads hand their permit back the
-            // moment they run out of figures, so the tail figure's own
-            // replication can re-parallelise.
-            scope.spawn(move || {
-                worker();
-                replicate::release_workers(1);
-            });
-        }
-        worker();
-    });
+    for (pos, rep) in replicate::run_tasks(jobs, tasks) {
+        slots[pos] = Some(rep);
+    }
 
     let reports: Vec<FigureReport> = slots
-        .into_inner()
-        .unwrap()
         .into_iter()
         .map(|s| s.expect("figure slot not filled"))
         .collect();

@@ -6,14 +6,18 @@
 //!
 //! * **Trajectory** (what CI runs):
 //!   `bench_trend <current.json> --history BENCH_history.jsonl
-//!    [--window N] [--k K] [--label L] [--no-append]`
+//!    [--window N] [--k K] [--label L] [--parent SHA] [--no-append]`
 //!   compares each figure against `median + k·MAD` of its last `N`
-//!   recorded runs (`csmaprobe_bench::trend::TrendGate`) and then
-//!   appends this run to the history (trimmed to the most recent 50
-//!   entries). The history file rides in a CI cache/artifact between
-//!   runs; with fewer than 3 recorded runs a figure is never flagged —
-//!   the gate self-calibrates instead of trusting one checked-in
-//!   number.
+//!   recorded **same-hardware** runs (`csmaprobe_bench::trend::TrendGate`;
+//!   each entry carries a `<cores>x<arch>` fingerprint, so a runner
+//!   class change re-calibrates instead of false-flagging — "runner got
+//!   slower" is separated from "code got slower") and then appends this
+//!   run — fingerprint, `--parent` commit and all — to the history
+//!   (trimmed to the most recent 50 entries). The history file rides in
+//!   a CI cache/artifact between runs; with fewer than 3 comparable
+//!   runs a figure is never flagged — the gate self-calibrates instead
+//!   of trusting one checked-in number. The stored parent chain lets a
+//!   human bisect a creeping regression across the window.
 //!
 //! * **Baseline** (legacy, for quick local diffs):
 //!   `bench_trend <current.json> <baseline.json> [--factor F]`
@@ -23,7 +27,9 @@
 //! Exit code is 0 unless the inputs are unreadable/empty (exit 2).
 
 use csmaprobe_bench::report::parse_figure_timings;
-use csmaprobe_bench::trend::{parse_history, trim_history, HistoryEntry, TrendGate};
+use csmaprobe_bench::trend::{
+    host_fingerprint, parse_history, trim_history, HistoryEntry, TrendGate,
+};
 
 /// Most recent history entries kept when appending.
 const HISTORY_KEEP: usize = 50;
@@ -45,6 +51,7 @@ fn main() {
     let mut history_path: Option<String> = None;
     let mut gate = TrendGate::default();
     let mut label = "run".to_string();
+    let mut parent: Option<String> = None;
     let mut append = true;
 
     let mut i = 1;
@@ -90,6 +97,14 @@ fn main() {
                 };
                 i += 1;
             }
+            "--parent" => {
+                parent = match value(i) {
+                    Some(p) if !p.is_empty() => Some(p.clone()),
+                    Some(_) => None, // empty SHA (e.g. shallow clone): record nothing
+                    None => bad("--parent", None),
+                };
+                i += 1;
+            }
             "--no-append" => append = false,
             _ => paths.push(args[i].clone()),
         }
@@ -97,7 +112,7 @@ fn main() {
     }
 
     match (paths.len(), &history_path) {
-        (1, Some(history)) => run_trajectory(&paths[0], history, gate, &label, append),
+        (1, Some(history)) => run_trajectory(&paths[0], history, gate, &label, parent, append),
         (2, None) => run_baseline(&paths[0], &paths[1], factor),
         _ => {
             eprintln!(
@@ -116,6 +131,7 @@ fn run_trajectory(
     history_path: &str,
     gate: TrendGate,
     label: &str,
+    parent: Option<String>,
     append: bool,
 ) {
     let current = read_timings(current_path);
@@ -128,8 +144,14 @@ fn run_trajectory(
         Err(_) => Vec::new(), // first run: no trajectory yet
     };
 
+    let host = host_fingerprint();
+    let comparable = history.iter().filter(|e| e.same_host(Some(&host))).count();
+    println!(
+        "runner {host}: {comparable} of {} stored run(s) calibrate on this hardware",
+        history.len()
+    );
     let mut regressions = 0usize;
-    for f in gate.assess(&history, &current) {
+    for f in gate.assess(&history, &current, Some(&host)) {
         if f.regressed {
             regressions += 1;
             // The gate floors the MAD (an all-identical window has MAD
@@ -170,6 +192,8 @@ fn run_trajectory(
         let mut updated = history;
         updated.push(HistoryEntry {
             label: label.to_string(),
+            host: Some(host),
+            parent,
             figures: current,
         });
         let updated = trim_history(updated, HISTORY_KEEP);

@@ -10,6 +10,14 @@
 //!    [--out grid_rows.jsonl] [--table grid.json] [--resume]
 //!    [--max-cells K] [--list]`
 //!
+//! `--links` and `--trains` accept **inline specs** alongside catalog
+//! names: `--links wlan:cross=6e6,fifo=1e6,wired` composes a custom
+//! CSMA/CA link into the axis, `--trains short,n=50` a custom train
+//! length. Inline points get canonical parameter-spelling names that
+//! fold into every row's run-config fingerprint, so `--resume` rejects
+//! a file produced by a different spec exactly as it rejects a changed
+//! axis selection.
+//!
 //! Rows stream into `--out` as append-only JSONL (one line per cell,
 //! flushed as the cell completes; see `report::RowSink`). With
 //! `--resume`, already-persisted cells are skipped and a torn tail line
@@ -49,7 +57,9 @@ struct Options {
 fn usage() -> ! {
     eprintln!(
         "usage: grid [--links a,b] [--trains a,b] [--tools a,b] [--scale F] [--seed N] \
-         [--jobs N] [--out rows.jsonl] [--table grid.json] [--resume] [--max-cells K] [--list]"
+         [--jobs N] [--out rows.jsonl] [--table grid.json] [--resume] [--max-cells K] [--list]\n\
+         inline axis specs: --links wlan:cross=<bps>,fifo=<bps> | \
+         wired:capacity=<bps>,cross=<bps>; --trains n=<packets>"
     );
     std::process::exit(2);
 }
@@ -135,6 +145,10 @@ fn main() {
         for t in csmaprobe_probe::tool::ToolKind::ALL {
             println!("  {}", t.name());
         }
+        println!(
+            "inline specs: --links wlan:cross=<bps>,fifo=<bps> | \
+             wired:capacity=<bps>,cross=<bps>; --trains n=<packets>"
+        );
         return;
     }
 
@@ -265,8 +279,15 @@ fn main() {
             line.find(&pat)
                 .map(|at| {
                     let rest = &line[at + pat.len()..];
-                    let end = rest.find([',', '}']).unwrap_or(rest.len());
-                    rest[..end].trim_matches('"').to_string()
+                    // Quoted values (inline-spec names contain commas)
+                    // end at the closing quote, bare ones at , or }.
+                    if let Some(quoted) = rest.strip_prefix('"') {
+                        let end = quoted.find('"').unwrap_or(quoted.len());
+                        quoted[..end].to_string()
+                    } else {
+                        let end = rest.find([',', '}']).unwrap_or(rest.len());
+                        rest[..end].to_string()
+                    }
                 })
                 .unwrap_or_default()
         };

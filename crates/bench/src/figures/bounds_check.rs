@@ -19,7 +19,7 @@ use csmaprobe_probe::train::TrainProbe;
 
 /// Run the experiment. All per-rate train measurements (plus the final
 /// long steady-state train) run as one [`TrainSweep`] through the
-/// sweep engine, concurrently over the shared worker budget.
+/// sweep engine, concurrently on the shared work-stealing executor.
 pub fn run(scale: f64, seed: u64) -> FigureReport {
     let mut rep = FigureReport::new(
         "bounds_check",

@@ -15,7 +15,7 @@ use csmaprobe_desim::time::Dur;
 ///
 /// The sweep runs as a [`csmaprobe_core::sweep::RateResponseSweep`]
 /// (via [`rate_response_curve`]): the 20 rate points are scheduled
-/// concurrently over the shared worker budget instead of serialising
+/// concurrently on the shared work-stealing executor instead of serialising
 /// on one thread.
 ///
 /// [`rate_response_curve`]: csmaprobe_core::link::WlanLink::rate_response_curve

@@ -26,6 +26,7 @@ pub fn run(scale: f64, seed: u64) -> FigureReport {
             "ks_value",
             "ks_threshold_95",
             "mean_contending_queue",
+            "p95_access_delay_ms",
         ],
     );
 
@@ -46,6 +47,7 @@ pub fn run(scale: f64, seed: u64) -> FigureReport {
     let reference: Vec<f64> = pooled.iter().step_by(stride).cloned().collect();
 
     let queue_profile = data.queue_profile();
+    let p95 = data.p95_profile();
     let show = 100;
     let mut first_below: Option<usize> = None;
     for (i, &queued) in queue_profile.iter().take(show).enumerate() {
@@ -53,7 +55,13 @@ pub fn run(scale: f64, seed: u64) -> FigureReport {
         if first_below.is_none() && !ks.reject {
             first_below = Some(i + 1);
         }
-        rep.row(vec![(i + 1) as f64, ks.statistic, ks.threshold, queued]);
+        rep.row(vec![
+            (i + 1) as f64,
+            ks.statistic,
+            ks.threshold,
+            queued,
+            p95[i] * 1e3,
+        ]);
     }
 
     rep.scalar(
@@ -74,6 +82,20 @@ pub fn run(scale: f64, seed: u64) -> FigureReport {
         "KS decays below threshold within 30 packets",
         first_below.map(|v| v <= 30).unwrap_or(false),
         format!("first below at {:?}", first_below),
+    );
+
+    // Check 4: the streamed p95 access-delay tail rises from the first
+    // packets to its stationary level on the same horizon the KS test
+    // sees (the transient is a tail effect too, not just a mean shift).
+    let p95_plateau = p95[40..show].iter().sum::<f64>() / (show - 40) as f64;
+    rep.check(
+        "streamed p95 access delay rises to its plateau",
+        p95[0] < p95_plateau,
+        format!(
+            "p95_1 = {:.3} ms vs p95_40..100 = {:.3} ms",
+            p95[0] * 1e3,
+            p95_plateau * 1e3
+        ),
     );
 
     // Check 3: contending queue grows to a stationary plateau.

@@ -12,7 +12,7 @@ use crate::scenarios;
 /// Run the experiment. The `(rate × train-length)` grid runs through
 /// the sweep engine via [`super::fig13::sweep`] (one
 /// [`crate::scenarios::TrainSweep`]), so its cells are scheduled
-/// concurrently over the shared worker budget.
+/// concurrently on the shared work-stealing executor.
 pub fn run(scale: f64, seed: u64) -> FigureReport {
     let mut rep = FigureReport::new(
         "fig15",

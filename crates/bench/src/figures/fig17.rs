@@ -19,7 +19,7 @@ use csmaprobe_probe::train::TrainProbe;
 /// Both curves flow through the sweep engine: the steady-state points
 /// as one [`TrainSweep`], the MSER measurements as the two-phase
 /// [`measure_rate_sweep`] — every `(rate × replication)` cell runs
-/// concurrently on the shared worker budget.
+/// concurrently on the shared work-stealing executor.
 pub fn run(scale: f64, seed: u64) -> FigureReport {
     let mut rep = FigureReport::new(
         "fig17",

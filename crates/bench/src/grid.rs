@@ -195,24 +195,132 @@ pub fn find_train(name: &str) -> Option<&'static TrainPoint> {
         .find(|t| t.name.eq_ignore_ascii_case(name.trim()))
 }
 
+/// Parse one `key=value` bits/s parameter of an inline link spec.
+fn parse_bps(what: &str, part: &str) -> Result<(String, f64), String> {
+    let (key, value) = part
+        .split_once('=')
+        .ok_or_else(|| format!("malformed {what} parameter {part:?} (expected key=value)"))?;
+    let bps: f64 = value
+        .trim()
+        .parse()
+        .map_err(|_| format!("{what} parameter {key}={value:?} is not a number"))?;
+    if !bps.is_finite() || bps < 0.0 {
+        return Err(format!("{what} parameter {key}={bps} out of range"));
+    }
+    Ok((key.trim().to_ascii_lowercase(), bps))
+}
+
+/// An inline link spec under construction: `wlan:cross=6e6,fifo=1e6` or
+/// `wired:capacity=10e6,cross=4e6` (the comma-separated parameters
+/// arrive as separate CSV parts; see [`parse_links`]).
+struct InlineLink {
+    kind: String,
+    params: Vec<(String, f64)>,
+}
+
+impl InlineLink {
+    fn apply(&mut self, part: &str) -> Result<(), String> {
+        let (key, bps) = parse_bps("link", part)?;
+        let allowed: &[&str] = match self.kind.as_str() {
+            "wlan" => &["cross", "fifo"],
+            "wired" => &["capacity", "cross"],
+            _ => unreachable!("kind validated at construction"),
+        };
+        if !allowed.contains(&key.as_str()) {
+            return Err(format!(
+                "unknown {} parameter {key:?}; allowed: {}",
+                self.kind,
+                allowed.join(", ")
+            ));
+        }
+        if self.params.iter().any(|(k, _)| *k == key) {
+            return Err(format!("duplicate {} parameter {key:?}", self.kind));
+        }
+        self.params.push((key, bps));
+        Ok(())
+    }
+
+    fn get(&self, key: &str, default: f64) -> f64 {
+        self.params
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|&(_, v)| v)
+            .unwrap_or(default)
+    }
+
+    /// Build the (leaked, CLI-lifetime) catalog point. The name is
+    /// **canonical** — every parameter spelled out from its parsed
+    /// value — so the same spec in any notation (`6e6` vs `6000000`)
+    /// names the same cell, seeds the same replications, and
+    /// fingerprints the same run configuration.
+    fn build(self) -> Result<&'static LinkPoint, String> {
+        let (name, kind) = match self.kind.as_str() {
+            "wlan" => {
+                let cross = self.get("cross", 0.0);
+                let fifo = self.get("fifo", 0.0);
+                (
+                    format!("wlan:cross={cross},fifo={fifo}"),
+                    LinkKind::Wlan {
+                        contending_bps: cross,
+                        fifo_bps: fifo,
+                    },
+                )
+            }
+            "wired" => {
+                let capacity = self.get("capacity", 10e6);
+                let cross = self.get("cross", 0.0);
+                if cross >= capacity {
+                    return Err(format!(
+                        "wired cross {cross} must be below capacity {capacity}"
+                    ));
+                }
+                (
+                    format!("wired:capacity={capacity},cross={cross}"),
+                    LinkKind::Wired {
+                        capacity_bps: capacity,
+                        cross_bps: cross,
+                    },
+                )
+            }
+            other => {
+                return Err(format!(
+                    "unknown inline link kind {other:?}; use wlan: or wired:"
+                ))
+            }
+        };
+        Ok(&*Box::leak(Box::new(LinkPoint {
+            name: Box::leak(name.into_boxed_str()),
+            title: "inline spec",
+            kind,
+        })))
+    }
+}
+
+/// Parse a `--links` comma list: catalog names ([`LINKS`]) and **inline
+/// specs** — `wlan:cross=<bps>,fifo=<bps>` or
+/// `wired:capacity=<bps>,cross=<bps>` — freely mixed. A `kind:` part
+/// opens an inline spec; bare `key=value` parts extend the one being
+/// built; anything else is a catalog name. Inline points get canonical
+/// parameter-spelling names, so they fold into the run-config
+/// fingerprint (and the cells' seed derivation) exactly like catalog
+/// points — resume rejects a mismatched spec the same way it rejects a
+/// changed axis selection.
+/// Shared scaffolding of the `--links`/`--trains`/`--tools` CSV axes:
+/// split the comma list, hand each non-empty part to `parse_part`
+/// (which pushes the points it yields), run `finish` (e.g. flushing a
+/// trailing inline spec), and apply the common empty-axis error.
 fn parse_axis<T>(
     what: &str,
     csv: &str,
-    lookup: impl Fn(&str) -> Option<T>,
     catalog: &[&str],
+    mut parse_part: impl FnMut(&str, &mut Vec<T>) -> Result<(), String>,
+    finish: impl FnOnce(&mut Vec<T>) -> Result<(), String>,
 ) -> Result<Vec<T>, String> {
     let mut out = Vec::new();
     for part in csv.split(',').map(str::trim).filter(|p| !p.is_empty()) {
-        match lookup(part) {
-            Some(p) => out.push(p),
-            None => {
-                return Err(format!(
-                    "unknown {what} {part:?}; catalog: {}",
-                    catalog.join(", ")
-                ))
-            }
-        }
+        parse_part(part, &mut out)?;
     }
+    finish(&mut out)?;
     if out.is_empty() {
         return Err(format!(
             "empty {what} axis; catalog: {}",
@@ -222,22 +330,135 @@ fn parse_axis<T>(
     Ok(out)
 }
 
-/// Parse a `--links` comma list against [`LINKS`].
-pub fn parse_links(csv: &str) -> Result<Vec<&'static LinkPoint>, String> {
-    let names: Vec<&str> = LINKS.iter().map(|l| l.name).collect();
-    parse_axis("link", csv, find_link, &names)
+/// The shared unknown-point error (`hint` names the inline-spec form,
+/// when the axis has one).
+fn unknown_axis_point(what: &str, part: &str, catalog: &[&str], hint: &str) -> String {
+    format!(
+        "unknown {what} {part:?}; catalog: {}{hint}",
+        catalog.join(", ")
+    )
 }
 
-/// Parse a `--trains` comma list against [`TRAINS`].
+pub fn parse_links(csv: &str) -> Result<Vec<&'static LinkPoint>, String> {
+    let catalog: Vec<&str> = LINKS.iter().map(|l| l.name).collect();
+    // The inline spec being built, shared by the per-part closure and
+    // the end-of-axis flush.
+    let open: std::cell::RefCell<Option<InlineLink>> = std::cell::RefCell::new(None);
+    let flush = |out: &mut Vec<&'static LinkPoint>| -> Result<(), String> {
+        if let Some(spec) = open.borrow_mut().take() {
+            out.push(spec.build()?);
+        }
+        Ok(())
+    };
+    parse_axis(
+        "link",
+        csv,
+        &catalog,
+        |part, out| {
+            if let Some((kind, first)) = part.split_once(':') {
+                flush(out)?;
+                let kind = kind.trim().to_ascii_lowercase();
+                if kind != "wlan" && kind != "wired" {
+                    return Err(format!(
+                        "unknown inline link kind {kind:?}; use wlan: or wired:"
+                    ));
+                }
+                let mut spec = InlineLink {
+                    kind,
+                    params: Vec::new(),
+                };
+                if !first.trim().is_empty() {
+                    spec.apply(first)?;
+                }
+                *open.borrow_mut() = Some(spec);
+                Ok(())
+            } else if part.contains('=') {
+                match open.borrow_mut().as_mut() {
+                    Some(spec) => spec.apply(part),
+                    None => Err(format!(
+                        "link parameter {part:?} outside an inline spec \
+                         (start one with wlan: or wired:)"
+                    )),
+                }
+            } else {
+                flush(out)?;
+                match find_link(part) {
+                    Some(p) => {
+                        out.push(p);
+                        Ok(())
+                    }
+                    None => Err(unknown_axis_point(
+                        "link",
+                        part,
+                        &catalog,
+                        " (or inline wlan:/wired: specs)",
+                    )),
+                }
+            }
+        },
+        flush,
+    )
+}
+
+/// Parse a `--trains` comma list: catalog names ([`TRAINS`]) and inline
+/// `n=<packets>` specs, freely mixed. Inline points are named
+/// canonically (`n=50`), so they participate in seeds and the
+/// run-config fingerprint like catalog points.
 pub fn parse_trains(csv: &str) -> Result<Vec<&'static TrainPoint>, String> {
-    let names: Vec<&str> = TRAINS.iter().map(|t| t.name).collect();
-    parse_axis("train", csv, find_train, &names)
+    let catalog: Vec<&str> = TRAINS.iter().map(|t| t.name).collect();
+    parse_axis(
+        "train",
+        csv,
+        &catalog,
+        |part, out| {
+            if let Some(value) = part.strip_prefix("n=") {
+                let n: usize = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("train packet count n={value:?} is not an integer"))?;
+                if n == 0 {
+                    return Err("train packet count n=0 is empty".to_string());
+                }
+                out.push(&*Box::leak(Box::new(TrainPoint {
+                    name: Box::leak(format!("n={n}").into_boxed_str()),
+                    n,
+                })));
+                Ok(())
+            } else {
+                match find_train(part) {
+                    Some(p) => {
+                        out.push(p);
+                        Ok(())
+                    }
+                    None => Err(unknown_axis_point(
+                        "train",
+                        part,
+                        &catalog,
+                        " (or inline n=<packets>)",
+                    )),
+                }
+            }
+        },
+        |_| Ok(()),
+    )
 }
 
 /// Parse a `--tools` comma list against [`ToolKind::ALL`].
 pub fn parse_tools(csv: &str) -> Result<Vec<ToolKind>, String> {
-    let names: Vec<&str> = ToolKind::ALL.iter().map(|t| t.name()).collect();
-    parse_axis("tool", csv, ToolKind::parse, &names)
+    let catalog: Vec<&str> = ToolKind::ALL.iter().map(|t| t.name()).collect();
+    parse_axis(
+        "tool",
+        csv,
+        &catalog,
+        |part, out| match ToolKind::parse(part) {
+            Some(t) => {
+                out.push(t);
+                Ok(())
+            }
+            None => Err(unknown_axis_point("tool", part, &catalog, "")),
+        },
+        |_| Ok(()),
+    )
 }
 
 /// FNV-1a hash of a string — a stable 64-bit fingerprint for cell
@@ -512,6 +733,89 @@ mod tests {
         let tools = parse_tools("train,slops").unwrap();
         assert_eq!(tools, vec![ToolKind::Train, ToolKind::Slops]);
         assert!(parse_tools("pathload").is_err());
+    }
+
+    #[test]
+    fn inline_link_specs_parse_mixed_with_catalog_names() {
+        // The ROADMAP example, plus a catalog name on either side.
+        let links = parse_links("wired,wlan:cross=6e6,fifo=1e6,wlan_mid").unwrap();
+        assert_eq!(links.len(), 3);
+        assert_eq!(links[0].name, "wired");
+        assert_eq!(links[1].name, "wlan:cross=6000000,fifo=1000000");
+        assert!(links[1].is_wlan());
+        assert_eq!(links[2].name, "wlan_mid");
+        // Canonical naming: notation does not matter.
+        let again = parse_links("wlan:cross=6000000,fifo=1000000").unwrap();
+        assert_eq!(again[0].name, links[1].name);
+        // Defaults fill in, in canonical order.
+        let bare = parse_links("wlan:cross=2e6").unwrap();
+        assert_eq!(bare[0].name, "wlan:cross=2000000,fifo=0");
+        // Wired inline specs compute their ground truth.
+        let wired = parse_links("wired:capacity=10e6,cross=4e6").unwrap();
+        assert_eq!(wired[0].available_bps(), 6e6);
+        assert!(!wired[0].is_wlan());
+    }
+
+    #[test]
+    fn inline_link_specs_reject_nonsense() {
+        assert!(parse_links("fiber:cross=1e6").is_err(), "unknown kind");
+        assert!(
+            parse_links("cross=1e6").is_err(),
+            "parameter without a spec"
+        );
+        assert!(parse_links("wlan:speed=1e6").is_err(), "unknown parameter");
+        assert!(parse_links("wlan:cross=fast").is_err(), "non-numeric");
+        assert!(parse_links("wlan:cross=-1").is_err(), "negative");
+        assert!(parse_links("wlan:cross=inf").is_err(), "non-finite");
+        assert!(
+            parse_links("wlan:cross=1e6,cross=2e6").is_err(),
+            "duplicate"
+        );
+        assert!(
+            parse_links("wired:capacity=1e6,cross=2e6").is_err(),
+            "cross above capacity"
+        );
+    }
+
+    #[test]
+    fn inline_train_specs_parse_and_reject() {
+        let trains = parse_trains("short,n=50,long").unwrap();
+        assert_eq!(trains.len(), 3);
+        assert_eq!(trains[1].name, "n=50");
+        assert_eq!(trains[1].n, 50);
+        assert!(parse_trains("n=0").is_err());
+        assert!(parse_trains("n=five").is_err());
+    }
+
+    #[test]
+    fn inline_specs_fold_into_the_run_fingerprint() {
+        let grid_of = |links: &str| {
+            BiasGrid::new(
+                parse_links(links).unwrap(),
+                vec![find_train("short").unwrap()],
+                vec![ToolKind::Train],
+                0.05,
+                42,
+            )
+        };
+        let a = grid_of("wlan:cross=6e6,fifo=1e6");
+        let b = grid_of("wlan:cross=6000000,fifo=1000000");
+        let c = grid_of("wlan:cross=6e6,fifo=2e6");
+        assert_eq!(
+            a.fingerprint(),
+            b.fingerprint(),
+            "canonical spelling ⇒ same run configuration"
+        );
+        assert_ne!(
+            a.fingerprint(),
+            c.fingerprint(),
+            "a changed parameter must be rejected on resume"
+        );
+        // And inline cells produce data like any catalog cell.
+        let rows = run_grid(&grid_of("wlan:cross=2e6"));
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].link, "wlan:cross=2000000,fifo=0");
+        assert!(rows[0].mean_bps.is_finite());
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! checks ("who wins, where the knee is"). Thin binaries under
 //! `src/bin/` print the reports as TSV; `all_figures` runs every entry
 //! of [`figures::REGISTRY`] — scheduling whole figures concurrently
-//! over the shared worker budget — and writes `experiments.json` for
+//! on the shared work-stealing executor — and writes `experiments.json` for
 //! `EXPERIMENTS.md`.
 //!
 //! Scaling: every experiment takes a `scale` factor multiplying its
@@ -50,11 +50,12 @@ pub struct CliOptions {
     /// `--only fig08,fig13`: run a subset of the registry
     /// (`all_figures`); `None` means everything.
     pub only: Option<Vec<String>>,
-    /// `--jobs N`: upper bound on figures scheduled concurrently
-    /// (`all_figures`); defaults to the available parallelism. The
-    /// scheduler borrows its extra threads from the shared replication
-    /// worker budget, so the effective count never oversubscribes the
-    /// machine.
+    /// `--jobs N`: upper bound on figures executing concurrently
+    /// (`all_figures`); defaults to the available parallelism. Figures
+    /// are one submission to the process-wide work-stealing executor,
+    /// so any value — including oversubscribed ones — only caps the
+    /// submission's width; the pool itself never exceeds the
+    /// `CSMAPROBE_WORKERS`/hardware concurrency ceiling.
     pub jobs: usize,
 }
 

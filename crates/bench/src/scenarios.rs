@@ -94,7 +94,7 @@ pub struct TrainCell {
 /// A grid of packet-train measurements (e.g. rate × train-length, the
 /// Fig 13/15 sweeps) run as one [`SweepScenario`]: every
 /// `(cell × replication)` is scheduled concurrently over the shared
-/// worker budget, and each cell's [`TrainMeasurement`] is bit-identical
+/// work-stealing executor, and each cell's [`TrainMeasurement`] is bit-identical
 /// to a standalone [`TrainProbe::measure`] with the same
 /// `(reps, seed)`.
 pub struct TrainSweep<'a, T: ProbeTarget + ?Sized> {

@@ -17,6 +17,15 @@ use crate::report::{json_f64, json_str};
 pub struct HistoryEntry {
     /// Free-form run label (commit SHA, date, …).
     pub label: String,
+    /// Hardware fingerprint of the runner that produced the timings
+    /// ([`host_fingerprint`]); `None` on entries recorded before the
+    /// field existed.
+    pub host: Option<String>,
+    /// The run's **parent commit** — lets the gate (or a human
+    /// bisecting a creeping regression) walk the stored window as a
+    /// commit chain and tell "runner got slower" from "code got
+    /// slower".
+    pub parent: Option<String>,
     /// `(figure id, elapsed_s)` pairs.
     pub figures: Vec<(String, f64)>,
 }
@@ -29,17 +38,42 @@ impl HistoryEntry {
             .iter()
             .map(|(id, t)| format!("[{},{}]", json_str(id), json_f64(*t)))
             .collect();
-        format!(
-            "{{\"label\":{},\"figures\":[{}]}}",
-            json_str(&self.label),
-            figs.join(",")
-        )
+        let mut out = format!("{{\"label\":{}", json_str(&self.label));
+        if let Some(host) = &self.host {
+            out.push_str(&format!(",\"host\":{}", json_str(host)));
+        }
+        if let Some(parent) = &self.parent {
+            out.push_str(&format!(",\"parent\":{}", json_str(parent)));
+        }
+        out.push_str(&format!(",\"figures\":[{}]}}", figs.join(",")));
+        out
     }
 
     /// This run's time for figure `id`.
     pub fn elapsed(&self, id: &str) -> Option<f64> {
         self.figures.iter().find(|(f, _)| f == id).map(|&(_, t)| t)
     }
+
+    /// Could this entry's timings have come from `host`? Entries with
+    /// no recorded fingerprint (pre-fingerprint history) calibrate
+    /// everywhere; known fingerprints only calibrate their own host.
+    pub fn same_host(&self, host: Option<&str>) -> bool {
+        match (&self.host, host) {
+            (Some(mine), Some(current)) => mine == current,
+            _ => true,
+        }
+    }
+}
+
+/// The hardware fingerprint recorded with each history entry:
+/// `<logical cores>x<arch>` — coarse on purpose (it must be stable
+/// across reboots of the same runner class), but enough to separate a
+/// 2-core shared runner from an 8-core one.
+pub fn host_fingerprint() -> String {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    format!("{cores}x{}", std::env::consts::ARCH)
 }
 
 /// Parse a history file (one [`HistoryEntry`] JSON object per line;
@@ -47,6 +81,15 @@ impl HistoryEntry {
 /// not poison the trajectory).
 pub fn parse_history(jsonl: &str) -> Vec<HistoryEntry> {
     jsonl.lines().filter_map(parse_entry).collect()
+}
+
+/// The string value of a `"key":"value"` field in `json`, if present
+/// before `upto` (fields live between the label and the figure array).
+fn string_field(json: &str, key: &str, upto: usize) -> Option<String> {
+    let pat = format!("\"{key}\":\"");
+    let at = json[..upto].find(&pat)?;
+    let rest = &json[at + pat.len()..];
+    Some(rest[..rest.find('"')?].to_string())
 }
 
 fn parse_entry(line: &str) -> Option<HistoryEntry> {
@@ -58,6 +101,8 @@ fn parse_entry(line: &str) -> Option<HistoryEntry> {
     let label_end = rest.find('"')?;
     let label = rest[..label_end].to_string();
     let figs_at = rest.find("\"figures\":[")?;
+    let host = string_field(rest, "host", figs_at);
+    let parent = string_field(rest, "parent", figs_at);
     let mut figures = Vec::new();
     let mut tail = &rest[figs_at + "\"figures\":[".len()..];
     while let Some(open) = tail.find("[\"") {
@@ -72,7 +117,12 @@ fn parse_entry(line: &str) -> Option<HistoryEntry> {
         figures.push((id, t));
         tail = &num[num_end..];
     }
-    Some(HistoryEntry { label, figures })
+    Some(HistoryEntry {
+        label,
+        host,
+        parent,
+        figures,
+    })
 }
 
 /// Median and MAD (median absolute deviation) of `xs`; `(NaN, NaN)`
@@ -148,8 +198,21 @@ impl TrendGate {
     /// first; only the last [`TrendGate::window`] entries calibrate).
     /// Figures with fewer than 3 historical samples are never flagged —
     /// the trajectory needs a few runs before MAD means anything.
-    pub fn assess(&self, history: &[HistoryEntry], current: &[(String, f64)]) -> Vec<TrendFinding> {
-        let recent = &history[history.len().saturating_sub(self.window)..];
+    ///
+    /// When `host` is given, only entries that could have come from the
+    /// same hardware ([`HistoryEntry::same_host`]) calibrate: a move to
+    /// a slower runner class shows up as "calibrating" instead of a
+    /// storm of false regressions, and a real code slowdown is judged
+    /// against same-hardware history — the gate separates "runner got
+    /// slower" from "code got slower".
+    pub fn assess(
+        &self,
+        history: &[HistoryEntry],
+        current: &[(String, f64)],
+        host: Option<&str>,
+    ) -> Vec<TrendFinding> {
+        let comparable: Vec<&HistoryEntry> = history.iter().filter(|e| e.same_host(host)).collect();
+        let recent = &comparable[comparable.len().saturating_sub(self.window)..];
         current
             .iter()
             .map(|(id, cur)| {
@@ -189,7 +252,16 @@ mod tests {
     fn entry(label: &str, times: &[(&str, f64)]) -> HistoryEntry {
         HistoryEntry {
             label: label.to_string(),
+            host: None,
+            parent: None,
             figures: times.iter().map(|&(id, t)| (id.to_string(), t)).collect(),
+        }
+    }
+
+    fn entry_on(host: &str, label: &str, times: &[(&str, f64)]) -> HistoryEntry {
+        HistoryEntry {
+            host: Some(host.to_string()),
+            ..entry(label, times)
         }
     }
 
@@ -235,17 +307,17 @@ mod tests {
             .map(|i| entry(&format!("r{i}"), &[("fig01", 1.0 + 0.02 * i as f64)]))
             .collect();
         // Way over median + 5·MAD.
-        let findings = gate.assess(&history, &[("fig01".to_string(), 3.0)]);
+        let findings = gate.assess(&history, &[("fig01".to_string(), 3.0)], None);
         assert!(findings[0].regressed, "{:?}", findings[0]);
         // Inside the band.
-        let findings = gate.assess(&history, &[("fig01".to_string(), 1.08)]);
+        let findings = gate.assess(&history, &[("fig01".to_string(), 1.08)], None);
         assert!(!findings[0].regressed, "{:?}", findings[0]);
         // Two samples only: never flagged.
-        let findings = gate.assess(&history[..2], &[("fig01".to_string(), 50.0)]);
+        let findings = gate.assess(&history[..2], &[("fig01".to_string(), 50.0)], None);
         assert!(!findings[0].regressed);
         assert_eq!(findings[0].samples, 2);
         // Below the absolute floor: never flagged.
-        let findings = gate.assess(&history, &[("fig01".to_string(), 0.09)]);
+        let findings = gate.assess(&history, &[("fig01".to_string(), 0.09)], None);
         assert!(!findings[0].regressed);
     }
 
@@ -256,10 +328,10 @@ mod tests {
             .map(|i| entry(&format!("r{i}"), &[("a", 1.0)]))
             .collect();
         // MAD is 0; the floor keeps a 5% wobble unflagged...
-        let findings = gate.assess(&history, &[("a".to_string(), 1.05)]);
+        let findings = gate.assess(&history, &[("a".to_string(), 1.05)], None);
         assert!(!findings[0].regressed);
         // ...but a real jump still trips.
-        let findings = gate.assess(&history, &[("a".to_string(), 2.0)]);
+        let findings = gate.assess(&history, &[("a".to_string(), 2.0)], None);
         assert!(findings[0].regressed);
     }
 
@@ -275,8 +347,58 @@ mod tests {
             .map(|i| entry(&format!("s{i}"), &[("a", 10.0)]))
             .collect();
         history.extend((0..4).map(|i| entry(&format!("f{i}"), &[("a", 1.0)])));
-        let findings = gate.assess(&history, &[("a".to_string(), 10.0)]);
+        let findings = gate.assess(&history, &[("a".to_string(), 10.0)], None);
         assert!(findings[0].regressed, "{:?}", findings[0]);
+    }
+
+    #[test]
+    fn host_and_parent_round_trip_and_tolerate_legacy_lines() {
+        let modern = HistoryEntry {
+            label: "abc".to_string(),
+            host: Some("2xx86_64".to_string()),
+            parent: Some("deadbeef".to_string()),
+            figures: vec![("fig01".to_string(), 1.25)],
+        };
+        let legacy = entry("old", &[("fig01", 1.0)]);
+        let jsonl = format!("{}\n{}\n", modern.to_json(), legacy.to_json());
+        let parsed = parse_history(&jsonl);
+        assert_eq!(parsed, vec![modern, legacy]);
+    }
+
+    #[test]
+    fn gate_calibrates_per_host() {
+        let gate = TrendGate::default();
+        // Five fast runs on an 8-core runner, five slow on a 2-core.
+        let mut history: Vec<HistoryEntry> = (0..5)
+            .map(|i| entry_on("8xx86_64", &format!("f{i}"), &[("a", 1.0)]))
+            .collect();
+        history.extend((0..5).map(|i| entry_on("2xx86_64", &format!("s{i}"), &[("a", 3.0)])));
+        // On the slow host, 3.1 s is in-band (judged against the 3.0 s
+        // same-host history, not the mixed median).
+        let f = gate.assess(&history, &[("a".to_string(), 3.1)], Some("2xx86_64"));
+        assert!(!f[0].regressed, "{:?}", f[0]);
+        assert_eq!(f[0].samples, 5, "only same-host entries calibrate");
+        // On the fast host, the same 3.1 s IS a regression.
+        let f = gate.assess(&history, &[("a".to_string(), 3.1)], Some("8xx86_64"));
+        assert!(f[0].regressed, "{:?}", f[0]);
+        // Legacy (host-less) entries calibrate everywhere.
+        let mixed = vec![
+            entry("l0", &[("a", 1.0)]),
+            entry_on("8xx86_64", "f0", &[("a", 1.0)]),
+            entry_on("8xx86_64", "f1", &[("a", 1.0)]),
+        ];
+        let f = gate.assess(&mixed, &[("a".to_string(), 5.0)], Some("8xx86_64"));
+        assert_eq!(f[0].samples, 3);
+        assert!(f[0].regressed);
+    }
+
+    #[test]
+    fn host_fingerprint_is_stable_and_shaped() {
+        let a = host_fingerprint();
+        assert_eq!(a, host_fingerprint());
+        let (cores, arch) = a.split_once('x').expect("cores x arch");
+        assert!(cores.parse::<usize>().unwrap() >= 1);
+        assert!(!arch.is_empty());
     }
 
     #[test]

@@ -1,22 +1,32 @@
 //! The engine's bit-reproducibility contract, pinned in CI: a full
 //! `all_figures` run is a pure function of `(scale, seed)` — the
-//! `experiments.json` payload is byte-identical across runs and across
-//! **worker counts** (`CSMAPROBE_WORKERS`), modulo the wall-clock
-//! `elapsed_s` fields.
+//! `experiments.json` payload is byte-identical across runs, across
+//! **worker counts** (`CSMAPROBE_WORKERS`, including oversubscribed
+//! ones), and across figure-level concurrency (`--jobs`, which turns
+//! every figure into a task on the shared work-stealing executor) —
+//! modulo the wall-clock `elapsed_s` fields.
 //!
 //! This is the executable form of what README/rustdoc promise in
 //! prose: chunk-gridded reduction makes floating-point results
-//! independent of scheduling, for plain replications, sweeps, and the
-//! two-phase MSER passes alike.
+//! independent of scheduling — plain replications, sweeps, the
+//! two-phase MSER passes, and cross-submission work stealing alike.
 
 use std::path::Path;
 use std::process::Command;
 
 /// Run the `all_figures` binary in `dir` with `workers` pinned and
-/// return the `experiments.json` payload it wrote.
-fn run_all_figures(dir: &Path, workers: usize) -> String {
+/// `jobs` figures scheduled concurrently, and return the
+/// `experiments.json` payload it wrote.
+fn run_all_figures(dir: &Path, workers: usize, jobs: usize) -> String {
     let out = Command::new(env!("CARGO_BIN_EXE_all_figures"))
-        .args(["--scale", "0.05", "--seed", "42"])
+        .args([
+            "--scale",
+            "0.05",
+            "--seed",
+            "42",
+            "--jobs",
+            &jobs.to_string(),
+        ])
         .env("CSMAPROBE_WORKERS", workers.to_string())
         .current_dir(dir)
         .output()
@@ -52,12 +62,17 @@ fn strip_elapsed(payload: &str) -> String {
 #[test]
 fn experiments_json_identical_across_worker_counts() {
     let base = std::env::temp_dir().join(format!("csmaprobe-determinism-{}", std::process::id()));
-    let payloads: Vec<String> = [1usize, 4]
+    // Both ends of the worker range plus an oversubscribed point (8
+    // workers on whatever the CI runner has), with figures scheduled
+    // concurrently under the last two — the executor must reduce every
+    // figure bit-identically no matter what else is stealing from it.
+    let configs: [(usize, usize); 3] = [(1, 1), (4, 4), (8, 8)];
+    let payloads: Vec<String> = configs
         .iter()
-        .map(|&workers| {
-            let dir = base.join(format!("workers{workers}"));
+        .map(|&(workers, jobs)| {
+            let dir = base.join(format!("workers{workers}jobs{jobs}"));
             std::fs::create_dir_all(&dir).expect("create run dir");
-            let payload = run_all_figures(&dir, workers);
+            let payload = run_all_figures(&dir, workers, jobs);
             assert!(
                 payload.contains("\"id\":\"fig13\"") && payload.contains("\"id\":\"fig17\""),
                 "payload looks truncated ({} bytes)",
@@ -66,15 +81,19 @@ fn experiments_json_identical_across_worker_counts() {
             payload
         })
         .collect();
-    let a = strip_elapsed(&payloads[0]);
-    let b = strip_elapsed(&payloads[1]);
-    assert!(
-        a == b,
-        "experiments.json differs between 1 and 4 workers (modulo elapsed_s): \
-         {} vs {} bytes",
-        a.len(),
-        b.len()
-    );
+    let golden = strip_elapsed(&payloads[0]);
+    for (i, payload) in payloads.iter().enumerate().skip(1) {
+        let stripped = strip_elapsed(payload);
+        assert!(
+            golden == stripped,
+            "experiments.json differs between {:?} and {:?} (modulo elapsed_s): \
+             {} vs {} bytes",
+            configs[0],
+            configs[i],
+            golden.len(),
+            stripped.len()
+        );
+    }
     // elapsed_s was actually present and stripped — guard against the
     // field being renamed and the test silently comparing nothing.
     assert!(payloads[0].contains("elapsed_s"), "elapsed_s field gone?");

@@ -182,7 +182,7 @@ impl<G: GridScenario + ?Sized> SweepScenario for GridSweep<'_, G> {
 }
 
 /// Schedules the cells of a [`GridScenario`] through the shared
-/// replication worker budget.
+/// work-stealing chunk executor.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct GridRunner;
 

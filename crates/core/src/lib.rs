@@ -20,7 +20,7 @@
 //! * [`sweep`] — the sweep scenario subsystem: parameterised families
 //!   of scenarios ([`sweep::SweepScenario`], e.g. one cell per probing
 //!   rate) scheduled by [`sweep::SweepRunner`] as one streaming
-//!   map-reduce over the shared worker budget, with per-cell results
+//!   map-reduce on the shared work-stealing executor, with per-cell results
 //!   bit-identical to a standalone per-point reduce.
 //! * [`grid`] — the scenario grid subsystem: independent parameter
 //!   axes (link × train × tool) composed into one flattened cell space

@@ -449,7 +449,7 @@ impl WlanLink {
     ///
     /// Runs as a [`crate::sweep::RateResponseSweep`] through the sweep
     /// engine: rate points are scheduled concurrently over the shared
-    /// worker budget, with the exact per-point seeds (and therefore
+    /// work-stealing executor, with the exact per-point seeds (and therefore
     /// bit-identical points) of the historical sequential loop.
     pub fn rate_response_curve(
         &self,

@@ -1,6 +1,6 @@
 //! The sweep scenario subsystem: parameterised families of scenarios
 //! (one cell per sweep point — e.g. per probing rate) scheduled as one
-//! streaming map-reduce over the shared worker budget.
+//! streaming map-reduce on the shared work-stealing executor.
 //!
 //! PR 2's scenario engine made single replicated experiments stream
 //! through `csmaprobe_desim::replicate::run_reduce`; the rate-response
@@ -80,7 +80,7 @@ pub trait SweepScenario: Sync {
 }
 
 /// Schedules every `(point × replication)` cell of a [`SweepScenario`]
-/// through the shared replication worker budget.
+/// through the shared work-stealing chunk executor.
 ///
 /// Stateless today; a value (rather than a free function) so future
 /// scheduling knobs — per-sweep worker caps, progress callbacks — have

@@ -25,7 +25,7 @@ use csmaprobe_desim::replicate;
 use csmaprobe_stats::accumulate::Accumulate;
 use csmaprobe_stats::ks::KsOutcome;
 use csmaprobe_stats::online::OnlineStats;
-use csmaprobe_stats::transient::{IndexedSeries, IndexedStats, TransientEstimate};
+use csmaprobe_stats::transient::{IndexedQuantile, IndexedSeries, IndexedStats, TransientEstimate};
 use csmaprobe_traffic::probe::ProbeTrain;
 
 /// One replicated probing scenario: everything the engine needs to run
@@ -70,33 +70,56 @@ impl Scenario for TransientExperiment {
     }
 }
 
+/// The tail percentile both execution modes stream per packet index
+/// (the paper's access-delay distributions are right-skewed; the p95
+/// tracks the transient's effect on the tail, not just the mean).
+pub const TAIL_QUANTILE: f64 = 0.95;
+
 /// Streaming accumulator of one scenario: per-index delay and
-/// queue-size moments. Merges exactly (up to rounding) under the
-/// chunk-ordered reduce.
-#[derive(Debug, Clone, Default)]
+/// queue-size moments plus the streamed per-index delay p95. Moments
+/// merge exactly (up to rounding), the p95 by the deterministic P²
+/// marker merge, under the chunk-ordered reduce.
+#[derive(Debug, Clone)]
 struct SummaryAcc {
     delays: IndexedStats,
     queues: IndexedStats,
+    delay_p95: IndexedQuantile,
+}
+
+impl Default for SummaryAcc {
+    fn default() -> Self {
+        SummaryAcc {
+            delays: IndexedStats::new(),
+            queues: IndexedStats::new(),
+            delay_p95: IndexedQuantile::new(TAIL_QUANTILE),
+        }
+    }
 }
 
 impl Accumulate for SummaryAcc {
     fn merge(&mut self, other: Self) {
         self.delays.merge(other.delays);
         self.queues.merge(other.queues);
+        self.delay_p95.merge(other.delay_p95);
     }
 }
 
-/// Dense accumulator: raw per-index samples, reservoir-capped.
+/// Dense accumulator: raw per-index samples, reservoir-capped, plus
+/// the same streamed per-index delay p95 as the summary path (P² — not
+/// recomputed from the capped reservoir, so the tail estimate never
+/// degrades with decimation).
 #[derive(Debug, Clone)]
 struct DenseAcc {
     delays: IndexedSeries,
     queues: IndexedSeries,
+    delay_p95: IndexedQuantile,
 }
 
 impl Accumulate for DenseAcc {
     fn merge(&mut self, other: Self) {
         self.delays.merge(other.delays);
         self.queues.merge(other.queues);
+        self.delay_p95.merge(other.delay_p95);
     }
 }
 
@@ -129,6 +152,7 @@ pub fn run_summary(scenario: &(impl Scenario + ?Sized), seed: u64) -> TransientS
         |_, s, acc: &mut SummaryAcc| {
             replicate_once(scenario, s, |i, delay, queue| {
                 acc.delays.push(i, delay);
+                acc.delay_p95.push(i, delay);
                 if let Some(q) = queue {
                     acc.queues.push(i, q);
                 }
@@ -140,6 +164,7 @@ pub fn run_summary(scenario: &(impl Scenario + ?Sized), seed: u64) -> TransientS
     TransientSummary {
         delays: acc.delays,
         queue_sizes: acc.queues,
+        delay_p95: acc.delay_p95,
         reps: scenario.reps(),
     }
 }
@@ -160,6 +185,7 @@ pub fn run_dense(scenario: &(impl Scenario + ?Sized), seed: u64, cap: usize) -> 
                 }
             });
             acc.delays.push_replication(&delays);
+            acc.delay_p95.push_replication(&delays);
             if !queues.is_empty() {
                 acc.queues.push_replication(&queues);
             }
@@ -167,12 +193,14 @@ pub fn run_dense(scenario: &(impl Scenario + ?Sized), seed: u64, cap: usize) -> 
         || DenseAcc {
             delays: IndexedSeries::with_cap(cap),
             queues: IndexedSeries::with_cap(cap),
+            delay_p95: IndexedQuantile::new(TAIL_QUANTILE),
         },
         Accumulate::merge,
     );
     TransientData {
         delays: acc.delays,
         queue_sizes: acc.queues,
+        delay_p95: acc.delay_p95,
     }
 }
 
@@ -199,6 +227,8 @@ pub struct TransientSummary {
     /// Per-index contending-queue-size moments (empty when the link has
     /// no contenders).
     pub queue_sizes: IndexedStats,
+    /// Streamed per-index access-delay p95 ([`TAIL_QUANTILE`]), seconds.
+    pub delay_p95: IndexedQuantile,
     /// Replications executed.
     pub reps: usize,
 }
@@ -242,6 +272,11 @@ impl TransientSummary {
     pub fn queue_profile(&self) -> Vec<f64> {
         self.queue_sizes.means()
     }
+
+    /// Streamed per-index p95 access delay ([`TAIL_QUANTILE`]), seconds.
+    pub fn p95_profile(&self) -> Vec<f64> {
+        self.delay_p95.values()
+    }
 }
 
 /// Dense per-index data from a [`Scenario`] (raw samples, reservoir
@@ -253,6 +288,10 @@ pub struct TransientData {
     /// Queue length of the first contending station sampled at each
     /// probe packet's arrival (empty when the link has no contenders).
     pub queue_sizes: IndexedSeries,
+    /// Streamed per-index access-delay p95 ([`TAIL_QUANTILE`]), seconds
+    /// — P²-estimated over **all** replications, independent of the
+    /// reservoir cap.
+    pub delay_p95: IndexedQuantile,
 }
 
 impl TransientData {
@@ -303,6 +342,11 @@ impl TransientData {
     /// Per-index mean contending-station queue size (Fig 8 bottom).
     pub fn queue_profile(&self) -> Vec<f64> {
         self.queue_sizes.means()
+    }
+
+    /// Streamed per-index p95 access delay ([`TAIL_QUANTILE`]), seconds.
+    pub fn p95_profile(&self) -> Vec<f64> {
+        self.delay_p95.values()
     }
 }
 
@@ -397,6 +441,40 @@ mod tests {
         let early = q[0];
         let late = q[80..].iter().sum::<f64>() / 20.0;
         assert!(late > early, "early {early} late {late}");
+    }
+
+    #[test]
+    fn p95_profile_sits_above_mean_and_shows_transient() {
+        let link = WlanLink::new(LinkConfig::default().contending_bps(4_000_000.0));
+        let exp = TransientExperiment {
+            link,
+            train: ProbeTrain::from_rate(200, 1500, 5_000_000.0),
+            reps: 400,
+            seed: 0xF1606,
+        };
+        let summary = exp.run();
+        let mean = summary.mean_profile();
+        let p95 = summary.p95_profile();
+        assert_eq!(p95.len(), mean.len());
+        // A right-skewed delay distribution: p95 above the mean at
+        // (almost) every index.
+        let above = p95.iter().zip(&mean).filter(|(q, m)| q > m).count();
+        assert!(above >= mean.len() * 9 / 10, "{above}/{} above", mean.len());
+        // The tail shows the transient too: first-packet p95 below the
+        // steady-state tail level.
+        let steady_p95 = p95[100..].iter().sum::<f64>() / 100.0;
+        assert!(
+            p95[0] < steady_p95,
+            "p95[0] = {} vs steady {steady_p95}",
+            p95[0]
+        );
+        // Dense mode streams the same estimator (identical bits: same
+        // replications, same chunk-ordered merge).
+        let dense = exp.run_dense(usize::MAX);
+        let dense_p95 = dense.p95_profile();
+        for (i, (a, b)) in p95.iter().zip(&dense_p95).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "index {i}");
+        }
     }
 
     #[test]

@@ -12,14 +12,18 @@
 //! * [`event`] — a deterministic event calendar with FIFO tie-breaking.
 //! * [`rng`] — seeded, reproducible xoshiro256++ streams and SplitMix64
 //!   seed derivation.
-//! * [`replicate`] — a thread-parallel Monte-Carlo replication runner
+//! * [`executor`] — the process-wide work-stealing chunk executor: one
+//!   worker pool serving every concurrent submission, with ascending
+//!   chunk-order delivery (the determinism backbone).
+//! * [`replicate`] — the Monte-Carlo replication runners built on it,
 //!   whose output is bit-identical to a sequential run.
 //!
 //! Design note: per the workspace guides, CPU-bound simulation is kept
-//! off async runtimes entirely; parallelism is plain scoped threads over
-//! independent replications.
+//! off async runtimes entirely; parallelism is a plain thread pool over
+//! independent replication chunks.
 
 pub mod event;
+pub mod executor;
 pub mod replicate;
 pub mod rng;
 pub mod time;

@@ -27,20 +27,23 @@
 //! function of `(master_seed, reps)` — bit-identical across repeated
 //! runs and across differing worker counts.
 //!
-//! Worker budget: concurrent callers (e.g. figures scheduled in
-//! parallel by `all_figures`) share one process-wide budget of
-//! `available_parallelism() − 1` extra workers, so nested parallelism
-//! never oversubscribes the machine: every call is guaranteed its own
-//! calling thread and borrows extra workers only while it runs.
-//! [`set_worker_limit`] (or the `CSMAPROBE_WORKERS` environment
-//! variable) pins the worker count explicitly, bypassing the budget —
-//! useful for tests and for reproducing scheduling-sensitive timings.
+//! Execution: every runner submits its chunk tasks to the process-wide
+//! **work-stealing chunk executor** ([`crate::executor`]). One pool of
+//! workers serves every concurrent caller (figures scheduled by
+//! `all_figures` via [`run_tasks`], sweeps, grids), stealing chunks
+//! across all live submissions — so a figure that finishes hands its
+//! cores to whatever is still running, mid-flight, and nested
+//! parallelism never oversubscribes the machine. [`set_worker_limit`]
+//! (or the `CSMAPROBE_WORKERS` environment variable) pins the
+//! process-wide concurrency ceiling explicitly — useful for tests and
+//! for reproducing scheduling-sensitive timings; results never depend
+//! on it. The acquire/release worker-budget API this replaced is gone:
+//! there is nothing to borrow or hand back any more.
 
+use crate::executor;
 use crate::rng::derive_seed;
-use std::collections::BTreeMap;
 use std::ops::Range;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::Mutex;
 
 /// Replications per chunk. The chunk grid is what makes streaming
 /// reduction deterministic: merges always happen on chunk boundaries in
@@ -49,99 +52,15 @@ use std::sync::{Mutex, OnceLock};
 /// reduce load-balance quality.
 pub const CHUNK: usize = 32;
 
-/// Explicit worker-count override; 0 means "auto" (hardware budget).
-static WORKER_LIMIT: AtomicUsize = AtomicUsize::new(0);
-
-/// Pin the number of workers every subsequent replication call uses
-/// (bypassing the shared budget). `0` restores automatic sizing.
+/// Pin the process-wide concurrency ceiling every subsequent
+/// replication call runs under. `0` restores automatic sizing (the
+/// hardware parallelism).
 ///
 /// Results never depend on this — it exists for tests that prove that
-/// claim and for controlled benchmarking.
+/// claim and for controlled benchmarking. Delegates to
+/// [`executor::set_worker_limit`].
 pub fn set_worker_limit(n: usize) {
-    WORKER_LIMIT.store(n, Ordering::Relaxed);
-}
-
-/// The explicit worker limit: the `CSMAPROBE_WORKERS` environment
-/// variable at first use, overridden by [`set_worker_limit`].
-fn worker_limit() -> usize {
-    static ENV: OnceLock<usize> = OnceLock::new();
-    let env = *ENV.get_or_init(|| {
-        std::env::var("CSMAPROBE_WORKERS")
-            .ok()
-            .and_then(|s| s.parse().ok())
-            .unwrap_or(0)
-    });
-    let set = WORKER_LIMIT.load(Ordering::Relaxed);
-    if set > 0 {
-        set
-    } else {
-        env
-    }
-}
-
-/// Hardware parallelism (≥ 1).
-fn hardware_workers() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-}
-
-/// Process-wide budget of *extra* workers (beyond each caller's own
-/// thread), shared by all concurrent replication calls.
-mod budget {
-    use std::sync::atomic::{AtomicUsize, Ordering};
-    use std::sync::OnceLock;
-
-    fn pool() -> &'static AtomicUsize {
-        static POOL: OnceLock<AtomicUsize> = OnceLock::new();
-        POOL.get_or_init(|| AtomicUsize::new(super::hardware_workers().saturating_sub(1)))
-    }
-
-    /// Take up to `want` extra-worker permits; returns how many were
-    /// granted (possibly 0). Never blocks.
-    pub fn acquire(want: usize) -> usize {
-        let pool = pool();
-        let mut avail = pool.load(Ordering::Relaxed);
-        loop {
-            let take = want.min(avail);
-            if take == 0 {
-                return 0;
-            }
-            match pool.compare_exchange_weak(
-                avail,
-                avail - take,
-                Ordering::Relaxed,
-                Ordering::Relaxed,
-            ) {
-                Ok(_) => return take,
-                Err(now) => avail = now,
-            }
-        }
-    }
-
-    /// Return `n` permits to the pool.
-    pub fn release(n: usize) {
-        if n > 0 {
-            pool().fetch_add(n, Ordering::Relaxed);
-        }
-    }
-}
-
-/// Borrow up to `want` extra-worker permits from the shared budget;
-/// returns how many were granted (possibly 0), never blocks.
-///
-/// For callers that schedule their own concurrency *around* replication
-/// calls (e.g. the figure scheduler running whole experiments in
-/// parallel): borrowing scheduler threads from the same pool keeps the
-/// process's total CPU-bound thread count at the hardware parallelism.
-/// Pair every grant with [`release_workers`].
-pub fn acquire_workers(want: usize) -> usize {
-    budget::acquire(want)
-}
-
-/// Return `n` permits taken with [`acquire_workers`].
-pub fn release_workers(n: usize) {
-    budget::release(n)
+    executor::set_worker_limit(n);
 }
 
 /// The replication index range of chunk `c`.
@@ -151,86 +70,60 @@ fn chunk_range(c: usize, reps: usize) -> Range<usize> {
 }
 
 /// Chunked execution core: produce one `C` per chunk of replication
-/// indices (in parallel, work-stealing over chunks) and hand the chunk
-/// outputs to `consume` **in ascending chunk order**.
+/// indices and hand the chunk outputs to `consume` **in ascending chunk
+/// order** — one submission to the process-wide work-stealing executor
+/// ([`executor::submit`]).
 ///
-/// `consume` runs under a lock from whichever worker completes the
-/// next-in-order chunk; out-of-order chunk outputs are parked in a
-/// bounded reorder window (at most ~one entry per worker in practice).
-fn run_chunks<C, F, G>(reps: usize, make: F, mut consume: G)
+/// `consume` runs under the submission's sink lock from whichever
+/// worker completes the next-in-order chunk; out-of-order chunk outputs
+/// are parked in a bounded reorder window (at most ~one entry per
+/// worker in practice).
+fn run_chunks<C, F, G>(reps: usize, make: F, consume: G)
 where
     C: Send,
-    F: Fn(Range<usize>) -> C + Sync,
+    F: Fn(Range<usize>) -> C + Sync + Send,
     G: FnMut(C) + Send,
 {
     if reps == 0 {
         return;
     }
     let chunks = reps.div_ceil(CHUNK);
+    executor::submit(chunks, usize::MAX, |c| make(chunk_range(c, reps)), consume);
+}
 
-    // Worker plan: an explicit limit wins; otherwise one worker (the
-    // calling thread) plus whatever the shared budget grants.
-    let explicit = worker_limit();
-    let (workers, borrowed) = if explicit > 0 {
-        (explicit.min(chunks).max(1), 0)
-    } else {
-        let want = hardware_workers().min(chunks);
-        let extra = budget::acquire(want.saturating_sub(1));
-        (1 + extra, extra)
-    };
-
-    if workers == 1 {
-        for c in 0..chunks {
-            consume(make(chunk_range(c, reps)));
-        }
-        budget::release(borrowed);
-        return;
-    }
-
-    struct Reorder<C, G> {
-        next_emit: usize,
-        pending: BTreeMap<usize, C>,
-        consume: G,
-    }
-    let next_chunk = AtomicUsize::new(0);
-    let reorder = Mutex::new(Reorder {
-        next_emit: 0,
-        pending: BTreeMap::new(),
-        consume: &mut consume,
-    });
-
-    let worker = || loop {
-        let c = next_chunk.fetch_add(1, Ordering::Relaxed);
-        if c >= chunks {
-            break;
-        }
-        let out = make(chunk_range(c, reps));
-        let mut r = reorder.lock().unwrap();
-        if c == r.next_emit {
-            (r.consume)(out);
-            r.next_emit += 1;
-            loop {
-                let next = r.next_emit;
-                match r.pending.remove(&next) {
-                    Some(ready) => {
-                        (r.consume)(ready);
-                        r.next_emit += 1;
-                    }
-                    None => break,
-                }
-            }
-        } else {
-            r.pending.insert(c, out);
-        }
-    };
-
-    std::thread::scope(|scope| {
-        for _ in 0..workers - 1 {
-            scope.spawn(worker);
-        }
-        worker(); // the calling thread is always a worker
-    });
-    budget::release(borrowed);
+/// Run `tasks` as one executor submission — the figure-level scheduling
+/// primitive behind `all_figures` — returning each task's output **in
+/// task order**.
+///
+/// At most `width` tasks execute concurrently (the `--jobs` knob); the
+/// calling thread always works on its own tasks, and pool workers steal
+/// the rest across every live submission, so a finished task's core
+/// immediately moves to other tasks *or into the replication chunks of
+/// tasks still running* — the mid-flight hand-back that retired the old
+/// acquire/release worker budget. Panics from tasks propagate to the
+/// caller after in-flight tasks finish.
+pub fn run_tasks<T, F>(width: usize, tasks: Vec<F>) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let n = tasks.len();
+    let slots: Vec<Mutex<Option<F>>> = tasks.into_iter().map(|f| Mutex::new(Some(f))).collect();
+    let mut out: Vec<T> = Vec::with_capacity(n);
+    executor::submit(
+        n,
+        width,
+        |i| {
+            let task = slots[i]
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .take()
+                .expect("each task is claimed exactly once");
+            task()
+        },
+        |t| out.push(t),
+    );
+    out
 }
 
 /// Streaming map-reduce over a **grid of cells** — the scheduling
@@ -764,6 +657,52 @@ mod tests {
     fn run_cells_empty_grid_is_empty() {
         let out: Vec<u64> = run_cells(&[], |_, _, _| {}, |_| 0, |a, b| *a += b);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn run_tasks_returns_in_task_order() {
+        for limit in [1usize, 4] {
+            set_worker_limit(limit);
+            let tasks: Vec<_> = (0..23).map(|i| move || i * i).collect();
+            let out = run_tasks(3, tasks);
+            set_worker_limit(0);
+            assert_eq!(out, (0..23).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn run_tasks_nests_replication_calls() {
+        // The figure-scheduler shape: tasks that themselves run
+        // reduces on the same executor.
+        set_worker_limit(4);
+        let tasks: Vec<_> = (0..5u64)
+            .map(|t| {
+                move || {
+                    run_reduce(
+                        100,
+                        t,
+                        |_, seed, acc: &mut u64| *acc ^= SimRng::new(seed).next_u64(),
+                        || 0u64,
+                        |a, b| *a ^= b,
+                    )
+                }
+            })
+            .collect();
+        let nested = run_tasks(2, tasks);
+        set_worker_limit(1);
+        let solo: Vec<u64> = (0..5u64)
+            .map(|t| {
+                run_reduce(
+                    100,
+                    t,
+                    |_, seed, acc: &mut u64| *acc ^= SimRng::new(seed).next_u64(),
+                    || 0u64,
+                    |a, b| *a ^= b,
+                )
+            })
+            .collect();
+        set_worker_limit(0);
+        assert_eq!(nested, solo);
     }
 
     #[test]

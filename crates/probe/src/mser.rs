@@ -336,7 +336,7 @@ impl<T: ProbeTarget + ?Sized> SweepScenario for TruncatedSweep<'_, T> {
 /// Measure a family of pooled-profile MSER probes (e.g. one per probing
 /// rate of Fig 17) through the sweep engine: two passes, each
 /// scheduling every `(cell × replication)` concurrently over the shared
-/// worker budget. Cell `c`'s result is bit-identical to
+/// work-stealing executor. Cell `c`'s result is bit-identical to
 /// `cells[c].probe.measure(target, cells[c].reps, cells[c].seed)` in
 /// `PooledProfile` mode (per-replication modes are ignored).
 pub fn measure_rate_sweep<T: ProbeTarget + ?Sized>(

@@ -19,6 +19,9 @@
 //! * [`crate::transient::IndexedSeries`] — per-index sample
 //!   concatenation (exact; respects the per-index cap).
 //! * [`crate::transient::IndexedStats`] — per-index [`crate::online::OnlineStats`] merge.
+//! * [`crate::transient::IndexedQuantile`] — per-index
+//!   [`crate::p2::P2Quantile`] marker merge (approximate,
+//!   deterministic): streamed tail percentiles per packet index.
 
 /// An accumulator that can absorb another accumulator of the same
 /// shape, as if the other's observations had been pushed into `self`.

@@ -11,6 +11,7 @@
 
 use crate::ks::{two_sample_ks, KsOutcome};
 use crate::online::OnlineStats;
+use crate::p2::P2Quantile;
 
 /// Samples of some per-packet quantity (access delay, queue size, …)
 /// indexed by position in the probing sequence, accumulated across
@@ -287,6 +288,100 @@ impl crate::accumulate::Accumulate for IndexedStats {
     }
 }
 
+/// Streaming per-packet-index quantile estimates across replications:
+/// one [`P2Quantile`] per index, O(1) memory per index no matter the
+/// replication count — the tail-percentile companion of
+/// [`IndexedStats`] (e.g. the p95 access delay per probe packet).
+///
+/// Merging is index-wise [`P2Quantile::merge`] — approximate by nature
+/// (P² keeps five markers), but deterministic: under the engine's
+/// chunk-ordered reduce the merged estimate is a pure function of the
+/// replication set, bit-identical across worker counts.
+#[derive(Debug, Clone)]
+pub struct IndexedQuantile {
+    p: f64,
+    est: Vec<P2Quantile>,
+}
+
+impl IndexedQuantile {
+    /// An empty collection estimating the `p`-quantile per index,
+    /// `0 < p < 1`.
+    pub fn new(p: f64) -> Self {
+        assert!(p > 0.0 && p < 1.0, "p = {p} out of (0,1)");
+        IndexedQuantile { p, est: Vec::new() }
+    }
+
+    /// The quantile being estimated.
+    pub fn quantile(&self) -> f64 {
+        self.p
+    }
+
+    /// Record a single observation for packet index `i`.
+    pub fn push(&mut self, i: usize, value: f64) {
+        if self.est.len() <= i {
+            let p = self.p;
+            self.est.resize_with(i + 1, || P2Quantile::new(p));
+        }
+        self.est[i].push(value);
+    }
+
+    /// Record one replication's trajectory (shorter trajectories are
+    /// allowed, as in [`IndexedSeries::push_replication`]).
+    pub fn push_replication(&mut self, values: &[f64]) {
+        for (i, &v) in values.iter().enumerate() {
+            self.push(i, v);
+        }
+    }
+
+    /// Number of packet indices tracked.
+    pub fn len(&self) -> usize {
+        self.est.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.est.is_empty()
+    }
+
+    /// The estimator of packet index `i`.
+    pub fn estimator(&self, i: usize) -> &P2Quantile {
+        &self.est[i]
+    }
+
+    /// Per-index quantile estimates (NaN for indices with no samples).
+    pub fn values(&self) -> Vec<f64> {
+        self.est.iter().map(|e| e.value()).collect()
+    }
+
+    /// Absorb another collection (index-wise [`P2Quantile`] merge).
+    ///
+    /// # Panics
+    /// If the two collections estimate different quantiles.
+    pub fn merge(&mut self, other: IndexedQuantile) {
+        assert!(
+            (self.p - other.p).abs() < 1e-12,
+            "merging IndexedQuantile of different quantiles ({} vs {})",
+            self.p,
+            other.p
+        );
+        if self.est.len() < other.est.len() {
+            let p = self.p;
+            self.est.resize_with(other.est.len(), || P2Quantile::new(p));
+        }
+        for (i, e) in other.est.into_iter().enumerate() {
+            self.est[i].merge(e);
+        }
+    }
+}
+
+impl crate::accumulate::Accumulate for IndexedQuantile {
+    /// Approximate (index-wise P² marker merge); deterministic under
+    /// the chunk-ordered reduce.
+    fn merge(&mut self, other: Self) {
+        IndexedQuantile::merge(self, other);
+    }
+}
+
 /// Transient length from a pre-computed per-index mean profile.
 ///
 /// `tolerance` is relative: index `i` is "converged" when
@@ -510,6 +605,69 @@ mod tests {
             assert!((a.stat(i).mean() - whole.stat(i).mean()).abs() < 1e-12);
             assert!((a.stat(i).variance() - whole.stat(i).variance()).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn indexed_quantile_tracks_per_index_p95() {
+        let mut q = IndexedQuantile::new(0.95);
+        // Index 0: uniform 0..100; index 1: uniform 0..200.
+        for r in 0..500 {
+            let u = (r as f64 * 0.618_033_988_749_895).fract();
+            q.push_replication(&[u * 100.0, u * 200.0]);
+        }
+        assert_eq!(q.len(), 2);
+        let v = q.values();
+        assert!(
+            (v[0] - 95.0).abs() < 5.0,
+            "p95 of U[0,100] ≈ 95, got {}",
+            v[0]
+        );
+        assert!(
+            (v[1] - 190.0).abs() < 10.0,
+            "p95 of U[0,200] ≈ 190, got {}",
+            v[1]
+        );
+    }
+
+    #[test]
+    fn indexed_quantile_merge_close_to_sequential() {
+        let obs: Vec<f64> = (0..400)
+            .map(|r| ((r as f64 * 0.37).sin() + 1.5) * 3.0)
+            .collect();
+        let mut whole = IndexedQuantile::new(0.95);
+        let mut a = IndexedQuantile::new(0.95);
+        let mut b = IndexedQuantile::new(0.95);
+        for (r, &x) in obs.iter().enumerate() {
+            whole.push(0, x);
+            if r < 170 {
+                a.push(0, x);
+            } else {
+                b.push(0, x);
+            }
+        }
+        a.merge(b);
+        assert_eq!(a.estimator(0).count(), whole.estimator(0).count());
+        let (va, vw) = (a.values()[0], whole.values()[0]);
+        assert!((va - vw).abs() / vw < 0.1, "merged {va} vs sequential {vw}");
+        // Determinism: the same split merges to the same bits.
+        let mut a2 = IndexedQuantile::new(0.95);
+        let mut b2 = IndexedQuantile::new(0.95);
+        for (r, &x) in obs.iter().enumerate() {
+            if r < 170 {
+                a2.push(0, x);
+            } else {
+                b2.push(0, x);
+            }
+        }
+        a2.merge(b2);
+        assert_eq!(a.values()[0].to_bits(), a2.values()[0].to_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "different quantiles")]
+    fn indexed_quantile_merge_rejects_mismatched_p() {
+        let mut a = IndexedQuantile::new(0.95);
+        a.merge(IndexedQuantile::new(0.5));
     }
 
     #[test]
