@@ -22,6 +22,8 @@
 //! | [`ext_ofdm`] | (extension) | same phenomena on 802.11g OFDM |
 //! | [`ext_impairments`] | (extension) | frame errors + RTS/CTS effects |
 //! | [`ext_burstiness`] | §6.3 claim | dispersion variability vs cross burstiness |
+//! | [`tier_equivalence`] | (engine) | fast tiers vs the event-core oracle |
+//! | [`tier_speedup`] | (engine) | wall-clock gain of the fast tiers |
 
 pub mod ablation_access;
 pub mod bounds_check;
@@ -40,6 +42,8 @@ pub mod fig15;
 pub mod fig16;
 pub mod fig17;
 pub mod grid_bias;
+pub mod tier_equivalence;
+pub mod tier_speedup;
 pub mod tool_bias;
 
 use crate::report::FigureReport;
@@ -171,6 +175,18 @@ pub const REGISTRY: &[FigureDef] = &[
         run: ext_burstiness::run,
         weight: 8,
     },
+    FigureDef {
+        id: "tier_equivalence",
+        title: "engine tiers vs the event-core oracle",
+        run: tier_equivalence::run,
+        weight: 30,
+    },
+    FigureDef {
+        id: "tier_speedup",
+        title: "wall-clock speedup of the fast engine tiers",
+        run: tier_speedup::run,
+        weight: 30,
+    },
 ];
 
 /// Look up a registry entry by id.
@@ -190,7 +206,7 @@ mod registry_tests {
             assert!(find(d.id).is_some());
             assert!(d.weight > 0, "{} needs a scheduling weight", d.id);
         }
-        assert_eq!(REGISTRY.len(), 18);
+        assert_eq!(REGISTRY.len(), 20);
         assert!(find("nope").is_none());
     }
 }

@@ -1,0 +1,118 @@
+//! Tier equivalence — the engine-stack contract, as a figure: across
+//! the steady-state regime matrix the slot-quantised kernel reproduces
+//! the event core **bit for bit** (same seed, same trajectory), and the
+//! analytic Bianchi tier lands within its documented 5 % band on the
+//! saturated cells it covers.
+//!
+//! This is the cheap, always-regenerated companion of the KS harness in
+//! `tests/tier_equivalence.rs`: the harness proves distributional
+//! equivalence on disjoint seed sets; this figure pins trajectory
+//! equivalence per regime and publishes the per-regime deltas into
+//! `EXPERIMENTS.md`.
+
+use crate::report::FigureReport;
+use crate::tier::{regime_matrix, TierRegime};
+use csmaprobe_core::engine::EngineTier;
+use csmaprobe_desim::time::Dur;
+
+fn total_mbps(p: &csmaprobe_core::link::SteadyPoint) -> f64 {
+    (p.output_rate_bps + p.contending_bps.iter().sum::<f64>() + p.fifo_cross_bps) / 1e6
+}
+
+/// Run the experiment. `scale` multiplies measurement duration.
+pub fn run(scale: f64, seed: u64) -> FigureReport {
+    let mut rep = FigureReport::new(
+        "tier_equivalence",
+        "Engine tiers vs the event-core oracle across the regime matrix",
+        "slotted kernel bit-identical to the event core on every covered regime; \
+         analytic tier within 5% of the event core on saturated symmetric cells",
+        &[
+            "contenders",
+            "ri_mbps",
+            "event_mbps",
+            "slotted_mbps",
+            "analytic_mbps",
+            "analytic_rel_err",
+        ],
+    );
+
+    let duration = Dur::from_secs_f64((4.0 * scale).clamp(0.4, 30.0));
+    let regimes = regime_matrix();
+
+    let mut slotted_exact = true;
+    let mut slotted_detail = String::from("all covered regimes bit-identical");
+    let mut analytic_ok = true;
+    let mut analytic_worst = 0.0f64;
+
+    for r in &regimes {
+        let event = r
+            .steady_with_tier(EngineTier::Event, duration, seed)
+            .expect("event tier covers everything");
+        let slotted = r.steady_with_tier(EngineTier::Slotted, duration, seed);
+        let analytic = r.steady_with_tier(EngineTier::Analytic, duration, seed);
+
+        if let Some(s) = &slotted {
+            let exact = s.output_rate_bps == event.output_rate_bps
+                && s.contending_bps == event.contending_bps
+                && s.fifo_cross_bps == event.fifo_cross_bps;
+            if !exact && slotted_exact {
+                slotted_exact = false;
+                slotted_detail = format!(
+                    "{}: slotted {:.6} vs event {:.6} Mb/s",
+                    r.name,
+                    total_mbps(s),
+                    total_mbps(&event)
+                );
+            }
+        }
+        let analytic_rel = analytic.as_ref().map(|a| {
+            let rel = (total_mbps(a) - total_mbps(&event)).abs() / total_mbps(&event);
+            if rel > analytic_worst {
+                analytic_worst = rel;
+            }
+            if rel >= 0.05 {
+                analytic_ok = false;
+            }
+            rel
+        });
+
+        rep.row(vec![
+            r.contenders as f64,
+            r.ri_bps / 1e6,
+            total_mbps(&event),
+            slotted.as_ref().map(total_mbps).unwrap_or(f64::NAN),
+            analytic.as_ref().map(total_mbps).unwrap_or(f64::NAN),
+            analytic_rel.unwrap_or(f64::NAN),
+        ]);
+    }
+
+    let slotted_count = regimes
+        .iter()
+        .filter(|r: &&TierRegime| r.covered_by(EngineTier::Slotted))
+        .count();
+    rep.scalar("regimes", regimes.len() as f64);
+    rep.scalar("slotted_covered", slotted_count as f64);
+    rep.scalar("analytic_worst_rel_err", analytic_worst);
+
+    rep.check(
+        "slotted tier bit-identical to event core",
+        slotted_exact,
+        slotted_detail,
+    );
+    rep.check(
+        "analytic tier within 5% on saturated cells",
+        analytic_ok,
+        format!("worst relative error {analytic_worst:.4}"),
+    );
+
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tier_equivalence_holds_at_small_scale() {
+        let rep = super::run(0.25, 7);
+        assert!(rep.all_passed(), "{}", rep.render());
+    }
+}

@@ -1,0 +1,104 @@
+//! Tier speedup — what the tiered engine buys: wall-clock time of the
+//! event core vs the slot-quantised kernel vs the analytic tier on
+//! representative steady-state cells.
+//!
+//! Timings go into the report's non-deterministic `wallclock` channel
+//! (and, via the scheduler's `elapsed_s`, into `BENCH_history.jsonl`),
+//! never into the deterministic rows: `tests/determinism.rs` compares
+//! `experiments.json` byte-for-byte modulo exactly those fields. The
+//! pass/fail checks only assert *robust* margins — the analytic tier
+//! replaces a multi-second simulation with a fixed-point solve, so its
+//! ≥10× margin holds on any host; the slotted kernel's gain is
+//! reported but only required not to regress the result itself.
+
+use crate::report::FigureReport;
+use crate::tier::regime_matrix;
+use csmaprobe_core::engine::EngineTier;
+use csmaprobe_desim::time::Dur;
+
+/// Run the experiment. `scale` multiplies measurement duration.
+pub fn run(scale: f64, seed: u64) -> FigureReport {
+    let mut rep = FigureReport::new(
+        "tier_speedup",
+        "Wall-clock speedup of the fast engine tiers over the event core",
+        "analytic tier >= 10x faster than the event core on saturated cells \
+         (the 10-100x tiering claim); slotted kernel faster at equal output",
+        &["contenders", "ri_mbps", "event_mbps", "fast_tier_mbps"],
+    );
+
+    let duration = Dur::from_secs_f64((6.0 * scale).clamp(0.6, 30.0));
+    let mut analytic_speedup_min = f64::INFINITY;
+    let mut slotted_speedup = f64::NAN;
+    let mut outputs_match = true;
+
+    for r in regime_matrix() {
+        // Each cell's fast tier is the cheapest covered one — exactly
+        // what the router would pick in Auto mode.
+        let fast = if r.covered_by(EngineTier::Analytic) {
+            EngineTier::Analytic
+        } else {
+            EngineTier::Slotted
+        };
+        if !r.covered_by(fast) {
+            continue;
+        }
+        let (event, event_s) = r
+            .timed_steady(EngineTier::Event, duration, seed)
+            .expect("event tier covers everything");
+        let (point, fast_s) = r.timed_steady(fast, duration, seed).expect("covered");
+
+        let speedup = event_s / fast_s.max(1e-9);
+        rep.wallclock(&format!("{}_event_s", r.name), event_s);
+        rep.wallclock(&format!("{}_fast_s", r.name), fast_s);
+        rep.wallclock(&format!("{}_speedup", r.name), speedup);
+
+        match fast {
+            EngineTier::Analytic => {
+                analytic_speedup_min = analytic_speedup_min.min(speedup);
+            }
+            EngineTier::Slotted => {
+                // One representative slotted cell is enough for the
+                // trend record; keep the first (the matrix orders it
+                // light-to-heavy).
+                if slotted_speedup.is_nan() {
+                    slotted_speedup = speedup;
+                }
+                if point.output_rate_bps != event.output_rate_bps {
+                    outputs_match = false;
+                }
+            }
+            EngineTier::Event => unreachable!(),
+        }
+
+        rep.row(vec![
+            r.contenders as f64,
+            r.ri_bps / 1e6,
+            event.output_rate_bps / 1e6,
+            point.output_rate_bps / 1e6,
+        ]);
+    }
+
+    rep.check(
+        "analytic tier at least 10x faster than event core",
+        analytic_speedup_min >= 10.0,
+        "margin is structural (fixed-point solve vs full simulation); \
+         measured factors live in the wallclock field"
+            .into(),
+    );
+    rep.check(
+        "fast tiers preserve the probe output",
+        outputs_match,
+        "slotted cells bit-identical to the event core".into(),
+    );
+
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tier_speedup_holds_at_small_scale() {
+        let rep = super::run(0.25, 9);
+        assert!(rep.all_passed(), "{}", rep.render());
+    }
+}

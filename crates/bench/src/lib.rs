@@ -19,6 +19,7 @@ pub mod figures;
 pub mod grid;
 pub mod report;
 pub mod scenarios;
+pub mod tier;
 pub mod trend;
 
 /// Default master seed for every figure binary (overridable via

@@ -34,10 +34,17 @@ pub struct FigureReport {
     pub scalars: Vec<(String, f64)>,
     /// Qualitative checks with outcomes.
     pub checks: Vec<Check>,
+    /// Named wall-clock measurements taken *inside* the figure (the
+    /// tier-speedup experiment times its engine tiers). Like
+    /// [`elapsed_s`](Self::elapsed_s) these are non-deterministic:
+    /// consumers comparing `experiments.json` across runs must ignore
+    /// the `wallclock` field.
+    pub wallclocks: Vec<(String, f64)>,
     /// Wall-clock seconds the figure took to regenerate (recorded by
-    /// the `all_figures` scheduler; `None` when run standalone). The
-    /// only non-deterministic field of a report: consumers comparing
-    /// `experiments.json` across runs should ignore it.
+    /// the `all_figures` scheduler; `None` when run standalone).
+    /// Non-deterministic, like [`wallclocks`](Self::wallclocks):
+    /// consumers comparing `experiments.json` across runs should
+    /// ignore it.
     pub elapsed_s: Option<f64>,
 }
 
@@ -52,8 +59,17 @@ impl FigureReport {
             rows: Vec::new(),
             scalars: Vec::new(),
             checks: Vec::new(),
+            wallclocks: Vec::new(),
             elapsed_s: None,
         }
+    }
+
+    /// Record a named wall-clock measurement (seconds). Serialized into
+    /// the non-deterministic `wallclock` field, never into `scalars`,
+    /// so timing noise cannot break the bit-reproducibility contract
+    /// pinned by `tests/determinism.rs`.
+    pub fn wallclock(&mut self, name: &str, seconds: f64) {
+        self.wallclocks.push((name.to_string(), seconds));
     }
 
     /// Append one data row (must match `columns` in length).
@@ -153,6 +169,14 @@ impl FigureReport {
             })
             .collect();
         let _ = write!(o, ",\"checks\":[{}]", checks.join(","));
+        if !self.wallclocks.is_empty() {
+            let ws: Vec<String> = self
+                .wallclocks
+                .iter()
+                .map(|(name, v)| format!("[{},{}]", json_str(name), json_f64(*v)))
+                .collect();
+            let _ = write!(o, ",\"wallclock\":[{}]", ws.join(","));
+        }
         if let Some(t) = self.elapsed_s {
             let _ = write!(o, ",\"elapsed_s\":{}", json_f64(t));
         }
@@ -466,6 +490,18 @@ mod tests {
         assert!(!r.to_json().contains("elapsed_s"));
         r.elapsed_s = Some(1.25);
         assert!(r.to_json().contains("\"elapsed_s\":1.25"));
+    }
+
+    #[test]
+    fn wallclock_is_serialized_only_when_recorded() {
+        let mut r = FigureReport::new("f", "t", "p", &["x"]);
+        assert!(!r.to_json().contains("wallclock"));
+        r.wallclock("event_s", 0.5);
+        r.wallclock("slotted_s", 0.25);
+        let j = r.to_json();
+        assert!(j.contains("\"wallclock\":[[\"event_s\",0.5],[\"slotted_s\",0.25]]"));
+        // It must never leak into the deterministic scalar channel.
+        assert!(j.contains("\"scalars\":[]"));
     }
 
     #[test]

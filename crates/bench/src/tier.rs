@@ -1,0 +1,171 @@
+//! The engine-tier regime matrix: named steady-state cells spanning
+//! offered load × station count × coverage class, with explicit
+//! per-tier execution.
+//!
+//! The router (`csmaprobe_core::engine`) decides *globally* which tier
+//! serves a cell; this module instead runs a cell on a **named** tier
+//! so the tier-equivalence and tier-speedup figures (and the KS harness
+//! in `tests/tier_equivalence.rs`) can compare tiers side by side
+//! without mutating the process-wide engine policy — figures run
+//! concurrently on the shared executor, so a global override here would
+//! leak into every other figure's routing.
+
+use csmaprobe_core::engine::{self, EngineTier};
+use csmaprobe_core::link::{CrossShape, CrossSpec, LinkConfig, SteadyPoint, WlanLink};
+use csmaprobe_desim::time::Dur;
+
+use crate::scenarios::FRAME;
+
+/// One steady-state cell of the tier matrix.
+pub struct TierRegime {
+    /// Short identifier used in figure rows and the equivalence table.
+    pub name: &'static str,
+    /// The link under test.
+    pub link: WlanLink,
+    /// Probe offered rate, bits/s.
+    pub ri_bps: f64,
+    /// Number of contending stations (excluding the probe station).
+    pub contenders: usize,
+}
+
+impl TierRegime {
+    fn new(name: &'static str, cfg: LinkConfig, ri_bps: f64) -> Self {
+        let contenders = cfg.contending.len();
+        TierRegime {
+            name,
+            link: WlanLink::new(cfg),
+            ri_bps,
+            contenders,
+        }
+    }
+
+    /// Does `tier` cover this cell? ([`EngineTier::Event`] covers
+    /// everything — it is the oracle.)
+    pub fn covered_by(&self, tier: EngineTier) -> bool {
+        match tier {
+            EngineTier::Event => true,
+            EngineTier::Slotted => engine::slotted_covers(self.link.config()),
+            EngineTier::Analytic => engine::analytic_covers(self.link.config(), self.ri_bps),
+        }
+    }
+
+    /// Run this cell on an explicit tier. Returns `None` when the tier
+    /// does not cover the cell (the router would fall back to the
+    /// event core there).
+    pub fn steady_with_tier(
+        &self,
+        tier: EngineTier,
+        duration: Dur,
+        seed: u64,
+    ) -> Option<SteadyPoint> {
+        if !self.covered_by(tier) {
+            return None;
+        }
+        Some(match tier {
+            EngineTier::Event => self.link.steady_state_event(self.ri_bps, duration, seed),
+            EngineTier::Slotted => self.link.steady_state_slotted(self.ri_bps, duration, seed),
+            EngineTier::Analytic => self.link.steady_state_analytic(self.ri_bps),
+        })
+    }
+
+    /// Run the cell on `tier` and report `(point, wall_clock_seconds)`.
+    pub fn timed_steady(
+        &self,
+        tier: EngineTier,
+        duration: Dur,
+        seed: u64,
+    ) -> Option<(SteadyPoint, f64)> {
+        let t0 = std::time::Instant::now();
+        let p = self.steady_with_tier(tier, duration, seed)?;
+        Some((p, t0.elapsed().as_secs_f64()))
+    }
+}
+
+/// The regime matrix the tier figures sweep: offered loads below /
+/// around / above the fair share, 1–4 contending stations, with and
+/// without FIFO cross-traffic, plus saturated symmetric cells the
+/// analytic tier covers. Every cell is slotted-covered except where a
+/// name says otherwise; only the `analytic-*` cells are
+/// analytic-covered.
+pub fn regime_matrix() -> Vec<TierRegime> {
+    vec![
+        // Light load, one Poisson contender: identity region.
+        TierRegime::new(
+            "light-1",
+            LinkConfig::default().contending_bps(2_000_000.0),
+            1_000_000.0,
+        ),
+        // The Fig 1 knee: probe pushed past the available bandwidth.
+        TierRegime::new(
+            "knee-1",
+            LinkConfig::default().contending_bps(4_500_000.0),
+            3_000_000.0,
+        ),
+        // Complete picture: contending + FIFO cross sharing the probe
+        // queue (the Fig 4 topology). Slotted-covered, not analytic.
+        TierRegime::new(
+            "fifo-1",
+            LinkConfig::default()
+                .contending_bps(3_000_000.0)
+                .fifo_cross_bps(1_500_000.0),
+            2_000_000.0,
+        ),
+        // Heterogeneous CBR + Poisson contenders, probe saturating.
+        TierRegime::new(
+            "mixed-2",
+            LinkConfig::default()
+                .contending_bps(2_000_000.0)
+                .contending(CrossSpec::shaped(1_000_000.0, CrossShape::Cbr)),
+            9_000_000.0,
+        ),
+        // Saturated symmetric cells — the analytic tier's home turf.
+        TierRegime::new(
+            "analytic-2",
+            LinkConfig::default().contending(CrossSpec::poisson_sized(12_000_000.0, FRAME)),
+            12_000_000.0,
+        ),
+        TierRegime::new(
+            "analytic-4",
+            LinkConfig::default()
+                .contending(CrossSpec::poisson_sized(12_000_000.0, FRAME))
+                .contending(CrossSpec::poisson_sized(12_000_000.0, FRAME))
+                .contending(CrossSpec::poisson_sized(12_000_000.0, FRAME)),
+            12_000_000.0,
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_exercises_every_tier() {
+        let regimes = regime_matrix();
+        assert!(regimes.iter().all(|r| r.covered_by(EngineTier::Event)));
+        assert!(regimes.iter().all(|r| r.covered_by(EngineTier::Slotted)));
+        let analytic: Vec<&str> = regimes
+            .iter()
+            .filter(|r| r.covered_by(EngineTier::Analytic))
+            .map(|r| r.name)
+            .collect();
+        assert_eq!(analytic, ["analytic-2", "analytic-4"]);
+    }
+
+    #[test]
+    fn uncovered_tier_returns_none() {
+        let regimes = regime_matrix();
+        let fifo = regimes.iter().find(|r| r.name == "fifo-1").unwrap();
+        assert!(fifo
+            .steady_with_tier(EngineTier::Analytic, Dur::from_secs_f64(0.1), 1)
+            .is_none());
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut seen = std::collections::BTreeSet::new();
+        for r in regime_matrix() {
+            assert!(seen.insert(r.name), "duplicate regime {}", r.name);
+        }
+    }
+}

@@ -4,7 +4,11 @@
 //! **worker counts** (`CSMAPROBE_WORKERS`, including oversubscribed
 //! ones), and across figure-level concurrency (`--jobs`, which turns
 //! every figure into a task on the shared work-stealing executor) —
-//! modulo the wall-clock `elapsed_s` fields.
+//! modulo the wall-clock `elapsed_s` and `wallclock` fields. A second
+//! leg pins the engine router: `CSMAPROBE_ENGINE=event` (oracle
+//! forced everywhere) reproduces the auto-routed payload byte for
+//! byte, because the slotted tier is trajectory-exact where auto uses
+//! it.
 //!
 //! This is the executable form of what README/rustdoc promise in
 //! prose: chunk-gridded reduction makes floating-point results
@@ -16,21 +20,25 @@ use std::process::Command;
 
 /// Run the `all_figures` binary in `dir` with `workers` pinned and
 /// `jobs` figures scheduled concurrently, and return the
-/// `experiments.json` payload it wrote.
-fn run_all_figures(dir: &Path, workers: usize, jobs: usize) -> String {
-    let out = Command::new(env!("CARGO_BIN_EXE_all_figures"))
-        .args([
-            "--scale",
-            "0.05",
-            "--seed",
-            "42",
-            "--jobs",
-            &jobs.to_string(),
-        ])
-        .env("CSMAPROBE_WORKERS", workers.to_string())
-        .current_dir(dir)
-        .output()
-        .expect("spawn all_figures");
+/// `experiments.json` payload it wrote. `engine` pins
+/// `CSMAPROBE_ENGINE` (`None` leaves routing on auto).
+fn run_all_figures(dir: &Path, workers: usize, jobs: usize, engine: Option<&str>) -> String {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_all_figures"));
+    cmd.args([
+        "--scale",
+        "0.05",
+        "--seed",
+        "42",
+        "--jobs",
+        &jobs.to_string(),
+    ])
+    .env("CSMAPROBE_WORKERS", workers.to_string())
+    .current_dir(dir);
+    match engine {
+        Some(tier) => cmd.env("CSMAPROBE_ENGINE", tier),
+        None => cmd.env_remove("CSMAPROBE_ENGINE"),
+    };
+    let out = cmd.output().expect("spawn all_figures");
     // Check outcomes are part of the compared payload, so a failed
     // check (possible at smoke scale) must not abort the test — only a
     // crash should.
@@ -42,8 +50,9 @@ fn run_all_figures(dir: &Path, workers: usize, jobs: usize) -> String {
     std::fs::read_to_string(dir.join("experiments.json")).expect("experiments.json written")
 }
 
-/// Drop every `"elapsed_s":<number>` field (the one legitimately
-/// non-deterministic value in a report).
+/// Drop every `"elapsed_s":<number>` field and every
+/// `"wallclock":[[..]..]` array (the two sanctioned non-deterministic
+/// channels of a report — see `FigureReport::wallclock`).
 fn strip_elapsed(payload: &str) -> String {
     let mut out = String::with_capacity(payload.len());
     let mut rest = payload;
@@ -53,6 +62,33 @@ fn strip_elapsed(payload: &str) -> String {
         let end = tail
             .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
             .unwrap_or(tail.len());
+        rest = &tail[end..];
+    }
+    out.push_str(rest);
+    let payload = out;
+
+    let mut out = String::with_capacity(payload.len());
+    let mut rest = payload.as_str();
+    while let Some(at) = rest.find(",\"wallclock\":[") {
+        out.push_str(&rest[..at]);
+        let tail = &rest[at + ",\"wallclock\":".len()..];
+        // The value is a JSON array of [name, number] pairs with no
+        // nested strings containing brackets: bracket depth suffices.
+        let mut depth = 0usize;
+        let mut end = tail.len();
+        for (i, b) in tail.bytes().enumerate() {
+            match b {
+                b'[' => depth += 1,
+                b']' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = i + 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
         rest = &tail[end..];
     }
     out.push_str(rest);
@@ -72,7 +108,7 @@ fn experiments_json_identical_across_worker_counts() {
         .map(|&(workers, jobs)| {
             let dir = base.join(format!("workers{workers}jobs{jobs}"));
             std::fs::create_dir_all(&dir).expect("create run dir");
-            let payload = run_all_figures(&dir, workers, jobs);
+            let payload = run_all_figures(&dir, workers, jobs, None);
             assert!(
                 payload.contains("\"id\":\"fig13\"") && payload.contains("\"id\":\"fig17\""),
                 "payload looks truncated ({} bytes)",
@@ -100,6 +136,43 @@ fn experiments_json_identical_across_worker_counts() {
     let _ = std::fs::remove_dir_all(&base);
 }
 
+/// Engine-routing transparency, end to end: a full `all_figures` run
+/// with `CSMAPROBE_ENGINE=event` (every cell pinned to the oracle) is
+/// byte-identical — modulo the non-deterministic timing fields — to the
+/// auto-routed run. Auto mode sends covered steady cells to the
+/// trajectory-exact slotted kernel and keeps trains on the oracle, so
+/// pinning the oracle must be a provable no-op on the payload; the tier
+/// figures time each tier explicitly and are policy-independent by
+/// construction.
+#[test]
+fn experiments_json_identical_with_forced_event_engine() {
+    let base = std::env::temp_dir().join(format!("csmaprobe-engine-{}", std::process::id()));
+    let legs: [(&str, Option<&str>); 2] = [("auto", None), ("event", Some("event"))];
+    let payloads: Vec<String> = legs
+        .iter()
+        .map(|&(label, engine)| {
+            let dir = base.join(label);
+            std::fs::create_dir_all(&dir).expect("create run dir");
+            let payload = run_all_figures(&dir, 4, 4, engine);
+            assert!(
+                payload.contains("\"id\":\"tier_equivalence\""),
+                "payload looks truncated ({} bytes)",
+                payload.len()
+            );
+            payload
+        })
+        .collect();
+    // The wallclock channel must exist (the speedup figure always
+    // records it) and must be the *only* difference besides elapsed_s.
+    assert!(payloads[0].contains("\"wallclock\":["), "wallclock gone?");
+    assert_eq!(
+        strip_elapsed(&payloads[0]),
+        strip_elapsed(&payloads[1]),
+        "forcing the event oracle changed the payload: routing is not a no-op"
+    );
+    let _ = std::fs::remove_dir_all(&base);
+}
+
 #[test]
 fn strip_elapsed_removes_only_the_timing_field() {
     let raw = r#"{"id":"a","elapsed_s":1.25e0}|{"id":"b","checks":[],"elapsed_s":0.5}"#;
@@ -109,4 +182,18 @@ fn strip_elapsed_removes_only_the_timing_field() {
     assert!(!cooked.contains("elapsed_s"));
     assert!(cooked.contains("\"id\":\"a\""));
     assert!(cooked.contains("\"checks\":[]"));
+}
+
+#[test]
+fn strip_elapsed_removes_the_wallclock_array() {
+    let raw = concat!(
+        r#"{"id":"tier_speedup","rows":[[1,2]],"#,
+        r#""wallclock":[["a_event_s",0.52],["a_speedup",1.3e1]],"elapsed_s":0.9}"#,
+        r#"|{"id":"b","checks":[]}"#
+    );
+    let cooked = strip_elapsed(raw);
+    assert!(!cooked.contains("wallclock"));
+    assert!(!cooked.contains("elapsed_s"));
+    assert!(cooked.contains(r#""rows":[[1,2]]"#), "{cooked}");
+    assert!(cooked.contains(r#"{"id":"b","checks":[]}"#));
 }

@@ -1,0 +1,312 @@
+//! The **tiered DCF engine** selector: route each measurement cell to
+//! the cheapest engine tier whose documented error bound covers it.
+//!
+//! Three tiers exist, cheapest last:
+//!
+//! | tier | implementation | covers |
+//! |------|----------------|--------|
+//! | `Event` | [`csmaprobe_mac::WlanSim`] | everything (the oracle) |
+//! | `Slotted` | [`csmaprobe_mac::SlottedSim`] | Poisson/CBR/trace flows, fixed frame sizes |
+//! | `Analytic` | [`csmaprobe_mac::BianchiModel`] | fully saturated symmetric cells |
+//!
+//! The slotted kernel shares the event core's seeded RNG contract and
+//! is **trajectory-exact** on its covered regimes (bit-for-bit the same
+//! packet schedule per seed — pinned by `crates/mac/src/slotted.rs`
+//! unit tests and, distributionally on disjoint seeds, by the
+//! `tests/tier_equivalence.rs` KS harness). The analytic tier replaces
+//! simulation entirely and is only trusted for throughput/fair-share
+//! scalars of saturated symmetric cells, within the tolerance pinned by
+//! `crates/mac/tests/bianchi_oracle.rs` (±5 %).
+//!
+//! # Selection policy
+//!
+//! The process-wide policy follows the `CSMAPROBE_ENGINE` environment
+//! variable at first use (`event`, `slotted`, `analytic`, or `auto`),
+//! overridable at runtime with [`set_policy`] — the same
+//! read-env-once-then-atomic pattern as the executor's
+//! `CSMAPROBE_WORKERS`.
+//!
+//! * **Auto** (default): steady-state cells route to `Analytic` when
+//!   [`analytic_covers`] holds, else to `Slotted` when
+//!   [`slotted_covers`] holds, else `Event`. **Probe-train cells always
+//!   stay on the event core** in auto mode: transient-regime figures
+//!   make delicate per-index distributional claims and keep the oracle
+//!   until the equivalence table says otherwise per regime.
+//! * **Forced `event`**: everything runs the oracle — the routing layer
+//!   is provably a no-op (`crates/bench/tests/determinism.rs`).
+//! * **Forced `slotted`**: trains and steady cells both use the kernel
+//!   where covered (uncovered cells still fall back to `Event` — a
+//!   forced tier never silently produces wrong numbers).
+//! * **Forced `analytic`**: analytic where covered, else `Event`.
+
+use crate::link::{CrossShape, LinkConfig};
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// One engine tier, cheapest-to-most-expensive ordering not implied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineTier {
+    /// The event-driven oracle (`WlanSim`).
+    Event,
+    /// The slot-quantised kernel (`SlottedSim`).
+    Slotted,
+    /// Closed-form Bianchi saturation model.
+    Analytic,
+}
+
+/// Process-wide routing policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnginePolicy {
+    /// Route each cell to the cheapest covered tier (the default).
+    Auto,
+    /// Pin one tier; uncovered cells still fall back to `Event`.
+    Forced(EngineTier),
+}
+
+const POLICY_UNSET: u8 = 0;
+const POLICY_AUTO: u8 = 1;
+const POLICY_EVENT: u8 = 2;
+const POLICY_SLOTTED: u8 = 3;
+const POLICY_ANALYTIC: u8 = 4;
+
+/// Runtime override; `POLICY_UNSET` defers to the environment.
+static POLICY: AtomicU8 = AtomicU8::new(POLICY_UNSET);
+
+fn env_policy() -> u8 {
+    static ENV: OnceLock<u8> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        match std::env::var("CSMAPROBE_ENGINE").as_deref() {
+            Ok("event") => POLICY_EVENT,
+            Ok("slotted") => POLICY_SLOTTED,
+            Ok("analytic") => POLICY_ANALYTIC,
+            // Unknown values behave like auto rather than erroring:
+            // a measurement run must not die on a typo'd optimisation
+            // hint, and `auto` is always correct.
+            _ => POLICY_AUTO,
+        }
+    })
+}
+
+/// Pin the process-wide engine policy (tests, tools). Passing
+/// [`EnginePolicy::Auto`] restores automatic routing; the
+/// `CSMAPROBE_ENGINE` environment variable is only consulted while no
+/// explicit policy has been set.
+pub fn set_policy(policy: EnginePolicy) {
+    let v = match policy {
+        EnginePolicy::Auto => POLICY_AUTO,
+        EnginePolicy::Forced(EngineTier::Event) => POLICY_EVENT,
+        EnginePolicy::Forced(EngineTier::Slotted) => POLICY_SLOTTED,
+        EnginePolicy::Forced(EngineTier::Analytic) => POLICY_ANALYTIC,
+    };
+    POLICY.store(v, Ordering::Relaxed);
+}
+
+/// The active policy: the [`set_policy`] override if any, else
+/// `CSMAPROBE_ENGINE` as read at first use, else auto.
+pub fn policy() -> EnginePolicy {
+    let v = match POLICY.load(Ordering::Relaxed) {
+        POLICY_UNSET => env_policy(),
+        v => v,
+    };
+    match v {
+        POLICY_EVENT => EnginePolicy::Forced(EngineTier::Event),
+        POLICY_SLOTTED => EnginePolicy::Forced(EngineTier::Slotted),
+        POLICY_ANALYTIC => EnginePolicy::Forced(EngineTier::Analytic),
+        _ => EnginePolicy::Auto,
+    }
+}
+
+/// RAII scope for a temporary policy override. The policy is process
+/// state, so overlapping overrides from concurrent threads would
+/// interleave; the guard serialises them on a global mutex and restores
+/// [`EnginePolicy::Auto`] on drop. Tests and tools that pin a tier
+/// should prefer this over raw [`set_policy`].
+pub struct PolicyOverride {
+    _lock: MutexGuard<'static, ()>,
+}
+
+impl Drop for PolicyOverride {
+    fn drop(&mut self) {
+        set_policy(EnginePolicy::Auto);
+    }
+}
+
+/// Install `policy` for the lifetime of the returned guard (see
+/// [`PolicyOverride`]).
+pub fn test_guard(policy: EnginePolicy) -> PolicyOverride {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    let lock = LOCK
+        .get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner());
+    set_policy(policy);
+    PolicyOverride { _lock: lock }
+}
+
+fn shape_slotted(shape: CrossShape) -> bool {
+    matches!(shape, CrossShape::Poisson | CrossShape::Cbr)
+}
+
+/// Whether the slotted kernel's coverage claim holds for `cfg`: every
+/// cross flow (contending and FIFO) is Poisson or CBR with a fixed
+/// frame size — the regimes on which the kernel is trajectory-exact
+/// and the KS harness certifies distributional equivalence. On/off
+/// bursty shapes stay on the event core.
+pub fn slotted_covers(cfg: &LinkConfig) -> bool {
+    cfg.contending.iter().all(|s| shape_slotted(s.shape))
+        && cfg
+            .fifo_cross
+            .map(|s| shape_slotted(s.shape))
+            .unwrap_or(true)
+}
+
+/// Whether the analytic (Bianchi) tier's error bound covers a
+/// steady-state cell at probe input rate `ri_bps`: the cell must be a
+/// **fully saturated symmetric** collision domain — every station
+/// (probe included) offers at least the stand-alone capacity of its
+/// frame size, all frames are the probe size, no FIFO cross-traffic
+/// shares the probe queue, and none of the MAC ablations (frame
+/// errors, RTS/CTS) are active. Anything less saturated leaves the
+/// fixed point's assumptions and routes to a simulation tier.
+pub fn analytic_covers(cfg: &LinkConfig, ri_bps: f64) -> bool {
+    if cfg.fifo_cross.is_some() || cfg.contending.is_empty() {
+        return false;
+    }
+    if cfg.mac.frame_error_rate > 0.0 || cfg.mac.uses_rts(cfg.probe_bytes) {
+        return false;
+    }
+    let capacity = cfg.phy.standalone_capacity_bps(cfg.probe_bytes);
+    if ri_bps < capacity {
+        return false;
+    }
+    cfg.contending
+        .iter()
+        .all(|s| shape_slotted(s.shape) && s.bytes == cfg.probe_bytes && s.rate_bps >= capacity)
+}
+
+/// The tier a **steady-state** cell routes to under the active policy.
+pub fn steady_tier(cfg: &LinkConfig, ri_bps: f64) -> EngineTier {
+    match policy() {
+        EnginePolicy::Forced(EngineTier::Event) => EngineTier::Event,
+        EnginePolicy::Forced(EngineTier::Slotted) => {
+            if slotted_covers(cfg) {
+                EngineTier::Slotted
+            } else {
+                EngineTier::Event
+            }
+        }
+        EnginePolicy::Forced(EngineTier::Analytic) => {
+            if analytic_covers(cfg, ri_bps) {
+                EngineTier::Analytic
+            } else {
+                EngineTier::Event
+            }
+        }
+        EnginePolicy::Auto => {
+            if analytic_covers(cfg, ri_bps) {
+                EngineTier::Analytic
+            } else if slotted_covers(cfg) {
+                EngineTier::Slotted
+            } else {
+                EngineTier::Event
+            }
+        }
+    }
+}
+
+/// The tier a **probe-train** cell routes to under the active policy.
+/// Auto keeps trains on the oracle (transient distributions are the
+/// paper's subject matter); only a forced `slotted` policy moves
+/// covered train cells onto the kernel.
+pub fn train_tier(cfg: &LinkConfig) -> EngineTier {
+    match policy() {
+        EnginePolicy::Forced(EngineTier::Slotted) if slotted_covers(cfg) => EngineTier::Slotted,
+        _ => EngineTier::Event,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::CrossSpec;
+
+    fn steady_cfg() -> LinkConfig {
+        LinkConfig::default().contending_bps(2_000_000.0)
+    }
+
+    fn saturated_cfg() -> LinkConfig {
+        LinkConfig::default().contending_bps(9_000_000.0)
+    }
+
+    #[test]
+    fn auto_routes_steady_to_slotted_and_trains_to_event() {
+        let _g = test_guard(EnginePolicy::Auto);
+        let cfg = steady_cfg();
+        assert_eq!(steady_tier(&cfg, 1.5e6), EngineTier::Slotted);
+        assert_eq!(train_tier(&cfg), EngineTier::Event);
+    }
+
+    #[test]
+    fn auto_routes_saturated_symmetric_to_analytic() {
+        let _g = test_guard(EnginePolicy::Auto);
+        let cfg = saturated_cfg();
+        assert!(analytic_covers(&cfg, 9e6));
+        assert_eq!(steady_tier(&cfg, 9e6), EngineTier::Analytic);
+        // An unsaturated probe keeps the same cell on the kernel.
+        assert_eq!(steady_tier(&cfg, 1e6), EngineTier::Slotted);
+    }
+
+    #[test]
+    fn bursty_shapes_stay_on_event() {
+        let _g = test_guard(EnginePolicy::Auto);
+        let cfg = LinkConfig::default()
+            .contending(CrossSpec::shaped(2e6, CrossShape::ExpOnOff { duty: 0.3 }));
+        assert!(!slotted_covers(&cfg));
+        assert_eq!(steady_tier(&cfg, 1.5e6), EngineTier::Event);
+    }
+
+    #[test]
+    fn forced_event_pins_everything() {
+        let _g = test_guard(EnginePolicy::Forced(EngineTier::Event));
+        assert_eq!(steady_tier(&saturated_cfg(), 9e6), EngineTier::Event);
+        assert_eq!(steady_tier(&steady_cfg(), 1.5e6), EngineTier::Event);
+        assert_eq!(train_tier(&steady_cfg()), EngineTier::Event);
+    }
+
+    #[test]
+    fn forced_slotted_covers_trains_but_falls_back_when_uncovered() {
+        let _g = test_guard(EnginePolicy::Forced(EngineTier::Slotted));
+        assert_eq!(train_tier(&steady_cfg()), EngineTier::Slotted);
+        let bursty = LinkConfig::default().contending(CrossSpec::shaped(
+            2e6,
+            CrossShape::ParetoOnOff {
+                alpha: 1.5,
+                duty: 0.3,
+            },
+        ));
+        assert_eq!(train_tier(&bursty), EngineTier::Event);
+        assert_eq!(steady_tier(&bursty, 1e6), EngineTier::Event);
+    }
+
+    #[test]
+    fn analytic_coverage_requires_full_symmetric_saturation() {
+        let _g = test_guard(EnginePolicy::Auto);
+        // FIFO cross-traffic breaks the single-queue assumption.
+        let fifo = saturated_cfg().fifo_cross_bps(1e6);
+        assert!(!analytic_covers(&fifo, 9e6));
+        // Asymmetric frame sizes break symmetry.
+        let asym = LinkConfig::default().contending(CrossSpec::poisson_sized(9e6, 500));
+        assert!(!analytic_covers(&asym, 9e6));
+        // An idle channel (no contenders) is not a Bianchi system here:
+        // the probe alone is the standalone-capacity calibration, which
+        // the simulators already answer exactly.
+        assert!(!analytic_covers(&LinkConfig::default(), 9e6));
+        // Frame errors / RTS are modelled only by the simulators.
+        let err = {
+            let mut c = saturated_cfg();
+            c.mac = c.mac.with_frame_error_rate(0.1);
+            c
+        };
+        assert!(!analytic_covers(&err, 9e6));
+    }
+}

@@ -28,6 +28,11 @@
 //!   streaming row emission in cell order and bit-identical per-cell
 //!   results for any worker count or scheduled subset (the resume
 //!   contract).
+//! * [`engine`] — the tiered DCF engine selector: routes each
+//!   steady-state/train cell to the cheapest engine tier (event-driven
+//!   oracle, slot-quantised kernel, or analytic Bianchi model) whose
+//!   documented error bound covers it; `CSMAPROBE_ENGINE` forces a
+//!   tier.
 //! * [`link`] — runnable link models: [`link::WlanLink`] (Fig 3: a
 //!   FIFO transmission queue feeding a CSMA/CA virtual scheduler, with
 //!   contending stations) and [`link::WiredLink`] (the classic FIFO
@@ -36,6 +41,7 @@
 //!   consume.
 
 pub mod bounds;
+pub mod engine;
 pub mod grid;
 pub mod link;
 pub mod multihop;
@@ -45,6 +51,7 @@ pub mod sweep;
 pub mod transient;
 
 pub use bounds::{dispersion_bounds, TransientBounds};
+pub use engine::{EnginePolicy, EngineTier};
 pub use grid::{run_grid, GridRunner, GridScenario, GridShape, GridSweep};
 pub use link::{CrossSpec, LinkConfig, ProbeTarget, TrainObservation, WiredLink, WlanLink};
 pub use multihop::{Hop, WiredPath};

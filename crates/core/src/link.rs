@@ -19,10 +19,13 @@
 //! runs unchanged against either link type — exactly the paper's
 //! "traditional tools are run unchanged over wireless links" setting.
 
+use crate::engine::{self, EngineTier};
 use csmaprobe_desim::rng::{derive_seed, SimRng};
 use csmaprobe_desim::time::{Dur, Time};
 use csmaprobe_mac::options::MacOptions;
 use csmaprobe_mac::sim::{PacketRecord, StationId, WlanSim};
+use csmaprobe_mac::slotted::{SlottedFlow, SlottedSim};
+use csmaprobe_mac::BianchiModel;
 use csmaprobe_phy::Phy;
 use csmaprobe_queueing::fifo::{fifo_serve, Job};
 use csmaprobe_traffic::probe::ProbeTrain;
@@ -92,6 +95,29 @@ impl CrossSpec {
             rate_bps,
             bytes: 1500,
             shape,
+        }
+    }
+
+    /// The slotted-kernel flow equivalent of [`CrossSpec::build`].
+    /// Only defined on the shapes the kernel covers
+    /// ([`crate::engine::slotted_covers`] gates every call site).
+    fn slotted_flow(&self, start: Time, until: Time, flow: u16) -> SlottedFlow {
+        match self.shape {
+            CrossShape::Poisson => SlottedFlow::Poisson {
+                rate_bps: self.rate_bps,
+                bytes: self.bytes,
+                flow,
+                start,
+                until,
+            },
+            CrossShape::Cbr => SlottedFlow::Cbr {
+                rate_bps: self.rate_bps,
+                bytes: self.bytes,
+                flow,
+                start,
+                until,
+            },
+            _ => unreachable!("slotted tier routed an uncovered cross shape"),
         }
     }
 
@@ -397,7 +423,21 @@ impl WlanLink {
     /// at `ri_bps` for `duration` (after warm-up), reporting delivered
     /// rates of every flow over the second half of the measurement
     /// window (the first half absorbs the probe's own transient).
+    ///
+    /// Routed through the [`crate::engine`] tier selector: covered
+    /// cells run the slot-quantised kernel (trajectory-exact — same
+    /// seed, bit-identical point) or the analytic saturation model;
+    /// `CSMAPROBE_ENGINE=event` pins the event-core oracle.
     pub fn steady_state(&self, ri_bps: f64, duration: Dur, seed: u64) -> SteadyPoint {
+        match engine::steady_tier(&self.cfg, ri_bps) {
+            EngineTier::Event => self.steady_state_event(ri_bps, duration, seed),
+            EngineTier::Slotted => self.steady_state_slotted(ri_bps, duration, seed),
+            EngineTier::Analytic => self.steady_state_analytic(ri_bps),
+        }
+    }
+
+    /// Event-core (oracle) steady-state measurement.
+    pub fn steady_state_event(&self, ri_bps: f64, duration: Dur, seed: u64) -> SteadyPoint {
         let start = Time::ZERO + self.cfg.warmup;
         let end = start + duration;
         let mut sim = WlanSim::new(self.cfg.phy.clone(), seed).with_options(self.cfg.mac);
@@ -444,6 +484,109 @@ impl WlanLink {
         }
     }
 
+    /// Slotted-kernel steady-state measurement. Station layout, flow
+    /// order, seeds and window arithmetic replicate
+    /// [`WlanLink::steady_state_event`] exactly; because the kernel is
+    /// trajectory-exact on covered regimes the returned point is
+    /// bit-identical to the oracle's. The only intentional divergence
+    /// is the horizon: the oracle simulates a 2 s post-`end` tail whose
+    /// completions all fall outside the `(mid, end]` counting window,
+    /// so the kernel stops at `end`.
+    pub fn steady_state_slotted(&self, ri_bps: f64, duration: Dur, seed: u64) -> SteadyPoint {
+        debug_assert!(engine::slotted_covers(&self.cfg));
+        let start = Time::ZERO + self.cfg.warmup;
+        let end = start + duration;
+        let mut sim = SlottedSim::new(self.cfg.phy.clone(), seed).with_options(self.cfg.mac);
+
+        let probe_cbr = SlottedFlow::Cbr {
+            rate_bps: ri_bps,
+            bytes: self.cfg.probe_bytes,
+            flow: FLOW_PROBE,
+            start,
+            until: end,
+        };
+        let probe_flows = match &self.cfg.fifo_cross {
+            None => vec![probe_cbr],
+            Some(spec) => vec![
+                probe_cbr,
+                spec.slotted_flow(Time::ZERO, end, FLOW_FIFO_CROSS),
+            ],
+        };
+        let probe_station = sim.add_station(probe_flows);
+        let contending: Vec<StationId> = self
+            .cfg
+            .contending
+            .iter()
+            .map(|spec| sim.add_station(vec![spec.slotted_flow(Time::ZERO, end, 0)]))
+            .collect();
+
+        let mid = start + duration / 2;
+        sim.set_window(mid, end);
+        let out = sim.run(end);
+        let secs = (end - mid).as_secs_f64();
+        SteadyPoint {
+            input_rate_bps: ri_bps,
+            output_rate_bps: out.flow_window_bits(probe_station, FLOW_PROBE) as f64 / secs,
+            contending_bps: contending
+                .iter()
+                .map(|&st| out.flow_window_bits(st, 0) as f64 / secs)
+                .collect(),
+            fifo_cross_bps: out.flow_window_bits(probe_station, FLOW_FIFO_CROSS) as f64 / secs,
+        }
+    }
+
+    /// Analytic-tier steady-state point for a fully saturated symmetric
+    /// cell: every station (probe + contenders) receives the Bianchi
+    /// fair share. Only called when [`crate::engine::analytic_covers`]
+    /// holds; accuracy is pinned against the saturated event sim in
+    /// `crates/mac/tests/bianchi_oracle.rs` (±5 %).
+    pub fn steady_state_analytic(&self, ri_bps: f64) -> SteadyPoint {
+        debug_assert!(engine::analytic_covers(&self.cfg, ri_bps));
+        let n = self.cfg.contending.len() + 1;
+        let model = BianchiModel::solve(&self.cfg.phy, n, self.cfg.probe_bytes);
+        SteadyPoint {
+            input_rate_bps: ri_bps,
+            output_rate_bps: model.fair_share_bps,
+            contending_bps: vec![model.fair_share_bps; n - 1],
+            fifo_cross_bps: 0.0,
+        }
+    }
+
+    /// Slotted-kernel probe-sequence run: the kernel-side equivalent of
+    /// [`WlanLink::send_arrivals`], used by the [`ProbeTarget`] methods
+    /// when the engine policy routes trains to the kernel (forced
+    /// `CSMAPROBE_ENGINE=slotted`). Same station layout, seeds, horizon
+    /// and stop rule; returns the probe records directly.
+    fn probe_records_slotted(
+        &self,
+        mut probe_arrivals: Vec<csmaprobe_traffic::PacketArrival>,
+        seed: u64,
+    ) -> Vec<PacketRecord> {
+        debug_assert!(engine::slotted_covers(&self.cfg));
+        for p in &mut probe_arrivals {
+            p.flow = FLOW_PROBE;
+        }
+        let n = probe_arrivals.len();
+        let last = probe_arrivals.last().map(|p| p.time).unwrap_or(Time::ZERO);
+        let horizon = last + Dur::from_millis(20) * n as u64 + Dur::from_millis(100);
+
+        let mut sim = SlottedSim::new(self.cfg.phy.clone(), seed).with_options(self.cfg.mac);
+        let probe_flows = match &self.cfg.fifo_cross {
+            None => vec![SlottedFlow::Trace(probe_arrivals)],
+            Some(spec) => vec![
+                SlottedFlow::Trace(probe_arrivals),
+                spec.slotted_flow(Time::ZERO, horizon, FLOW_FIFO_CROSS),
+            ],
+        };
+        let probe_station = sim.add_station(probe_flows);
+        for spec in &self.cfg.contending {
+            sim.add_station(vec![spec.slotted_flow(Time::ZERO, horizon, 0)]);
+        }
+        sim.watch_flow(probe_station, FLOW_PROBE);
+        sim.stop_after_flow(probe_station, FLOW_PROBE, n);
+        sim.run(horizon).records
+    }
+
     /// Sweep input rates and produce the steady-state rate-response
     /// curve (Figs 1/4), one [`SteadyPoint`] per rate.
     ///
@@ -468,6 +611,26 @@ impl WlanLink {
 
 impl ProbeTarget for WlanLink {
     fn probe_train(&self, train: ProbeTrain, seed: u64) -> TrainObservation {
+        let start = Time::ZERO + self.cfg.warmup;
+        if engine::train_tier(&self.cfg) == EngineTier::Slotted {
+            let train = ProbeTrain {
+                flow: FLOW_PROBE,
+                ..train
+            };
+            let probe = self.probe_records_slotted(train.arrivals(start), seed);
+            return TrainObservation {
+                arrivals: probe.iter().map(|r| r.arrival).collect(),
+                rx_times: probe.iter().map(|r| r.rx_end).collect(),
+                access_delays: Some(
+                    probe
+                        .iter()
+                        .map(|r| r.access_delay().as_secs_f64())
+                        .collect(),
+                ),
+                g_i: train.gap,
+                bytes: train.bytes,
+            };
+        }
         let run = self.send_train(train, seed);
         let obs = TrainObservation {
             arrivals: run.probe.iter().map(|r| r.arrival).collect(),
@@ -490,6 +653,21 @@ impl ProbeTarget for WlanLink {
                 flow: FLOW_PROBE,
             })
             .collect();
+        if engine::train_tier(&self.cfg) == EngineTier::Slotted {
+            let probe = self.probe_records_slotted(arrivals, seed);
+            return TrainObservation {
+                arrivals: probe.iter().map(|r| r.arrival).collect(),
+                rx_times: probe.iter().map(|r| r.rx_end).collect(),
+                access_delays: Some(
+                    probe
+                        .iter()
+                        .map(|r| r.access_delay().as_secs_f64())
+                        .collect(),
+                ),
+                g_i: Dur::ZERO,
+                bytes,
+            };
+        }
         let run = self.send_arrivals(arrivals, seed);
         let obs = TrainObservation {
             arrivals: run.probe.iter().map(|r| r.arrival).collect(),
@@ -712,6 +890,69 @@ mod tests {
             p1.output_rate_bps
         );
         assert!(p2.fifo_cross_bps > 0.0);
+    }
+
+    #[test]
+    fn steady_state_slotted_bit_identical_to_event() {
+        // The router's core claim: on covered regimes the kernel
+        // returns the *same* point as the oracle, per seed, bit for
+        // bit — including with FIFO cross-traffic and CBR contenders.
+        let configs = [
+            LinkConfig::default().contending_bps(2_000_000.0),
+            LinkConfig::default()
+                .contending_bps(2_000_000.0)
+                .contending(CrossSpec::shaped(1_000_000.0, CrossShape::Cbr))
+                .fifo_cross_bps(800_000.0),
+        ];
+        for (c, cfg) in configs.into_iter().enumerate() {
+            let link = WlanLink::new(cfg);
+            for (ri, seed) in [(1.5e6, 11u64), (9e6, 13)] {
+                let ev = link.steady_state_event(ri, Dur::from_secs(4), seed);
+                let sl = link.steady_state_slotted(ri, Dur::from_secs(4), seed);
+                assert_eq!(ev.output_rate_bps, sl.output_rate_bps, "cfg {c} ri {ri}");
+                assert_eq!(ev.contending_bps, sl.contending_bps, "cfg {c} ri {ri}");
+                assert_eq!(ev.fifo_cross_bps, sl.fifo_cross_bps, "cfg {c} ri {ri}");
+            }
+        }
+    }
+
+    #[test]
+    fn analytic_point_within_documented_band_of_event() {
+        // Saturated symmetric cell: the analytic fair share must sit
+        // within the ±5 % band documented for the tier.
+        let link = WlanLink::new(LinkConfig::default().contending_bps(9e6));
+        assert!(crate::engine::analytic_covers(link.config(), 9e6));
+        let ev = link.steady_state_event(9e6, Dur::from_secs(8), 21);
+        let an = link.steady_state_analytic(9e6);
+        let rel = (an.output_rate_bps - ev.output_rate_bps).abs() / ev.output_rate_bps;
+        assert!(
+            rel < 0.05,
+            "analytic {} vs event {} (rel {rel:.3})",
+            an.output_rate_bps,
+            ev.output_rate_bps
+        );
+    }
+
+    #[test]
+    fn probe_train_identical_across_forced_tiers() {
+        // Forced-slotted train probing returns the oracle's exact
+        // observation (the kernel is trajectory-exact on trains too).
+        let link = WlanLink::new(
+            LinkConfig::default()
+                .contending_bps(2_000_000.0)
+                .fifo_cross_bps(500_000.0),
+        );
+        let train = ProbeTrain::from_rate(40, 1500, 5_000_000.0);
+        let ev = link.probe_train(train, 29); // default policy: event
+        let sl = {
+            let _g = crate::engine::test_guard(crate::engine::EnginePolicy::Forced(
+                crate::engine::EngineTier::Slotted,
+            ));
+            link.probe_train(train, 29)
+        };
+        assert_eq!(ev.arrivals, sl.arrivals);
+        assert_eq!(ev.rx_times, sl.rx_times);
+        assert_eq!(ev.access_delays, sl.access_delays);
     }
 
     #[test]

@@ -52,10 +52,12 @@
 pub mod bianchi;
 pub mod options;
 pub mod sim;
+pub mod slotted;
 
 pub use bianchi::BianchiModel;
 pub use options::MacOptions;
 pub use sim::{ChannelStats, PacketRecord, SimOutput, StationId, WlanSim};
+pub use slotted::{BackoffDraw, SlottedFlow, SlottedOutput, SlottedSim};
 
 use csmaprobe_desim::time::{Dur, Time};
 use csmaprobe_phy::Phy;

@@ -1,0 +1,1100 @@
+//! The slot-quantised DCF kernel — the fast tier of the engine stack.
+//!
+//! [`WlanSim`](crate::sim::WlanSim) is the correctness oracle: it keeps
+//! a full per-packet record for every station, draws its traffic from
+//! boxed [`Source`] trait objects, and materialises queues, winner
+//! lists and per-station record vectors on every run. None of that is
+//! needed for steady-state measurements, where the only outputs are
+//! windowed per-flow bit counts and (optionally) the access-delay
+//! records of a single watched flow.
+//!
+//! This kernel advances the *same* slot-quantised contention state
+//! machine — idle grids anchored at `channel_free_at + DIFS`, backoff
+//! counters positioning transmissions at `anchor + slots_left · slot`,
+//! freeze-and-resume on busy periods, binary exponential contention
+//! windows — over flat station arrays with inlined traffic generation
+//! and no per-event allocation. It shares [`MacOptions`] and the seeded
+//! RNG contract with the event core: station `i` draws from
+//! `SimRng::new(derive_seed(seed, i + 1))` and every backoff/arrival
+//! draw happens at the same call site in the same order. One
+//! replication therefore remains one seed, and on the covered regimes
+//! (Poisson/CBR/trace/saturated flows, fixed frame sizes) the kernel is
+//! **trajectory-identical** to the event core: same seed, bit-for-bit
+//! the same packet schedule. The statistical-equivalence harness
+//! (`tests/tier_equivalence.rs`) additionally proves distributional
+//! equivalence on disjoint seed sets, which is the property the router
+//! actually relies on.
+//!
+//! What the kernel does *not* model (the router falls back to the event
+//! core for these): on/off bursty sources and random frame-size models.
+
+use crate::options::MacOptions;
+use crate::sim::{PacketRecord, StationId};
+use csmaprobe_desim::rng::{derive_seed, SimRng};
+use csmaprobe_desim::time::{Dur, Time};
+use csmaprobe_phy::Phy;
+use csmaprobe_traffic::{CbrSource, PacketArrival, PoissonSource, SizeModel, Source};
+use std::collections::VecDeque;
+
+/// One traffic flow feeding a slotted station's FIFO queue.
+#[derive(Debug, Clone)]
+pub enum SlottedFlow {
+    /// Replay an explicit arrival list (probe trains and sequences).
+    Trace(Vec<PacketArrival>),
+    /// `packets` frames of `bytes` payload all queued at t = 0 — the
+    /// saturated-station convention of [`crate::saturated_source`].
+    Saturated {
+        /// Payload bytes per frame.
+        bytes: u32,
+        /// Total frames offered.
+        packets: u64,
+    },
+    /// Poisson arrivals at `rate_bps` of payload on `[start, until)`.
+    Poisson {
+        /// Offered payload rate, bits/s.
+        rate_bps: f64,
+        /// Fixed payload size, bytes.
+        bytes: u32,
+        /// Flow tag carried into records and window accounting.
+        flow: u16,
+        /// First-arrival reference instant.
+        start: Time,
+        /// Exclusive end of the arrival process.
+        until: Time,
+    },
+    /// Periodic (CBR) arrivals at `rate_bps` on `[start, until)`.
+    Cbr {
+        /// Offered payload rate, bits/s.
+        rate_bps: f64,
+        /// Fixed payload size, bytes.
+        bytes: u32,
+        /// Flow tag carried into records and window accounting.
+        flow: u16,
+        /// First (nominal) arrival instant.
+        start: Time,
+        /// Exclusive end of the arrival process.
+        until: Time,
+    },
+}
+
+/// Inlined flow generator — the concrete source types of the traffic
+/// crate, dispatched by enum instead of vtable so the compiler can see
+/// through the draws. Draw sites match the event core's sources
+/// exactly (they *are* the same implementations for Poisson/CBR).
+enum FlowSrc {
+    Trace {
+        arrivals: Vec<PacketArrival>,
+        idx: usize,
+    },
+    Saturated {
+        bytes: u32,
+        left: u64,
+    },
+    Poisson(PoissonSource),
+    Cbr(CbrSource),
+}
+
+impl FlowSrc {
+    fn next(&mut self, rng: &mut SimRng) -> Option<PacketArrival> {
+        match self {
+            FlowSrc::Trace { arrivals, idx } => {
+                let p = arrivals.get(*idx).copied();
+                if p.is_some() {
+                    *idx += 1;
+                }
+                p
+            }
+            FlowSrc::Saturated { bytes, left } => {
+                if *left == 0 {
+                    return None;
+                }
+                *left -= 1;
+                Some(PacketArrival::new(Time::ZERO, *bytes))
+            }
+            FlowSrc::Poisson(s) => s.next_packet(rng),
+            FlowSrc::Cbr(s) => s.next_packet(rng),
+        }
+    }
+}
+
+impl SlottedFlow {
+    fn build(&self) -> FlowSrc {
+        match self {
+            SlottedFlow::Trace(arrivals) => {
+                for w in arrivals.windows(2) {
+                    assert!(
+                        w[1].time >= w[0].time,
+                        "trace arrivals must be time-ordered"
+                    );
+                }
+                FlowSrc::Trace {
+                    arrivals: arrivals.clone(),
+                    idx: 0,
+                }
+            }
+            SlottedFlow::Saturated { bytes, packets } => FlowSrc::Saturated {
+                bytes: *bytes,
+                left: *packets,
+            },
+            SlottedFlow::Poisson {
+                rate_bps,
+                bytes,
+                flow,
+                start,
+                until,
+            } => FlowSrc::Poisson(
+                PoissonSource::from_bitrate(*rate_bps, SizeModel::Fixed(*bytes), *start, *until)
+                    .with_flow(*flow),
+            ),
+            SlottedFlow::Cbr {
+                rate_bps,
+                bytes,
+                flow,
+                start,
+                until,
+            } => FlowSrc::Cbr(
+                CbrSource::from_bitrate(*rate_bps, SizeModel::Fixed(*bytes), *start, *until)
+                    .with_flow(*flow),
+            ),
+        }
+    }
+}
+
+/// A station's merged arrival feed. Single-flow stations pull straight
+/// from the source (the event core's layout); multi-flow stations
+/// replicate [`csmaprobe_traffic::MergeSource`] semantics — one
+/// look-ahead per sub-source, primed in order on first pull, ties to
+/// the earlier-added flow — so the shared-RNG draw order matches the
+/// event core's merged probe/FIFO-cross station.
+enum Feed {
+    Single(FlowSrc),
+    Merged {
+        sources: Vec<FlowSrc>,
+        pending: Vec<Option<PacketArrival>>,
+        primed: bool,
+    },
+}
+
+impl Feed {
+    fn next(&mut self, rng: &mut SimRng) -> Option<PacketArrival> {
+        match self {
+            Feed::Single(src) => src.next(rng),
+            Feed::Merged {
+                sources,
+                pending,
+                primed,
+            } => {
+                if !*primed {
+                    for (i, s) in sources.iter_mut().enumerate() {
+                        pending[i] = s.next(rng);
+                    }
+                    *primed = true;
+                }
+                let mut best: Option<usize> = None;
+                for (i, p) in pending.iter().enumerate() {
+                    if let Some(pkt) = p {
+                        match best {
+                            Some(b) if pending[b].unwrap().time <= pkt.time => {}
+                            _ => best = Some(i),
+                        }
+                    }
+                }
+                let i = best?;
+                let out = pending[i].take();
+                pending[i] = sources[i].next(rng);
+                out
+            }
+        }
+    }
+}
+
+/// One backoff draw, for invariant checking (enable with
+/// [`SlottedSim::watch_backoffs`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackoffDraw {
+    /// Station that drew.
+    pub station: usize,
+    /// Backoff stage at the draw (contention-window doublings so far).
+    pub stage: u32,
+    /// The contention window the draw was bounded by.
+    pub cw: u32,
+    /// The drawn counter, in `[0, cw]`.
+    pub slots: u32,
+}
+
+struct SlotStation {
+    feed: Feed,
+    rng: SimRng,
+    next_arrival: Option<PacketArrival>,
+    /// FIFO transmission queue: `(arrival, bytes, flow)`.
+    queue: VecDeque<(Time, u32, u16)>,
+    head_since: Time,
+    slots_left: u32,
+    count_start: Time,
+    contending: bool,
+    stage: u32,
+    retries: u32,
+    /// Distinct flow tags of this station, in declaration order — the
+    /// window-accounting slots.
+    flow_tags: Vec<u16>,
+}
+
+impl SlotStation {
+    #[inline]
+    fn tx_time(&self, slot: Dur) -> Time {
+        debug_assert!(self.contending);
+        self.count_start + slot * self.slots_left as u64
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct StopRule {
+    station: usize,
+    flow: u16,
+    remaining: usize,
+}
+
+/// The slot-quantised fast-tier simulator. API mirrors
+/// [`WlanSim`](crate::sim::WlanSim): build, attach stations, run.
+pub struct SlottedSim {
+    phy: Phy,
+    seed: u64,
+    options: MacOptions,
+    stations: Vec<SlotStation>,
+    stop_rule: Option<StopRule>,
+    watch: Option<(usize, u16)>,
+    record_backoffs: bool,
+    window: Option<(Time, Time)>,
+}
+
+/// Everything a finished slotted run produced.
+pub struct SlottedOutput {
+    /// Packet records of the watched flow ([`SlottedSim::watch_flow`]),
+    /// in completion order. Empty when nothing is watched.
+    pub records: Vec<PacketRecord>,
+    /// Number of collision events on the channel.
+    pub collisions: u64,
+    /// Completion instant of the last delivered/dropped packet.
+    pub last_done: Time,
+    /// Delivered payload bits per station per flow slot, counting
+    /// frames with `rx_end` inside the configured window (everything
+    /// when no window was set).
+    pub window_bits: Vec<Vec<u64>>,
+    /// Flow tags labelling each station's `window_bits` slots.
+    pub flow_tags: Vec<Vec<u16>>,
+    /// Every backoff draw, when [`SlottedSim::watch_backoffs`] was on.
+    pub backoffs: Vec<BackoffDraw>,
+}
+
+impl SlottedOutput {
+    /// Delivered bits of one station/flow inside the window.
+    pub fn flow_window_bits(&self, station: StationId, flow: u16) -> u64 {
+        self.flow_tags[station.0]
+            .iter()
+            .position(|&t| t == flow)
+            .map(|i| self.window_bits[station.0][i])
+            .unwrap_or(0)
+    }
+
+    /// Access delays of the watched flow's records, seconds.
+    pub fn access_delays_s(&self) -> Vec<f64> {
+        self.records
+            .iter()
+            .map(|r| r.access_delay().as_secs_f64())
+            .collect()
+    }
+}
+
+impl SlottedSim {
+    /// A slotted simulation over `phy` with the given master seed.
+    pub fn new(phy: Phy, seed: u64) -> Self {
+        SlottedSim {
+            phy,
+            seed,
+            options: MacOptions::default(),
+            stations: Vec::new(),
+            stop_rule: None,
+            watch: None,
+            record_backoffs: false,
+            window: None,
+        }
+    }
+
+    /// Builder-style MAC options override.
+    pub fn with_options(mut self, options: MacOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Attach a station fed by the merged `flows` (one entry = a
+    /// single-flow station, the common case). Ids are dense indices in
+    /// attach order; the station RNG is
+    /// `SimRng::new(derive_seed(seed, idx + 1))`, the event core's
+    /// contract.
+    pub fn add_station(&mut self, flows: Vec<SlottedFlow>) -> StationId {
+        assert!(!flows.is_empty(), "station needs at least one flow");
+        let idx = self.stations.len();
+        let rng = SimRng::new(derive_seed(self.seed, idx as u64 + 1));
+        let mut flow_tags: Vec<u16> = Vec::with_capacity(flows.len());
+        for f in &flows {
+            let tag = match f {
+                SlottedFlow::Trace(arrivals) => arrivals.first().map(|p| p.flow).unwrap_or(0),
+                SlottedFlow::Saturated { .. } => 0,
+                SlottedFlow::Poisson { flow, .. } | SlottedFlow::Cbr { flow, .. } => *flow,
+            };
+            if !flow_tags.contains(&tag) {
+                flow_tags.push(tag);
+            }
+        }
+        let mut sources: Vec<FlowSrc> = flows.iter().map(|f| f.build()).collect();
+        let feed = if sources.len() == 1 {
+            Feed::Single(sources.pop().unwrap())
+        } else {
+            let n = sources.len();
+            Feed::Merged {
+                sources,
+                pending: vec![None; n],
+                primed: false,
+            }
+        };
+        self.stations.push(SlotStation {
+            feed,
+            rng,
+            next_arrival: None,
+            queue: VecDeque::new(),
+            head_since: Time::ZERO,
+            slots_left: 0,
+            count_start: Time::ZERO,
+            contending: false,
+            stage: 0,
+            retries: 0,
+            flow_tags,
+        });
+        StationId(idx)
+    }
+
+    /// Stop once `station` has completed `count` packets of `flow`
+    /// (same early-termination contract as the event core).
+    pub fn stop_after_flow(&mut self, station: StationId, flow: u16, count: usize) {
+        self.stop_rule = Some(StopRule {
+            station: station.0,
+            flow,
+            remaining: count,
+        });
+    }
+
+    /// Keep full [`PacketRecord`]s for one station's flow (the probe);
+    /// all other completions only feed the window counters.
+    pub fn watch_flow(&mut self, station: StationId, flow: u16) {
+        self.watch = Some((station.0, flow));
+    }
+
+    /// Record every backoff draw (stage, window, value) for invariant
+    /// tests.
+    pub fn watch_backoffs(&mut self) {
+        self.record_backoffs = true;
+    }
+
+    /// Count delivered bits only for frames whose `rx_end` falls in
+    /// `(from, to]` — the steady-state measurement window.
+    pub fn set_window(&mut self, from: Time, to: Time) {
+        debug_assert!(to > from);
+        self.window = Some((from, to));
+    }
+
+    /// Align `t` up to the idle-period slot grid anchored at `anchor`
+    /// (identical to the event core's grid rule).
+    #[inline]
+    fn align_up(anchor: Time, slot: Dur, t: Time) -> Time {
+        if t <= anchor {
+            return anchor;
+        }
+        let offset = t - anchor;
+        anchor + slot * offset.div_ceil_dur(slot)
+    }
+
+    /// Run until `horizon` (exclusive) or until no event remains.
+    pub fn run(mut self, horizon: Time) -> SlottedOutput {
+        let slot = self.phy.slot;
+        let difs = self.phy.difs();
+        let retry_limit = self.phy.retry_limit;
+        let mut channel_free_at = Time::ZERO;
+        let mut last_done = Time::ZERO;
+        let mut collisions = 0u64;
+        let mut stop = self.stop_rule;
+        let watch = self.watch;
+        let window = self.window;
+        let mut records: Vec<PacketRecord> = Vec::new();
+        let mut backoffs: Vec<BackoffDraw> = Vec::new();
+        let mut window_bits: Vec<Vec<u64>> = self
+            .stations
+            .iter()
+            .map(|st| vec![0u64; st.flow_tags.len()])
+            .collect();
+
+        // Prime every station's arrival look-ahead (the event core's
+        // first `next_packet` call per station, in station order).
+        for st in &mut self.stations {
+            st.next_arrival = st.feed.next(&mut st.rng);
+        }
+
+        macro_rules! draw_backoff {
+            ($st:expr, $i:expr, $stage:expr) => {{
+                let cw = self.phy.cw_at_stage($stage);
+                let slots = $st.rng.range_inclusive(0, cw as u64) as u32;
+                if self.record_backoffs {
+                    backoffs.push(BackoffDraw {
+                        station: $i,
+                        stage: $stage,
+                        cw,
+                        slots,
+                    });
+                }
+                slots
+            }};
+        }
+
+        // Credit a delivered frame to its station/flow window slot.
+        let credit = |window_bits: &mut Vec<Vec<u64>>,
+                      flow_tags: &[u16],
+                      station: usize,
+                      flow: u16,
+                      bytes: u32,
+                      rx_end: Time| {
+            if let Some((from, to)) = window {
+                if rx_end <= from || rx_end > to {
+                    return;
+                }
+            }
+            if let Some(slot_idx) = flow_tags.iter().position(|&t| t == flow) {
+                window_bits[station][slot_idx] += bytes as u64 * 8;
+            }
+        };
+
+        loop {
+            if stop.is_some_and(|s| s.remaining == 0) {
+                break;
+            }
+
+            // Earliest pending arrival across stations.
+            let mut next_arr = Time::MAX;
+            let mut arr_station = usize::MAX;
+            for (i, st) in self.stations.iter().enumerate() {
+                if let Some(p) = st.next_arrival {
+                    if p.time < next_arr {
+                        next_arr = p.time;
+                        arr_station = i;
+                    }
+                }
+            }
+
+            // Earliest candidate transmission across contending stations.
+            let mut next_tx = Time::MAX;
+            for st in &self.stations {
+                if st.contending {
+                    let t = st.tx_time(slot);
+                    if t < next_tx {
+                        next_tx = t;
+                    }
+                }
+            }
+
+            let next_event = next_arr.min(next_tx);
+            if next_event == Time::MAX || next_event >= horizon {
+                break;
+            }
+
+            if next_arr <= next_tx {
+                // ---- arrival ----
+                let st = &mut self.stations[arr_station];
+                let pkt = st.next_arrival.take().unwrap();
+                st.next_arrival = st.feed.next(&mut st.rng);
+                debug_assert!(
+                    st.next_arrival.map(|n| n.time >= pkt.time).unwrap_or(true),
+                    "flow emitted decreasing arrival times"
+                );
+                st.queue.push_back((pkt.time, pkt.bytes, pkt.flow));
+                if st.queue.len() == 1 {
+                    st.head_since = pkt.time;
+                    st.stage = 0;
+                    st.retries = 0;
+                    st.contending = true;
+                    if pkt.time < channel_free_at {
+                        st.slots_left = draw_backoff!(st, arr_station, 0);
+                        st.count_start = channel_free_at + difs;
+                    } else {
+                        let anchor = channel_free_at + difs;
+                        st.slots_left = if self.options.immediate_access {
+                            0
+                        } else {
+                            draw_backoff!(st, arr_station, 0)
+                        };
+                        st.count_start = Self::align_up(anchor, slot, pkt.time + difs);
+                    }
+                }
+                continue;
+            }
+
+            // ---- transmission(s) at next_tx ----
+            let t = next_tx;
+            // Snapshot the winner set before freezing: the freeze pass
+            // below rewrites non-winners' `slots_left` without touching
+            // `count_start`, so `tx_time` is no longer meaningful for
+            // them afterwards (a frozen count can coincidentally land
+            // back on `t`).
+            let winners: Vec<usize> = self
+                .stations
+                .iter()
+                .enumerate()
+                .filter(|(_, st)| st.contending && st.tx_time(slot) == t)
+                .map(|(i, _)| i)
+                .collect();
+            debug_assert!(!winners.is_empty());
+            let winner_count = winners.len();
+            let w0 = winners[0];
+
+            // Freeze every other contending station.
+            for i in 0..self.stations.len() {
+                if winners.contains(&i) {
+                    continue;
+                }
+                let st = &mut self.stations[i];
+                if !st.contending {
+                    continue;
+                }
+                if st.count_start <= t {
+                    let elapsed = (t - st.count_start).div_dur(slot) as u32;
+                    debug_assert!(
+                        st.slots_left > elapsed,
+                        "non-winner should not have expired"
+                    );
+                    st.slots_left -= elapsed;
+                } else if st.slots_left == 0 {
+                    // Lost its immediate-access opportunity to this busy
+                    // period: must back off like everyone else.
+                    let stage = st.stage;
+                    st.slots_left = draw_backoff!(st, i, stage);
+                }
+            }
+
+            let busy_end;
+            if winner_count == 1 {
+                let w = w0;
+                let failed = self.options.frame_error_rate > 0.0
+                    && self.stations[w].rng.f64() < self.options.frame_error_rate;
+                let st = &mut self.stations[w];
+                let (arrival, bytes, flow) = *st.queue.front().expect("winner with empty queue");
+                let uses_rts = self.options.uses_rts(bytes);
+                let preface = if uses_rts {
+                    self.phy.rts_cts_preface()
+                } else {
+                    Dur::ZERO
+                };
+                let data = self.phy.data_airtime(bytes);
+                if failed {
+                    // ---- corrupted data frame: no ACK, BEB retry ----
+                    let fail_end = t + preface + data + self.phy.ack_timeout();
+                    st.retries += 1;
+                    st.stage += 1;
+                    if st.retries > retry_limit {
+                        if watch == Some((w, flow)) {
+                            records.push(PacketRecord {
+                                arrival,
+                                head: st.head_since,
+                                rx_end: t + preface + data,
+                                done: fail_end,
+                                bytes,
+                                retries: st.retries,
+                                dropped: true,
+                                flow,
+                            });
+                        }
+                        if let Some(s) = stop.as_mut() {
+                            if s.station == w && s.flow == flow {
+                                s.remaining = s.remaining.saturating_sub(1);
+                            }
+                        }
+                        last_done = last_done.max(fail_end);
+                        st.queue.pop_front();
+                        Self::rearm_after_completion(
+                            st,
+                            w,
+                            fail_end,
+                            &self.phy,
+                            self.record_backoffs,
+                            &mut backoffs,
+                        );
+                    } else {
+                        let stage = st.stage;
+                        st.slots_left = draw_backoff!(st, w, stage);
+                    }
+                    busy_end = fail_end;
+                } else {
+                    // ---- success ----
+                    let rx_end = t + preface + data;
+                    let done = rx_end + self.phy.sifs + self.phy.ack_airtime();
+                    if watch == Some((w, flow)) {
+                        records.push(PacketRecord {
+                            arrival,
+                            head: st.head_since,
+                            rx_end,
+                            done,
+                            bytes,
+                            retries: st.retries,
+                            dropped: false,
+                            flow,
+                        });
+                    }
+                    credit(&mut window_bits, &st.flow_tags, w, flow, bytes, rx_end);
+                    if let Some(s) = stop.as_mut() {
+                        if s.station == w && s.flow == flow {
+                            s.remaining = s.remaining.saturating_sub(1);
+                        }
+                    }
+                    last_done = last_done.max(done);
+                    st.queue.pop_front();
+                    Self::rearm_after_completion(
+                        st,
+                        w,
+                        done,
+                        &self.phy,
+                        self.record_backoffs,
+                        &mut backoffs,
+                    );
+                    busy_end = done;
+                }
+            } else {
+                // ---- collision ----
+                collisions += 1;
+                let mut max_frame = Dur::ZERO;
+                for &i in &winners {
+                    let st = &self.stations[i];
+                    let (_, bytes, _) = *st.queue.front().unwrap();
+                    let air = if self.options.uses_rts(bytes) {
+                        // RTS/CTS: only the short RTS collides.
+                        self.phy.rts_airtime()
+                    } else {
+                        self.phy.data_airtime(bytes)
+                    };
+                    max_frame = max_frame.max(air);
+                }
+                // The channel is unusable for the longest frame plus the
+                // ACK/CTS-timeout the colliders observe before resuming.
+                busy_end = t + max_frame + self.phy.sifs + self.phy.ack_airtime();
+                for &i in &winners {
+                    let st = &mut self.stations[i];
+                    st.retries += 1;
+                    st.stage += 1;
+                    if st.retries > retry_limit {
+                        // Drop the frame.
+                        let (arrival, bytes, flow) = *st.queue.front().unwrap();
+                        if watch == Some((i, flow)) {
+                            records.push(PacketRecord {
+                                arrival,
+                                head: st.head_since,
+                                rx_end: t + self.phy.data_airtime(bytes),
+                                done: busy_end,
+                                bytes,
+                                retries: st.retries,
+                                dropped: true,
+                                flow,
+                            });
+                        }
+                        if let Some(s) = stop.as_mut() {
+                            if s.station == i && s.flow == flow {
+                                s.remaining = s.remaining.saturating_sub(1);
+                            }
+                        }
+                        last_done = last_done.max(busy_end);
+                        st.queue.pop_front();
+                        Self::rearm_after_completion(
+                            st,
+                            i,
+                            busy_end,
+                            &self.phy,
+                            self.record_backoffs,
+                            &mut backoffs,
+                        );
+                    } else {
+                        let stage = st.stage;
+                        st.slots_left = draw_backoff!(st, i, stage);
+                    }
+                }
+            }
+
+            channel_free_at = busy_end;
+            // Re-anchor every contending station on the new idle grid.
+            let anchor = channel_free_at + difs;
+            for st in &mut self.stations {
+                if st.contending {
+                    st.count_start = anchor;
+                }
+            }
+        }
+
+        let flow_tags = self
+            .stations
+            .iter()
+            .map(|st| st.flow_tags.clone())
+            .collect();
+        SlottedOutput {
+            records,
+            collisions,
+            last_done,
+            window_bits,
+            flow_tags,
+            backoffs,
+        }
+    }
+
+    /// After the head packet completes: reset the contention window and
+    /// arm the next head, if any, with a fresh post-transmission
+    /// backoff. Identical to the event core's rearm rule.
+    fn rearm_after_completion(
+        st: &mut SlotStation,
+        idx: usize,
+        done: Time,
+        phy: &Phy,
+        record: bool,
+        backoffs: &mut Vec<BackoffDraw>,
+    ) {
+        st.stage = 0;
+        st.retries = 0;
+        if st.queue.is_empty() {
+            st.contending = false;
+        } else {
+            st.head_since = done;
+            let cw = phy.cw_at_stage(0);
+            let slots = st.rng.range_inclusive(0, cw as u64) as u32;
+            if record {
+                backoffs.push(BackoffDraw {
+                    station: idx,
+                    stage: 0,
+                    cw,
+                    slots,
+                });
+            }
+            st.slots_left = slots;
+            st.contending = true;
+            // count_start is set by the caller's re-anchoring pass.
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::WlanSim;
+    use crate::{saturated_source, MacOptions};
+    use csmaprobe_traffic::TraceSource;
+
+    fn phy() -> Phy {
+        Phy::dsss_11mbps()
+    }
+
+    /// Event-core replica of a kernel configuration: same seed, same
+    /// station order, equivalent sources.
+    fn event_records(
+        seed: u64,
+        stations: &[Vec<SlottedFlow>],
+        watch: (usize, u16),
+        horizon: Time,
+        options: MacOptions,
+    ) -> Vec<PacketRecord> {
+        let mut sim = WlanSim::new(phy(), seed).with_options(options);
+        let mut ids = Vec::new();
+        for flows in stations {
+            let sources: Vec<Box<dyn Source>> = flows
+                .iter()
+                .map(|f| -> Box<dyn Source> {
+                    match f {
+                        SlottedFlow::Trace(arrivals) => {
+                            Box::new(TraceSource::new(arrivals.clone()))
+                        }
+                        SlottedFlow::Saturated { bytes, packets } => {
+                            saturated_source(*bytes, *packets as usize)
+                        }
+                        SlottedFlow::Poisson {
+                            rate_bps,
+                            bytes,
+                            flow,
+                            start,
+                            until,
+                        } => Box::new(
+                            PoissonSource::from_bitrate(
+                                *rate_bps,
+                                SizeModel::Fixed(*bytes),
+                                *start,
+                                *until,
+                            )
+                            .with_flow(*flow),
+                        ),
+                        SlottedFlow::Cbr {
+                            rate_bps,
+                            bytes,
+                            flow,
+                            start,
+                            until,
+                        } => Box::new(
+                            CbrSource::from_bitrate(
+                                *rate_bps,
+                                SizeModel::Fixed(*bytes),
+                                *start,
+                                *until,
+                            )
+                            .with_flow(*flow),
+                        ),
+                    }
+                })
+                .collect();
+            let src: Box<dyn Source> = if sources.len() == 1 {
+                sources.into_iter().next().unwrap()
+            } else {
+                Box::new(csmaprobe_traffic::MergeSource::new(sources))
+            };
+            ids.push(sim.add_station(src));
+        }
+        let out = sim.run(horizon);
+        out.flow_records(ids[watch.0], watch.1)
+    }
+
+    fn slotted_records(
+        seed: u64,
+        stations: &[Vec<SlottedFlow>],
+        watch: (usize, u16),
+        horizon: Time,
+        options: MacOptions,
+    ) -> Vec<PacketRecord> {
+        let mut sim = SlottedSim::new(phy(), seed).with_options(options);
+        let mut ids = Vec::new();
+        for flows in stations {
+            ids.push(sim.add_station(flows.clone()));
+        }
+        sim.watch_flow(ids[watch.0], watch.1);
+        sim.run(horizon).records
+    }
+
+    #[test]
+    fn single_saturated_station_bit_identical() {
+        let cfg = vec![vec![SlottedFlow::Saturated {
+            bytes: 1500,
+            packets: 300,
+        }]];
+        for seed in [1u64, 2, 99, 0xC0FFEE] {
+            let ev = event_records(seed, &cfg, (0, 0), Time::MAX, MacOptions::default());
+            let sl = slotted_records(seed, &cfg, (0, 0), Time::MAX, MacOptions::default());
+            assert_eq!(ev, sl, "seed {seed}");
+            assert_eq!(ev.len(), 300);
+        }
+    }
+
+    #[test]
+    fn two_saturated_stations_bit_identical() {
+        let cfg = vec![
+            vec![SlottedFlow::Saturated {
+                bytes: 1500,
+                packets: 400,
+            }],
+            vec![SlottedFlow::Saturated {
+                bytes: 1000,
+                packets: 400,
+            }],
+        ];
+        for seed in [7u64, 42] {
+            let ev = event_records(seed, &cfg, (0, 0), Time::MAX, MacOptions::default());
+            let sl = slotted_records(seed, &cfg, (0, 0), Time::MAX, MacOptions::default());
+            assert_eq!(ev, sl, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn cbr_probe_against_poisson_cross_bit_identical() {
+        // The steady-state cell shape: CBR probe + Poisson contender.
+        let end = Time::from_secs_f64(3.0);
+        let cfg = vec![
+            vec![SlottedFlow::Cbr {
+                rate_bps: 5_000_000.0,
+                bytes: 1500,
+                flow: 1,
+                start: Time::from_millis(500),
+                until: end,
+            }],
+            vec![SlottedFlow::Poisson {
+                rate_bps: 4_500_000.0,
+                bytes: 1500,
+                flow: 0,
+                start: Time::ZERO,
+                until: end,
+            }],
+        ];
+        let horizon = end + Dur::from_secs(2);
+        let ev = event_records(11, &cfg, (0, 1), horizon, MacOptions::default());
+        let sl = slotted_records(11, &cfg, (0, 1), horizon, MacOptions::default());
+        assert!(!ev.is_empty());
+        assert_eq!(ev, sl);
+    }
+
+    #[test]
+    fn merged_fifo_cross_bit_identical() {
+        // Probe trace + Poisson FIFO cross sharing one queue, plus a
+        // contender: the fig-4 station layout.
+        let end = Time::from_secs_f64(2.0);
+        let probe: Vec<PacketArrival> = (0..100)
+            .map(|i| PacketArrival {
+                time: Time::from_millis(500) + Dur::from_micros(3000) * i as u64,
+                bytes: 1500,
+                flow: 1,
+            })
+            .collect();
+        let cfg = vec![
+            vec![
+                SlottedFlow::Trace(probe),
+                SlottedFlow::Poisson {
+                    rate_bps: 1_500_000.0,
+                    bytes: 1500,
+                    flow: 2,
+                    start: Time::ZERO,
+                    until: end,
+                },
+            ],
+            vec![SlottedFlow::Poisson {
+                rate_bps: 3_000_000.0,
+                bytes: 1500,
+                flow: 0,
+                start: Time::ZERO,
+                until: end,
+            }],
+        ];
+        let ev = event_records(23, &cfg, (0, 1), end, MacOptions::default());
+        let sl = slotted_records(23, &cfg, (0, 1), end, MacOptions::default());
+        assert!(!ev.is_empty());
+        assert_eq!(ev, sl);
+    }
+
+    #[test]
+    fn window_bits_match_event_throughput_window() {
+        let end = Time::from_secs_f64(4.0);
+        let mid = Time::from_secs_f64(2.0);
+        let mut sim = SlottedSim::new(phy(), 31);
+        let a = sim.add_station(vec![SlottedFlow::Poisson {
+            rate_bps: 2_000_000.0,
+            bytes: 1500,
+            flow: 0,
+            start: Time::ZERO,
+            until: end,
+        }]);
+        sim.set_window(mid, end);
+        let out = sim.run(end);
+
+        let mut ev = WlanSim::new(phy(), 31);
+        let ea = ev.add_station(Box::new(PoissonSource::from_bitrate(
+            2_000_000.0,
+            SizeModel::Fixed(1500),
+            Time::ZERO,
+            end,
+        )));
+        let eout = ev.run(end);
+        let ev_bps = eout.throughput_bps_window(ea, mid, end);
+        let sl_bps = out.flow_window_bits(a, 0) as f64 / (end - mid).as_secs_f64();
+        assert_eq!(ev_bps, sl_bps);
+        assert!(sl_bps > 1.5e6, "{sl_bps}");
+    }
+
+    #[test]
+    fn stop_rule_terminates_early() {
+        let mut sim = SlottedSim::new(phy(), 5);
+        let a = sim.add_station(vec![SlottedFlow::Saturated {
+            bytes: 1500,
+            packets: 100_000,
+        }]);
+        sim.watch_flow(a, 0);
+        sim.stop_after_flow(a, 0, 25);
+        let out = sim.run(Time::MAX);
+        assert_eq!(out.records.len(), 25);
+    }
+
+    #[test]
+    fn backoff_draws_respect_contention_window() {
+        let mut sim = SlottedSim::new(phy(), 9);
+        let _a = sim.add_station(vec![SlottedFlow::Saturated {
+            bytes: 1500,
+            packets: 300,
+        }]);
+        let _b = sim.add_station(vec![SlottedFlow::Saturated {
+            bytes: 1500,
+            packets: 300,
+        }]);
+        sim.watch_backoffs();
+        let out = sim.run(Time::MAX);
+        assert!(!out.backoffs.is_empty());
+        let p = phy();
+        for d in &out.backoffs {
+            assert_eq!(d.cw, p.cw_at_stage(d.stage));
+            assert!(d.slots <= d.cw, "draw {d:?}");
+        }
+        // Collisions happened, so some draws are at elevated stages.
+        assert!(out.collisions > 0);
+        assert!(out.backoffs.iter().any(|d| d.stage > 0));
+    }
+
+    #[test]
+    fn frame_errors_bit_identical() {
+        let opts = MacOptions::default().with_frame_error_rate(0.2);
+        let cfg = vec![vec![SlottedFlow::Saturated {
+            bytes: 1500,
+            packets: 200,
+        }]];
+        let ev = event_records(13, &cfg, (0, 0), Time::MAX, opts);
+        let sl = slotted_records(13, &cfg, (0, 0), Time::MAX, opts);
+        assert_eq!(ev, sl);
+        assert!(ev.iter().any(|r| r.retries > 0));
+    }
+
+    #[test]
+    fn rts_cts_bit_identical() {
+        let opts = MacOptions::default().with_rts_cts(500);
+        let cfg = vec![
+            vec![SlottedFlow::Saturated {
+                bytes: 1500,
+                packets: 150,
+            }],
+            vec![SlottedFlow::Saturated {
+                bytes: 1500,
+                packets: 150,
+            }],
+        ];
+        let ev = event_records(17, &cfg, (0, 0), Time::MAX, opts);
+        let sl = slotted_records(17, &cfg, (0, 0), Time::MAX, opts);
+        assert_eq!(ev, sl);
+    }
+
+    #[test]
+    fn without_immediate_access_bit_identical() {
+        let opts = MacOptions::default().without_immediate_access();
+        let end = Time::from_secs_f64(1.0);
+        let cfg = vec![vec![SlottedFlow::Poisson {
+            rate_bps: 1_000_000.0,
+            bytes: 1500,
+            flow: 0,
+            start: Time::ZERO,
+            until: end,
+        }]];
+        let ev = event_records(19, &cfg, (0, 0), end, opts);
+        let sl = slotted_records(19, &cfg, (0, 0), end, opts);
+        assert!(!ev.is_empty());
+        assert_eq!(ev, sl);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let cfg = vec![vec![SlottedFlow::Saturated {
+                bytes: 1500,
+                packets: 100,
+            }]];
+            slotted_records(seed, &cfg, (0, 0), Time::MAX, MacOptions::default())
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3), run(4));
+    }
+}

@@ -1,0 +1,61 @@
+//! Engine-tier transparency at the probing-tool layer: the measurement
+//! tools never know (and must never be able to tell) which engine tier
+//! served their probes.
+//!
+//! Two guarantees, both exact:
+//!
+//! * **Routing is a no-op when the oracle is pinned** — under the
+//!   default `Auto` policy probe trains route to the event core, so
+//!   forcing `Event` must change nothing, bit for bit.
+//! * **The slotted kernel is invisible** — forcing `Slotted` on a
+//!   covered link yields the identical measurement, because the kernel
+//!   is trajectory-exact on trains.
+
+use csmaprobe_core::engine::{test_guard, EnginePolicy, EngineTier};
+use csmaprobe_core::link::{LinkConfig, WlanLink};
+use csmaprobe_probe::{SlopsEstimator, TrainProbe};
+
+fn link() -> WlanLink {
+    WlanLink::new(
+        LinkConfig::default()
+            .contending_bps(2_000_000.0)
+            .fifo_cross_bps(500_000.0),
+    )
+}
+
+fn train_fingerprint(policy: EnginePolicy) -> (f64, f64, Vec<f64>, usize) {
+    let _g = test_guard(policy);
+    let m = TrainProbe::new(30, 1500, 5_000_000.0).measure(&link(), 8, 0xF00D);
+    (
+        m.output_gap.mean(),
+        m.output_gap.variance(),
+        m.access_delays.means(),
+        m.incomplete,
+    )
+}
+
+#[test]
+fn train_measurement_identical_across_tiers() {
+    let auto = train_fingerprint(EnginePolicy::Auto);
+    let event = train_fingerprint(EnginePolicy::Forced(EngineTier::Event));
+    let slotted = train_fingerprint(EnginePolicy::Forced(EngineTier::Slotted));
+    // Auto routes trains to the oracle: pinning it is a no-op.
+    assert_eq!(auto, event);
+    // The slotted kernel is trajectory-exact: forcing it is invisible.
+    assert_eq!(auto, slotted);
+}
+
+#[test]
+fn slops_estimate_identical_across_tiers() {
+    let run = |policy: EnginePolicy| {
+        let _g = test_guard(policy);
+        SlopsEstimator::default().run(&link(), 0xBEA7)
+    };
+    let auto = run(EnginePolicy::Auto);
+    let event = run(EnginePolicy::Forced(EngineTier::Event));
+    let slotted = run(EnginePolicy::Forced(EngineTier::Slotted));
+    assert_eq!(auto.estimate_bps, event.estimate_bps);
+    assert_eq!(auto.trace, event.trace);
+    assert_eq!(auto.estimate_bps, slotted.estimate_bps);
+    assert_eq!(auto.trace, slotted.trace);
+}

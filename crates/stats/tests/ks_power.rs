@@ -161,3 +161,30 @@ fn decimated_reference_keeps_test_size() {
         assert!(size <= 0.2, "false-rejection rate {size} at cap {cap}");
     }
 }
+
+/// Always-on, scaled-down leg of the full power quantification above
+/// (seeded, well under 2 s even in debug): the KS machinery must keep
+/// real power against a 20 % shift with an uncapped pool, and a pool
+/// decimated to near the per-index sample size must visibly lose
+/// power. This pins the *shape* of the `#[ignore]`d measurement in
+/// every CI run; the big leg stays for requantification.
+#[test]
+fn ks_power_scaled_down_leg() {
+    const TRIALS: usize = 50;
+    const N_SAMPLE: usize = 400;
+    const POOL: usize = 16_000;
+    const SHIFT: f64 = 0.80; // 20 % mean shift: detectable at this budget
+
+    let p_full = rejection_rate(TRIALS, N_SAMPLE, SHIFT, POOL, usize::MAX, 0xCA11);
+    let p_tiny = rejection_rate(TRIALS, N_SAMPLE, SHIFT, POOL, 600, 0xCA11);
+    let size = rejection_rate(TRIALS, N_SAMPLE, 1.0, POOL, usize::MAX, 0x512E);
+
+    // Real power uncapped, nominal size held, collapse when the pool
+    // shrinks to the per-index sample scale — the documented trend.
+    assert!(p_full > 0.8, "uncapped power only {p_full}");
+    assert!(size < 0.15, "size {size} blew past the nominal level");
+    assert!(
+        p_tiny < p_full - 0.15,
+        "near-sample-size pool should collapse: {p_tiny} vs {p_full}"
+    );
+}

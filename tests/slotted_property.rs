@@ -1,0 +1,233 @@
+//! Property tests for the slot-quantised DCF kernel
+//! (`csmaprobe::mac::slotted`): the backoff state machine's invariants,
+//! checked over randomised regimes rather than hand-picked seeds.
+//!
+//! The per-seed bit-identity against the event core is pinned in
+//! `crates/mac` unit tests and `tests/tier_equivalence.rs`; these
+//! properties instead constrain the kernel *internally* — every draw
+//! bounded by its stage window, windows doubling to CWmax and resetting
+//! on success, frozen counters resuming without a redraw — so a
+//! regression that happened to break both engines identically would
+//! still be caught.
+
+use csmaprobe::desim::time::{Dur, Time};
+use csmaprobe::mac::{BackoffDraw, SlottedFlow, SlottedSim, WlanSim};
+use csmaprobe::phy::Phy;
+use csmaprobe::traffic::{PacketArrival, PoissonSource, SizeModel, TraceSource};
+use proptest::prelude::*;
+
+/// Max backoff stage of a PHY: where `cw_at_stage` stops growing.
+fn max_stage(phy: &Phy) -> u32 {
+    let mut s = 0;
+    while phy.cw_at_stage(s + 1) > phy.cw_at_stage(s) {
+        s += 1;
+    }
+    s
+}
+
+/// Run `n` saturated slotted stations and return every backoff draw.
+fn saturated_draws(n: usize, packets: u64, seed: u64) -> Vec<BackoffDraw> {
+    let mut sim = SlottedSim::new(Phy::dsss_11mbps(), seed);
+    for _ in 0..n {
+        sim.add_station(vec![SlottedFlow::Saturated {
+            bytes: 1500,
+            packets,
+        }]);
+    }
+    sim.watch_backoffs();
+    sim.run(Time::MAX).backoffs
+}
+
+proptest! {
+    // Every draw is bounded by the contention window of its stage, and
+    // that window is exactly the PHY's schedule for the stage.
+    #[test]
+    fn backoff_draws_bounded_by_stage_window(
+        n in 2usize..5,
+        seed in 0u64..500,
+    ) {
+        let phy = Phy::dsss_11mbps();
+        let draws = saturated_draws(n, 40, seed);
+        prop_assert!(!draws.is_empty());
+        for d in &draws {
+            prop_assert_eq!(d.cw, phy.cw_at_stage(d.stage));
+            prop_assert!(d.slots <= d.cw, "draw {} above cw {}", d.slots, d.cw);
+            prop_assert!(d.station < n);
+        }
+    }
+
+    // Stage trajectories per station: a stage only ever steps up by
+    // one (a collision), saturating at the CWmax stage, or resets to
+    // zero (success/drop) — and the window doubles exactly on the way
+    // up.
+    #[test]
+    fn cw_doubles_to_cwmax_and_resets_on_success(
+        n in 2usize..4,
+        seed in 0u64..500,
+    ) {
+        let phy = Phy::dsss_11mbps();
+        let top = max_stage(&phy);
+        let draws = saturated_draws(n, 60, seed);
+        let mut escalations = 0usize;
+        let mut resets = 0usize;
+        for st in 0..n {
+            let stages: Vec<u32> = draws
+                .iter()
+                .filter(|d| d.station == st)
+                .map(|d| d.stage)
+                .collect();
+            for w in stages.windows(2) {
+                let (prev, next) = (w[0], w[1]);
+                if next == 0 {
+                    if prev > 0 {
+                        resets += 1;
+                    }
+                    continue;
+                }
+                prop_assert_eq!(next, (prev + 1).min(top), "stage {prev} -> {next}");
+                escalations += 1;
+                if next <= top && phy.cw_at_stage(prev) < phy.cw_max {
+                    // Doubling: CW_{k+1} = 2(CW_k + 1) - 1 until CWmax.
+                    prop_assert_eq!(
+                        phy.cw_at_stage(next),
+                        (2 * (phy.cw_at_stage(prev) + 1) - 1).min(phy.cw_max)
+                    );
+                }
+            }
+        }
+        // Saturated contention must actually exercise both paths.
+        prop_assert!(escalations > 0, "no collisions in a saturated cell");
+        prop_assert!(resets > 0, "no successful resets");
+    }
+}
+
+/// Frozen counters resume exactly: a station whose countdown is
+/// interrupted by another transmission keeps its remaining slots —
+/// no redraw, no slot lost or gained.
+///
+/// Construction: station A sends two back-to-back frames, station B
+/// queues one frame during A's first transmission. B draws `b` slots
+/// anchored at the first busy-end; A rearms with `a2` slots on the same
+/// anchor. When `a2 < b`, A's second frame interrupts B after exactly
+/// `a2` counted slots, so B must transmit `b − a2` slots after the
+/// second busy period's DIFS edge.
+#[test]
+fn frozen_backoff_resumes_exactly() {
+    let phy = Phy::dsss_11mbps();
+    let slot = phy.slot;
+    let difs = phy.difs();
+    let data = phy.data_airtime(1500);
+    let exchange = data + phy.sifs + phy.ack_airtime();
+
+    let mut exercised = 0usize;
+    for seed in 0..60u64 {
+        // A: immediate access at t = 0, so tx1 at DIFS.
+        let t_b = difs + Dur::from_micros(700); // inside A's first frame
+        let mut sim = SlottedSim::new(phy.clone(), seed);
+        let a = sim.add_station(vec![SlottedFlow::Saturated {
+            bytes: 1500,
+            packets: 2,
+        }]);
+        let b = sim.add_station(vec![SlottedFlow::Trace(vec![PacketArrival::new(
+            Time::ZERO + t_b,
+            1500,
+        )])]);
+        assert_eq!(a.0, 0);
+        sim.watch_flow(b, 0);
+        sim.watch_backoffs();
+        let out = sim.run(Time::MAX);
+
+        let draw = |st: usize, nth: usize| -> Option<u32> {
+            out.backoffs
+                .iter()
+                .filter(|d| d.station == st)
+                .nth(nth)
+                .map(|d| d.slots)
+        };
+        let b_draw = draw(1, 0).expect("B draws on arrival during busy");
+        let a_rearm = draw(0, 0).expect("A rearms after its first frame");
+        if a_rearm >= b_draw {
+            continue; // B wins or collides; not the freeze shape
+        }
+        exercised += 1;
+
+        let busy_end_1 = difs + exchange;
+        let tx2 = busy_end_1 + difs + slot * a_rearm as u64;
+        let busy_end_2 = tx2 + exchange;
+        let b_tx = busy_end_2 + difs + slot * (b_draw - a_rearm) as u64;
+
+        let rec = &out.records[0];
+        assert_eq!(
+            rec.rx_end,
+            Time::ZERO + b_tx + data,
+            "seed {seed}: B resumed with the wrong remaining count \
+             (drew {b_draw}, frozen after {a_rearm})"
+        );
+        assert_eq!(rec.retries, 0);
+    }
+    assert!(
+        exercised >= 10,
+        "only {exercised}/60 seeds hit the freeze shape"
+    );
+}
+
+/// A single station never contends with anyone: the slotted kernel and
+/// the event core must agree bit-for-bit on every record, across
+/// random Poisson loads — the contention-free floor of the
+/// trajectory-exactness contract.
+#[test]
+fn single_station_bit_identical_to_event_core() {
+    let phy = Phy::dsss_11mbps();
+    for (seed, rate) in [(1u64, 8e5), (2, 2e6), (3, 6e6), (4, 1.2e7)] {
+        let until = Time::from_millis(400);
+
+        let mut ev = WlanSim::new(phy.clone(), seed);
+        let st = ev.add_station(Box::new(PoissonSource::from_bitrate(
+            rate,
+            SizeModel::Fixed(1500),
+            Time::ZERO,
+            until,
+        )));
+        let ev_out = ev.run(Time::MAX);
+
+        let mut sl = SlottedSim::new(phy.clone(), seed);
+        let s = sl.add_station(vec![SlottedFlow::Poisson {
+            rate_bps: rate,
+            bytes: 1500,
+            flow: 0,
+            start: Time::ZERO,
+            until,
+        }]);
+        sl.watch_flow(s, 0);
+        let sl_out = sl.run(Time::MAX);
+
+        assert_eq!(
+            ev_out.records(st),
+            &sl_out.records[..],
+            "rate {rate} seed {seed}"
+        );
+        assert!(!sl_out.records.is_empty());
+    }
+}
+
+/// Trace flows replay byte-for-byte: an explicit arrival list through
+/// the slotted kernel equals the event core's TraceSource run.
+#[test]
+fn trace_flow_bit_identical_to_event_core() {
+    let phy = Phy::dsss_11mbps();
+    let arrivals: Vec<PacketArrival> = (0..40)
+        .map(|i| PacketArrival::new(Time::from_micros(1_000 + 2_400 * i), 1500))
+        .collect();
+
+    let mut ev = WlanSim::new(phy.clone(), 77);
+    let st = ev.add_station(Box::new(TraceSource::new(arrivals.clone())));
+    let ev_out = ev.run(Time::MAX);
+
+    let mut sl = SlottedSim::new(phy, 77);
+    let s = sl.add_station(vec![SlottedFlow::Trace(arrivals)]);
+    sl.watch_flow(s, 0);
+    let sl_out = sl.run(Time::MAX);
+
+    assert_eq!(ev_out.records(st), &sl_out.records[..]);
+    assert_eq!(sl_out.records.len(), 40);
+}
