@@ -190,8 +190,8 @@ fn main() {
             if GridRow::run_of(line) != Some(fingerprint) {
                 fail(format!(
                     "{} row {key} was produced by a different grid configuration \
-                     (axes/order, --scale or --seed differ); delete the file or \
-                     re-run with the original options",
+                     (axes/order, --scale, --seed, or the engine policy differ); \
+                     delete the file or re-run with the original options",
                     opts.out
                 ));
             }
@@ -267,7 +267,7 @@ fn main() {
         .unwrap_or_else(|e| fail(format!("finalize: {e}")));
     std::fs::write(&opts.table, &table)
         .unwrap_or_else(|e| fail(format!("cannot write {}: {e}", opts.table)));
-    println!("link\ttrain\ttool\test_mbps\tci95_mbps\ttrue_A_mbps\treps\tfailed");
+    println!("link\ttrain\ttool\ttier\test_mbps\tci95_mbps\ttrue_A_mbps\treps\tfailed");
     let mut rows = sink
         .read_rows()
         .unwrap_or_else(|e| fail(format!("read rows: {e}")));
@@ -298,10 +298,11 @@ fn main() {
                 .unwrap_or_else(|_| "nan".to_string())
         };
         println!(
-            "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+            "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
             field("link"),
             field("train"),
             field("tool"),
+            field("tier"),
             mbps("mean_bps"),
             mbps("ci95_bps"),
             mbps("available_bps"),

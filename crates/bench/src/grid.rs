@@ -12,6 +12,7 @@
 use crate::report::{json_f64, json_str};
 use crate::scaled;
 use crate::scenarios::{self, FRAME};
+use csmaprobe_core::engine;
 use csmaprobe_core::grid::{GridScenario, GridShape};
 use csmaprobe_core::link::{LinkConfig, ProbeTarget, TrainObservation, WiredLink, WlanLink};
 use csmaprobe_desim::rng::derive_seed;
@@ -42,6 +43,19 @@ impl ProbeTarget for GridTarget {
         match self {
             GridTarget::Wired(l) => l.probe_train(train, seed),
             GridTarget::Wlan(l) => l.probe_train(train, seed),
+        }
+    }
+
+    fn probe_train_batch(
+        &self,
+        train: csmaprobe_traffic::probe::ProbeTrain,
+        seeds: &[u64],
+    ) -> Vec<TrainObservation> {
+        // Forward so a WLAN link's batched slotted kernel serves whole
+        // chunks (the trait default would loop the scalar path).
+        match self {
+            GridTarget::Wired(l) => l.probe_train_batch(train, seeds),
+            GridTarget::Wlan(l) => l.probe_train_batch(train, seeds),
         }
     }
 
@@ -517,9 +531,14 @@ pub struct GridRow {
     pub ci95_bps: f64,
     /// True available bandwidth of the link, bits/s.
     pub available_bps: f64,
+    /// Engine-tier provenance: which engine served this cell's probes
+    /// (`event`/`slotted`/`analytic` for WLAN links as resolved by the
+    /// router, `fifo` for wired links, which have no DCF engine).
+    pub tier: &'static str,
     /// The producing run's configuration fingerprint
     /// ([`BiasGrid::fingerprint`]): resume refuses to mix rows from a
-    /// different grid configuration.
+    /// different grid configuration — including rows produced under a
+    /// different engine policy or tier resolution.
     pub run: u64,
 }
 
@@ -546,7 +565,7 @@ impl GridRow {
     pub fn to_json(&self) -> String {
         format!(
             "{{\"cell\":{},\"key\":{},\"run\":\"{:016x}\",\"link\":{},\"train\":{},\"tool\":{},\
-             \"n\":{},\"reps\":{},\"failed\":{},\"mean_bps\":{},\"sd_bps\":{},\
+             \"tier\":{},\"n\":{},\"reps\":{},\"failed\":{},\"mean_bps\":{},\"sd_bps\":{},\
              \"ci95_bps\":{},\"available_bps\":{}}}",
             self.cell,
             json_str(&self.key()),
@@ -554,6 +573,7 @@ impl GridRow {
             json_str(self.link),
             json_str(self.train),
             json_str(self.tool.name()),
+            json_str(self.tier),
             self.n,
             self.reps,
             self.failed,
@@ -617,9 +637,13 @@ impl BiasGrid {
     }
 
     /// Fingerprint of this grid's full configuration — axis selection
-    /// *and order* (cell indices depend on both), scale and seed.
-    /// Persisted in every row; resume refuses a file whose rows carry
-    /// a different fingerprint instead of silently mixing populations.
+    /// *and order* (cell indices depend on both), scale and seed, the
+    /// active engine policy, and the tier each link's cells resolve to
+    /// under it. Persisted in every row; resume refuses a file whose
+    /// rows carry a different fingerprint instead of silently mixing
+    /// populations — including rows produced under a different engine
+    /// policy (or different routing rules), which would otherwise be
+    /// statistically indistinguishable in the file.
     pub fn fingerprint(&self) -> u64 {
         let mut desc = format!("scale={};seed={}", self.scale.to_bits(), self.seed);
         for l in &self.links {
@@ -634,7 +658,29 @@ impl BiasGrid {
             desc.push_str(";tool=");
             desc.push_str(t.name());
         }
+        desc.push_str(";engine=");
+        desc.push_str(engine::policy_token());
+        for i in 0..self.links.len() {
+            desc.push_str(";tier=");
+            desc.push_str(self.link_tier(i));
+        }
         fnv1a(&desc)
+    }
+
+    /// The engine tier serving the probes of link `link_idx`'s cells:
+    /// the router's train-tier resolution for WLAN links, `fifo` for
+    /// wired links (no DCF engine involved).
+    fn link_tier(&self, link_idx: usize) -> &'static str {
+        match &self.targets[link_idx] {
+            GridTarget::Wired(_) => "fifo",
+            GridTarget::Wlan(l) => engine::train_tier(l.config()).token(),
+        }
+    }
+
+    /// Engine-tier provenance of the cell at `coord` (see
+    /// [`GridRow::tier`]).
+    pub fn cell_tier(&self, coord: &[usize]) -> &'static str {
+        self.link_tier(coord[0])
     }
 
     fn tool_probe(&self, coord: &[usize]) -> ToolProbe {
@@ -692,6 +738,31 @@ impl GridScenario for BiasGrid {
         }
     }
 
+    fn replicate_chunk(
+        &self,
+        coord: &[usize],
+        range: std::ops::Range<usize>,
+        acc: &mut EstimateAcc,
+    ) {
+        // Same seed chain as `replicate`, a whole chunk at a time: train
+        // cells forward to [`ToolProbe::estimate_batch`], so a slotted
+        // WLAN cell runs its chunk as one batched-kernel call. The
+        // contract (element k ≡ `estimate_once(seeds[k])`) plus the
+        // ascending fold keeps rows bit-identical to the scalar path.
+        let s = derive_seed(self.seed, fnv1a(&self.key_of(self.shape().flatten(coord))));
+        let seeds: Vec<u64> = range.map(|rep| derive_seed(s, rep as u64)).collect();
+        for est in self
+            .tool_probe(coord)
+            .estimate_batch(&self.targets[coord[0]], &seeds)
+        {
+            if est.is_finite() {
+                acc.est.push(est);
+            } else {
+                acc.failed += 1;
+            }
+        }
+    }
+
     fn finish(&self, coord: &[usize], acc: EstimateAcc) -> GridRow {
         GridRow {
             cell: self.shape().flatten(coord),
@@ -699,6 +770,7 @@ impl GridScenario for BiasGrid {
             train: self.trains[coord[1]].name,
             tool: self.tools[coord[2]],
             n: self.trains[coord[1]].n,
+            tier: self.cell_tier(coord),
             reps: self.reps(coord),
             failed: acc.failed,
             mean_bps: if acc.est.count() > 0 {
@@ -912,6 +984,53 @@ mod tests {
         let row = &run_grid(&a)[0];
         assert_eq!(row.run, a.fingerprint());
         assert_eq!(GridRow::run_of(&row.to_json()), Some(a.fingerprint()));
+    }
+
+    #[test]
+    fn fingerprint_tracks_engine_policy_and_rows_carry_tier() {
+        use csmaprobe_core::engine::{test_guard, EnginePolicy, EngineTier};
+        let make = || {
+            BiasGrid::new(
+                vec![find_link("wired").unwrap(), find_link("wlan_low").unwrap()],
+                vec![find_train("short").unwrap()],
+                vec![ToolKind::Train],
+                0.05,
+                42,
+            )
+        };
+        let (auto_fp, auto_rows) = {
+            let _g = test_guard(EnginePolicy::Auto);
+            (make().fingerprint(), run_grid(&make()))
+        };
+        let (event_fp, event_rows) = {
+            let _g = test_guard(EnginePolicy::Forced(EngineTier::Event));
+            (make().fingerprint(), run_grid(&make()))
+        };
+        // wlan_low is a certified FIFO-free cell: auto promotes its
+        // trains to the slotted kernel, forced-event pins the oracle.
+        // The rows record that provenance, and the run fingerprint
+        // splits — resume refuses to mix the two populations even
+        // though the kernel is trajectory-exact.
+        assert_ne!(
+            auto_fp, event_fp,
+            "engine policy must split the fingerprint"
+        );
+        assert_eq!(auto_rows[0].tier, "fifo");
+        assert_eq!(auto_rows[1].tier, "slotted");
+        assert_eq!(event_rows[1].tier, "event");
+        for row in &auto_rows {
+            assert!(
+                row.to_json()
+                    .contains(&format!("\"tier\":\"{}\"", row.tier)),
+                "tier column missing from {}",
+                row.to_json()
+            );
+        }
+        // Provenance, not data: the promoted kernel is bit-exact.
+        assert_eq!(
+            auto_rows[1].mean_bps.to_bits(),
+            event_rows[1].mean_bps.to_bits()
+        );
     }
 
     #[test]

@@ -11,8 +11,11 @@
 //! leak into every other figure's routing.
 
 use csmaprobe_core::engine::{self, EngineTier};
-use csmaprobe_core::link::{CrossShape, CrossSpec, LinkConfig, SteadyPoint, WlanLink};
+use csmaprobe_core::link::{
+    CrossShape, CrossSpec, LinkConfig, SteadyPoint, TrainObservation, WlanLink,
+};
 use csmaprobe_desim::time::Dur;
+use csmaprobe_traffic::probe::ProbeTrain;
 
 use crate::scenarios::FRAME;
 
@@ -78,6 +81,34 @@ impl TierRegime {
         let t0 = std::time::Instant::now();
         let p = self.steady_with_tier(tier, duration, seed)?;
         Some((p, t0.elapsed().as_secs_f64()))
+    }
+
+    /// Run a replication *chunk* of `train` probes on the slotted tier
+    /// — one scalar kernel call per seed, or one batched call for the
+    /// whole chunk — and report the per-lane observations plus the
+    /// wall-clock seconds. The two forms are bit-identical by the
+    /// batched kernel's contract; `tier_speedup`'s batched leg gates
+    /// exactly that plus a no-regression margin. `None` when the
+    /// slotted tier does not cover this cell.
+    pub fn timed_train_chunk(
+        &self,
+        train: ProbeTrain,
+        seeds: &[u64],
+        batched: bool,
+    ) -> Option<(Vec<TrainObservation>, f64)> {
+        if !self.covered_by(EngineTier::Slotted) {
+            return None;
+        }
+        let t0 = std::time::Instant::now();
+        let obs = if batched {
+            self.link.probe_train_slotted_batch(train, seeds)
+        } else {
+            seeds
+                .iter()
+                .map(|&s| self.link.probe_train_slotted(train, s))
+                .collect()
+        };
+        Some((obs, t0.elapsed().as_secs_f64()))
     }
 }
 

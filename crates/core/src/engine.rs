@@ -28,10 +28,15 @@
 //!
 //! * **Auto** (default): steady-state cells route to `Analytic` when
 //!   [`analytic_covers`] holds, else to `Slotted` when
-//!   [`slotted_covers`] holds, else `Event`. **Probe-train cells always
-//!   stay on the event core** in auto mode: transient-regime figures
-//!   make delicate per-index distributional claims and keep the oracle
-//!   until the equivalence table says otherwise per regime.
+//!   [`slotted_covers`] holds, else `Event`. **Probe-train cells**
+//!   route to `Slotted` only on the regimes the EXPERIMENTS.md
+//!   statistical-equivalence table certifies for train access delays —
+//!   slotted-covered cells without FIFO cross-traffic
+//!   ([`train_slotted_certified`]); the FIFO-queue train leg has no
+//!   certified KS row yet and stays on the oracle, as does every
+//!   uncovered shape. Transient-regime figures make delicate per-index
+//!   distributional claims, so the gate is the measured table, not a
+//!   blanket pin in either direction.
 //! * **Forced `event`**: everything runs the oracle — the routing layer
 //!   is provably a no-op (`crates/bench/tests/determinism.rs`).
 //! * **Forced `slotted`**: trains and steady cells both use the kernel
@@ -52,6 +57,18 @@ pub enum EngineTier {
     Slotted,
     /// Closed-form Bianchi saturation model.
     Analytic,
+}
+
+impl EngineTier {
+    /// Stable lowercase token for provenance columns and fingerprints
+    /// (`event`, `slotted`, `analytic`).
+    pub fn token(self) -> &'static str {
+        match self {
+            EngineTier::Event => "event",
+            EngineTier::Slotted => "slotted",
+            EngineTier::Analytic => "analytic",
+        }
+    }
 }
 
 /// Process-wide routing policy.
@@ -99,6 +116,17 @@ pub fn set_policy(policy: EnginePolicy) {
         EnginePolicy::Forced(EngineTier::Analytic) => POLICY_ANALYTIC,
     };
     POLICY.store(v, Ordering::Relaxed);
+}
+
+/// Stable lowercase token naming the active policy (`auto`, `event`,
+/// `slotted`, `analytic`) — folded into run-config fingerprints so
+/// resumable campaigns refuse to silently mix rows produced under
+/// different routing policies.
+pub fn policy_token() -> &'static str {
+    match policy() {
+        EnginePolicy::Auto => "auto",
+        EnginePolicy::Forced(t) => t.token(),
+    }
 }
 
 /// The active policy: the [`set_policy`] override if any, else
@@ -214,13 +242,29 @@ pub fn steady_tier(cfg: &LinkConfig, ri_bps: f64) -> EngineTier {
     }
 }
 
+/// Whether the EXPERIMENTS.md train-delay equivalence table certifies
+/// the slotted kernel for **probe-train** cells of this shape: the
+/// kernel must cover every flow ([`slotted_covers`]) *and* the probe
+/// queue must not be shared with FIFO cross-traffic. The KS rows
+/// backing this gate (`poisson-1`, `mixed-2` at train lengths 20 and
+/// 100, α = 0.01) all describe FIFO-free cells; the FIFO-queue train
+/// leg has no certified row, so it keeps the oracle until the table
+/// grows one.
+pub fn train_slotted_certified(cfg: &LinkConfig) -> bool {
+    slotted_covers(cfg) && cfg.fifo_cross.is_none()
+}
+
 /// The tier a **probe-train** cell routes to under the active policy.
-/// Auto keeps trains on the oracle (transient distributions are the
-/// paper's subject matter); only a forced `slotted` policy moves
-/// covered train cells onto the kernel.
+/// Auto promotes trains to the kernel only where the measured
+/// equivalence table certifies the regime
+/// ([`train_slotted_certified`]); a forced `slotted` policy moves
+/// every *covered* train cell onto the kernel (including FIFO cells —
+/// forcing is the explicit opt-out from the certification gate, but
+/// never from coverage).
 pub fn train_tier(cfg: &LinkConfig) -> EngineTier {
     match policy() {
         EnginePolicy::Forced(EngineTier::Slotted) if slotted_covers(cfg) => EngineTier::Slotted,
+        EnginePolicy::Auto if train_slotted_certified(cfg) => EngineTier::Slotted,
         _ => EngineTier::Event,
     }
 }
@@ -239,11 +283,40 @@ mod tests {
     }
 
     #[test]
-    fn auto_routes_steady_to_slotted_and_trains_to_event() {
+    fn auto_routes_steady_and_certified_trains_to_slotted() {
         let _g = test_guard(EnginePolicy::Auto);
         let cfg = steady_cfg();
         assert_eq!(steady_tier(&cfg, 1.5e6), EngineTier::Slotted);
-        assert_eq!(train_tier(&cfg), EngineTier::Event);
+        // FIFO-free covered cells are certified by the train-delay KS
+        // table and promote in auto mode…
+        assert!(train_slotted_certified(&cfg));
+        assert_eq!(train_tier(&cfg), EngineTier::Slotted);
+        // …but the FIFO-queue train leg has no certified row and keeps
+        // the oracle, even though the kernel *covers* the shape.
+        let fifo = steady_cfg().fifo_cross_bps(1_500_000.0);
+        assert!(slotted_covers(&fifo));
+        assert!(!train_slotted_certified(&fifo));
+        assert_eq!(train_tier(&fifo), EngineTier::Event);
+    }
+
+    #[test]
+    fn forced_slotted_still_covers_fifo_trains() {
+        let _g = test_guard(EnginePolicy::Forced(EngineTier::Slotted));
+        let fifo = steady_cfg().fifo_cross_bps(1_500_000.0);
+        assert_eq!(train_tier(&fifo), EngineTier::Slotted);
+    }
+
+    #[test]
+    fn policy_token_names_every_policy() {
+        for (p, tok) in [
+            (EnginePolicy::Auto, "auto"),
+            (EnginePolicy::Forced(EngineTier::Event), "event"),
+            (EnginePolicy::Forced(EngineTier::Slotted), "slotted"),
+            (EnginePolicy::Forced(EngineTier::Analytic), "analytic"),
+        ] {
+            let _g = test_guard(p);
+            assert_eq!(policy_token(), tok);
+        }
     }
 
     #[test]

@@ -25,7 +25,7 @@ use csmaprobe_desim::time::{Dur, Time};
 use csmaprobe_mac::options::MacOptions;
 use csmaprobe_mac::sim::{PacketRecord, StationId, WlanSim};
 use csmaprobe_mac::slotted::{SlottedFlow, SlottedSim};
-use csmaprobe_mac::BianchiModel;
+use csmaprobe_mac::{BatchedSlottedSim, BianchiModel};
 use csmaprobe_phy::Phy;
 use csmaprobe_queueing::fifo::{fifo_serve, Job};
 use csmaprobe_traffic::probe::ProbeTrain;
@@ -286,6 +286,16 @@ pub trait ProbeTarget: Sync {
     /// Send one probing train (one replication); `seed` controls all
     /// randomness of this replication.
     fn probe_train(&self, train: ProbeTrain, seed: u64) -> TrainObservation;
+
+    /// Send the same probing train once per seed — one replication per
+    /// entry of `seeds`, returned in seed order. The default simply
+    /// loops [`ProbeTarget::probe_train`]; targets with a batched
+    /// kernel override this so a whole replication chunk executes as
+    /// one kernel call. **Contract:** element `k` must be bit-identical
+    /// to `probe_train(train, seeds[k])`.
+    fn probe_train_batch(&self, train: ProbeTrain, seeds: &[u64]) -> Vec<TrainObservation> {
+        seeds.iter().map(|&s| self.probe_train(train, s)).collect()
+    }
 
     /// Send an arbitrary probing sequence: packets of `bytes` payload
     /// offered at the given offsets **relative to the link's warm-up
@@ -587,6 +597,80 @@ impl WlanLink {
         sim.run(horizon).records
     }
 
+    /// Replication-batched counterpart of
+    /// [`WlanLink::probe_records_slotted`]: run the same probe sequence
+    /// once per entry of `seeds` through one
+    /// [`BatchedSlottedSim`] call — station layout, horizon, stop rule
+    /// and per-lane seeding identical to the scalar path, so lane `k`'s
+    /// records are bit-identical to `probe_records_slotted(arrivals,
+    /// seeds[k])` (pinned by `probe_train_batch_bit_identical` below
+    /// and property-tested in `tests/slotted_batch_property.rs`).
+    fn probe_records_slotted_batch(
+        &self,
+        mut probe_arrivals: Vec<csmaprobe_traffic::PacketArrival>,
+        seeds: &[u64],
+    ) -> Vec<Vec<PacketRecord>> {
+        debug_assert!(engine::slotted_covers(&self.cfg));
+        for p in &mut probe_arrivals {
+            p.flow = FLOW_PROBE;
+        }
+        let n = probe_arrivals.len();
+        let last = probe_arrivals.last().map(|p| p.time).unwrap_or(Time::ZERO);
+        let horizon = last + Dur::from_millis(20) * n as u64 + Dur::from_millis(100);
+
+        let mut sim =
+            BatchedSlottedSim::new(self.cfg.phy.clone(), seeds.to_vec()).with_options(self.cfg.mac);
+        let probe_flows = match &self.cfg.fifo_cross {
+            None => vec![SlottedFlow::Trace(probe_arrivals)],
+            Some(spec) => vec![
+                SlottedFlow::Trace(probe_arrivals),
+                spec.slotted_flow(Time::ZERO, horizon, FLOW_FIFO_CROSS),
+            ],
+        };
+        let probe_station = sim.add_station(probe_flows);
+        for spec in &self.cfg.contending {
+            sim.add_station(vec![spec.slotted_flow(Time::ZERO, horizon, 0)]);
+        }
+        sim.watch_flow(probe_station, FLOW_PROBE);
+        sim.stop_after_flow(probe_station, FLOW_PROBE, n);
+        sim.run(horizon).into_iter().map(|o| o.records).collect()
+    }
+
+    /// Explicit slotted-tier train run, bypassing the router — the
+    /// train counterpart of [`WlanLink::steady_state_slotted`]. The
+    /// tier benches compare tiers side by side with this (mutating the
+    /// process-wide engine policy would leak into concurrently-running
+    /// figures). Requires [`engine::slotted_covers`].
+    pub fn probe_train_slotted(&self, train: ProbeTrain, seed: u64) -> TrainObservation {
+        let start = Time::ZERO + self.cfg.warmup;
+        let train = ProbeTrain {
+            flow: FLOW_PROBE,
+            ..train
+        };
+        let probe = self.probe_records_slotted(train.arrivals(start), seed);
+        slotted_train_obs(&probe, train.gap, train.bytes)
+    }
+
+    /// Replication-batched counterpart of
+    /// [`WlanLink::probe_train_slotted`]: the whole chunk runs as one
+    /// [`BatchedSlottedSim`] kernel call, element `k` bit-identical to
+    /// `probe_train_slotted(train, seeds[k])`.
+    pub fn probe_train_slotted_batch(
+        &self,
+        train: ProbeTrain,
+        seeds: &[u64],
+    ) -> Vec<TrainObservation> {
+        let start = Time::ZERO + self.cfg.warmup;
+        let train = ProbeTrain {
+            flow: FLOW_PROBE,
+            ..train
+        };
+        self.probe_records_slotted_batch(train.arrivals(start), seeds)
+            .iter()
+            .map(|probe| slotted_train_obs(probe, train.gap, train.bytes))
+            .collect()
+    }
+
     /// Sweep input rates and produce the steady-state rate-response
     /// curve (Figs 1/4), one [`SteadyPoint`] per rate.
     ///
@@ -609,27 +693,27 @@ impl WlanLink {
     }
 }
 
+/// Build a [`TrainObservation`] from watched probe records (the
+/// slotted paths return exactly these).
+fn slotted_train_obs(probe: &[PacketRecord], g_i: Dur, bytes: u32) -> TrainObservation {
+    TrainObservation {
+        arrivals: probe.iter().map(|r| r.arrival).collect(),
+        rx_times: probe.iter().map(|r| r.rx_end).collect(),
+        access_delays: Some(
+            probe
+                .iter()
+                .map(|r| r.access_delay().as_secs_f64())
+                .collect(),
+        ),
+        g_i,
+        bytes,
+    }
+}
+
 impl ProbeTarget for WlanLink {
     fn probe_train(&self, train: ProbeTrain, seed: u64) -> TrainObservation {
-        let start = Time::ZERO + self.cfg.warmup;
         if engine::train_tier(&self.cfg) == EngineTier::Slotted {
-            let train = ProbeTrain {
-                flow: FLOW_PROBE,
-                ..train
-            };
-            let probe = self.probe_records_slotted(train.arrivals(start), seed);
-            return TrainObservation {
-                arrivals: probe.iter().map(|r| r.arrival).collect(),
-                rx_times: probe.iter().map(|r| r.rx_end).collect(),
-                access_delays: Some(
-                    probe
-                        .iter()
-                        .map(|r| r.access_delay().as_secs_f64())
-                        .collect(),
-                ),
-                g_i: train.gap,
-                bytes: train.bytes,
-            };
+            return self.probe_train_slotted(train, seed);
         }
         let run = self.send_train(train, seed);
         let obs = TrainObservation {
@@ -641,6 +725,17 @@ impl ProbeTarget for WlanLink {
         };
         run.recycle();
         obs
+    }
+
+    /// Batched replications: when the router sends this cell's trains
+    /// to the slotted tier, the whole chunk runs as **one**
+    /// [`BatchedSlottedSim`] kernel call; otherwise the default
+    /// per-replication loop over the event core applies.
+    fn probe_train_batch(&self, train: ProbeTrain, seeds: &[u64]) -> Vec<TrainObservation> {
+        if engine::train_tier(&self.cfg) != EngineTier::Slotted || seeds.is_empty() {
+            return seeds.iter().map(|&s| self.probe_train(train, s)).collect();
+        }
+        self.probe_train_slotted_batch(train, seeds)
     }
 
     fn probe_sequence(&self, offsets: &[Dur], bytes: u32, seed: u64) -> TrainObservation {
@@ -655,18 +750,7 @@ impl ProbeTarget for WlanLink {
             .collect();
         if engine::train_tier(&self.cfg) == EngineTier::Slotted {
             let probe = self.probe_records_slotted(arrivals, seed);
-            return TrainObservation {
-                arrivals: probe.iter().map(|r| r.arrival).collect(),
-                rx_times: probe.iter().map(|r| r.rx_end).collect(),
-                access_delays: Some(
-                    probe
-                        .iter()
-                        .map(|r| r.access_delay().as_secs_f64())
-                        .collect(),
-                ),
-                g_i: Dur::ZERO,
-                bytes,
-            };
+            return slotted_train_obs(&probe, Dur::ZERO, bytes);
         }
         let run = self.send_arrivals(arrivals, seed);
         let obs = TrainObservation {
@@ -953,6 +1037,59 @@ mod tests {
         assert_eq!(ev.arrivals, sl.arrivals);
         assert_eq!(ev.rx_times, sl.rx_times);
         assert_eq!(ev.access_delays, sl.access_delays);
+    }
+
+    #[test]
+    fn auto_promoted_trains_match_forced_event_oracle() {
+        // The certification gate (train_slotted_certified): a FIFO-free
+        // covered cell auto-routes its trains to the kernel, and the
+        // observation is the oracle's, bit for bit.
+        let link = WlanLink::new(LinkConfig::default().contending_bps(2_000_000.0));
+        let train = ProbeTrain::from_rate(30, 1500, 4_000_000.0);
+        let auto = {
+            let _g = crate::engine::test_guard(crate::engine::EnginePolicy::Auto);
+            assert_eq!(
+                crate::engine::train_tier(link.config()),
+                crate::engine::EngineTier::Slotted
+            );
+            link.probe_train(train, 31)
+        };
+        let ev = {
+            let _g = crate::engine::test_guard(crate::engine::EnginePolicy::Forced(
+                crate::engine::EngineTier::Event,
+            ));
+            link.probe_train(train, 31)
+        };
+        assert_eq!(auto.arrivals, ev.arrivals);
+        assert_eq!(auto.rx_times, ev.rx_times);
+        assert_eq!(auto.access_delays, ev.access_delays);
+    }
+
+    #[test]
+    fn probe_train_batch_bit_identical_to_scalar_runs() {
+        // One batched kernel call per chunk must reproduce the scalar
+        // per-seed observations exactly — the contract desim's chunked
+        // reducers rely on.
+        let link = WlanLink::new(
+            LinkConfig::default()
+                .contending_bps(2_000_000.0)
+                .contending(CrossSpec::shaped(1_000_000.0, CrossShape::Cbr)),
+        );
+        let train = ProbeTrain::from_rate(25, 1500, 6_000_000.0);
+        let seeds: Vec<u64> = (0..7).map(|k| derive_seed(0xBEEF, k)).collect();
+        let _g = crate::engine::test_guard(crate::engine::EnginePolicy::Auto);
+        assert_eq!(
+            crate::engine::train_tier(link.config()),
+            crate::engine::EngineTier::Slotted
+        );
+        let batch = link.probe_train_batch(train, &seeds);
+        assert_eq!(batch.len(), seeds.len());
+        for (k, (b, &s)) in batch.iter().zip(&seeds).enumerate() {
+            let scalar = link.probe_train(train, s);
+            assert_eq!(b.arrivals, scalar.arrivals, "lane {k}");
+            assert_eq!(b.rx_times, scalar.rx_times, "lane {k}");
+            assert_eq!(b.access_delays, scalar.access_delays, "lane {k}");
+        }
     }
 
     #[test]

@@ -53,11 +53,13 @@ pub mod bianchi;
 pub mod options;
 pub mod sim;
 pub mod slotted;
+pub mod slotted_batch;
 
 pub use bianchi::BianchiModel;
 pub use options::MacOptions;
 pub use sim::{ChannelStats, PacketRecord, SimOutput, StationId, WlanSim};
 pub use slotted::{BackoffDraw, SlottedFlow, SlottedOutput, SlottedSim};
+pub use slotted_batch::BatchedSlottedSim;
 
 use csmaprobe_desim::time::{Dur, Time};
 use csmaprobe_phy::Phy;

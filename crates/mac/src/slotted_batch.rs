@@ -1,0 +1,1016 @@
+//! Replication-batched slotted DCF kernel.
+//!
+//! [`SlottedSim`](crate::slotted::SlottedSim) runs one replication per
+//! call: one event loop, one set of station structs, one trace clone.
+//! Measurement cells, however, execute dozens of replications of the
+//! *same* configuration that differ only in the master seed. This
+//! module runs N such replications ("lanes") through one kernel call:
+//! station state — backoff counters, contention-window stages, freeze
+//! flags, queue depths, grid anchors — lives in structure-of-arrays
+//! scratch sized to the station count, so the per-event passes
+//! (earliest arrival, earliest candidate transmission, freeze,
+//! re-anchor) are tight loops over flat `u32`/`u64` arrays instead of
+//! pointer chases through per-replication simulators. Lanes execute as
+//! *blocks* — each lane's event loop runs to completion over the shared
+//! scratch before the next lane starts — because interleaving
+//! independent lanes event-by-event scrambles the branch history of the
+//! contention state machine and measurably regresses both debug and
+//! release builds.
+//!
+//! Lanes are completely independent: lane `l` keeps its own channel
+//! state and every station `i` of lane `l` draws from
+//! `SimRng::new(derive_seed(seeds[l], i + 1))` — exactly the scalar
+//! kernel's stream contract. Every draw site (feed pulls, backoff
+//! draws, frame-error draws, rearm draws) happens in the same
+//! within-stream order as the scalar loop, and all time arithmetic
+//! replicates the `Time`/`Dur` operators on raw nanosecond integers,
+//! so the output of [`BatchedSlottedSim::run`] is **bit-identical** to
+//! N scalar [`SlottedSim`](crate::slotted::SlottedSim) runs
+//! (`tests/slotted_batch_property.rs` proves this property-wise; the
+//! unit tests below pin it per regime).
+//!
+//! What batching buys beyond locality: probe traces are stored once
+//! and shared read-only across lanes (the scalar path clones the
+//! arrival vector per replication), contention winners are resolved
+//! through a `u64` station bitmask instead of a per-event `Vec`, and
+//! per-replication constructor work (station vectors, window
+//! accounting slots) is amortised over the whole chunk. The win is
+//! real but bounded: the per-event cost of a bit-identical kernel is
+//! dominated by the mandatory RNG draws and queue operations the
+//! scalar kernel already pays, so `bench`'s `tier_speedup` gates the
+//! batched leg on bit-identity plus a no-regression margin and reports
+//! the measured chunk speedup in its wallclock channel (see
+//! EXPERIMENTS.md for the floor analysis).
+
+use crate::options::MacOptions;
+use crate::sim::{PacketRecord, StationId};
+use crate::slotted::{SlottedFlow, SlottedOutput};
+use csmaprobe_desim::rng::{derive_seed, SimRng};
+use csmaprobe_desim::time::Time;
+use csmaprobe_phy::Phy;
+use csmaprobe_traffic::{CbrSource, PacketArrival, PoissonSource, SizeModel, Source};
+use std::collections::VecDeque;
+
+/// Per-flow configuration resolved at [`BatchedSlottedSim::add_station`]
+/// time: traces are interned into the shared pool so lanes replay them
+/// without cloning.
+#[derive(Debug, Clone)]
+enum FlowCfg {
+    /// Index into the shared trace pool.
+    Trace(usize),
+    Saturated {
+        bytes: u32,
+        packets: u64,
+    },
+    Poisson {
+        rate_bps: f64,
+        bytes: u32,
+        flow: u16,
+        start: Time,
+        until: Time,
+    },
+    Cbr {
+        rate_bps: f64,
+        bytes: u32,
+        flow: u16,
+        start: Time,
+        until: Time,
+    },
+}
+
+/// One lane's instance of a flow source. Identical draw sites to the
+/// scalar kernel's `FlowSrc` (Poisson/CBR *are* the same source
+/// implementations); traces read from the shared pool.
+enum LaneSrc {
+    Trace { trace: usize, idx: usize },
+    Saturated { bytes: u32, left: u64 },
+    Poisson(PoissonSource),
+    Cbr(CbrSource),
+}
+
+impl LaneSrc {
+    fn next(&mut self, rng: &mut SimRng, traces: &[Vec<PacketArrival>]) -> Option<PacketArrival> {
+        match self {
+            LaneSrc::Trace { trace, idx } => {
+                let p = traces[*trace].get(*idx).copied();
+                if p.is_some() {
+                    *idx += 1;
+                }
+                p
+            }
+            LaneSrc::Saturated { bytes, left } => {
+                if *left == 0 {
+                    return None;
+                }
+                *left -= 1;
+                Some(PacketArrival::new(Time::ZERO, *bytes))
+            }
+            LaneSrc::Poisson(s) => s.next_packet(rng),
+            LaneSrc::Cbr(s) => s.next_packet(rng),
+        }
+    }
+}
+
+impl FlowCfg {
+    fn build(&self) -> LaneSrc {
+        match self {
+            FlowCfg::Trace(trace) => LaneSrc::Trace {
+                trace: *trace,
+                idx: 0,
+            },
+            FlowCfg::Saturated { bytes, packets } => LaneSrc::Saturated {
+                bytes: *bytes,
+                left: *packets,
+            },
+            FlowCfg::Poisson {
+                rate_bps,
+                bytes,
+                flow,
+                start,
+                until,
+            } => LaneSrc::Poisson(
+                PoissonSource::from_bitrate(*rate_bps, SizeModel::Fixed(*bytes), *start, *until)
+                    .with_flow(*flow),
+            ),
+            FlowCfg::Cbr {
+                rate_bps,
+                bytes,
+                flow,
+                start,
+                until,
+            } => LaneSrc::Cbr(
+                CbrSource::from_bitrate(*rate_bps, SizeModel::Fixed(*bytes), *start, *until)
+                    .with_flow(*flow),
+            ),
+        }
+    }
+}
+
+/// One lane-station's merged arrival feed — the scalar kernel's `Feed`
+/// semantics verbatim: single-flow stations pull straight from the
+/// source; multi-flow stations keep one look-ahead per sub-source,
+/// primed in order on first pull, ties resolved to the earlier-added
+/// flow.
+enum LaneFeed {
+    Single(LaneSrc),
+    Merged {
+        sources: Vec<LaneSrc>,
+        pending: Vec<Option<PacketArrival>>,
+        primed: bool,
+    },
+}
+
+impl LaneFeed {
+    fn next(&mut self, rng: &mut SimRng, traces: &[Vec<PacketArrival>]) -> Option<PacketArrival> {
+        match self {
+            LaneFeed::Single(src) => src.next(rng, traces),
+            LaneFeed::Merged {
+                sources,
+                pending,
+                primed,
+            } => {
+                if !*primed {
+                    for (i, s) in sources.iter_mut().enumerate() {
+                        pending[i] = s.next(rng, traces);
+                    }
+                    *primed = true;
+                }
+                let mut best: Option<usize> = None;
+                for (i, p) in pending.iter().enumerate() {
+                    if let Some(pkt) = p {
+                        match best {
+                            Some(b) if pending[b].unwrap().time <= pkt.time => {}
+                            _ => best = Some(i),
+                        }
+                    }
+                }
+                let i = best?;
+                let out = pending[i].take();
+                pending[i] = sources[i].next(rng, traces);
+                out
+            }
+        }
+    }
+}
+
+/// Sentinel for "no pending arrival" / "not contending" in the flat
+/// time arrays — `Time::MAX.0`.
+const NONE: u64 = u64::MAX;
+
+/// The replication-batched slotted simulator. Builder API mirrors
+/// [`SlottedSim`](crate::slotted::SlottedSim), except construction
+/// takes one master seed *per lane* and [`run`](Self::run) returns one
+/// [`SlottedOutput`] per lane, each bit-identical to the scalar kernel
+/// run with the corresponding seed.
+pub struct BatchedSlottedSim {
+    phy: Phy,
+    seeds: Vec<u64>,
+    options: MacOptions,
+    stations: Vec<StationCfg>,
+    traces: Vec<Vec<PacketArrival>>,
+    stop_rule: Option<(usize, u16, usize)>,
+    watch: Option<(usize, u16)>,
+    window: Option<(Time, Time)>,
+}
+
+struct StationCfg {
+    flows: Vec<FlowCfg>,
+    flow_tags: Vec<u16>,
+}
+
+impl BatchedSlottedSim {
+    /// A batched simulation over `phy`, one lane per entry of `seeds`.
+    /// Any lane count ≥ 1 works; ragged final chunks simply pass fewer
+    /// seeds.
+    pub fn new(phy: Phy, seeds: Vec<u64>) -> Self {
+        assert!(!seeds.is_empty(), "batch needs at least one lane");
+        BatchedSlottedSim {
+            phy,
+            seeds,
+            options: MacOptions::default(),
+            stations: Vec::new(),
+            traces: Vec::new(),
+            stop_rule: None,
+            watch: None,
+            window: None,
+        }
+    }
+
+    /// Builder-style MAC options override.
+    pub fn with_options(mut self, options: MacOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Number of lanes (replications) this batch advances.
+    pub fn lanes(&self) -> usize {
+        self.seeds.len()
+    }
+
+    /// Attach a station to **every** lane, fed by the merged `flows`.
+    /// Station ids are dense indices in attach order; lane `l`'s
+    /// instance draws from `SimRng::new(derive_seed(seeds[l], idx + 1))`
+    /// — the scalar kernel's per-replication contract.
+    pub fn add_station(&mut self, flows: Vec<SlottedFlow>) -> StationId {
+        assert!(!flows.is_empty(), "station needs at least one flow");
+        let idx = self.stations.len();
+        assert!(idx < 64, "batched kernel supports at most 64 stations");
+        let mut flow_tags: Vec<u16> = Vec::with_capacity(flows.len());
+        let mut cfgs: Vec<FlowCfg> = Vec::with_capacity(flows.len());
+        for f in flows {
+            let tag = match &f {
+                SlottedFlow::Trace(arrivals) => arrivals.first().map(|p| p.flow).unwrap_or(0),
+                SlottedFlow::Saturated { .. } => 0,
+                SlottedFlow::Poisson { flow, .. } | SlottedFlow::Cbr { flow, .. } => *flow,
+            };
+            if !flow_tags.contains(&tag) {
+                flow_tags.push(tag);
+            }
+            cfgs.push(match f {
+                SlottedFlow::Trace(arrivals) => {
+                    for w in arrivals.windows(2) {
+                        assert!(
+                            w[1].time >= w[0].time,
+                            "trace arrivals must be time-ordered"
+                        );
+                    }
+                    self.traces.push(arrivals);
+                    FlowCfg::Trace(self.traces.len() - 1)
+                }
+                SlottedFlow::Saturated { bytes, packets } => FlowCfg::Saturated { bytes, packets },
+                SlottedFlow::Poisson {
+                    rate_bps,
+                    bytes,
+                    flow,
+                    start,
+                    until,
+                } => FlowCfg::Poisson {
+                    rate_bps,
+                    bytes,
+                    flow,
+                    start,
+                    until,
+                },
+                SlottedFlow::Cbr {
+                    rate_bps,
+                    bytes,
+                    flow,
+                    start,
+                    until,
+                } => FlowCfg::Cbr {
+                    rate_bps,
+                    bytes,
+                    flow,
+                    start,
+                    until,
+                },
+            });
+        }
+        self.stations.push(StationCfg {
+            flows: cfgs,
+            flow_tags,
+        });
+        StationId(idx)
+    }
+
+    /// Stop a lane once its `station` has completed `count` packets of
+    /// `flow` (applies per lane, independently).
+    pub fn stop_after_flow(&mut self, station: StationId, flow: u16, count: usize) {
+        self.stop_rule = Some((station.0, flow, count));
+    }
+
+    /// Keep full [`PacketRecord`]s for one station's flow, per lane.
+    pub fn watch_flow(&mut self, station: StationId, flow: u16) {
+        self.watch = Some((station.0, flow));
+    }
+
+    /// Count delivered bits only for frames whose `rx_end` falls in
+    /// `(from, to]`, per lane.
+    pub fn set_window(&mut self, from: Time, to: Time) {
+        debug_assert!(to > from);
+        self.window = Some((from, to));
+    }
+
+    /// Idle-grid alignment on raw nanoseconds — `SlottedSim::align_up`
+    /// with the `Time`/`Dur` operators unfolded (they are plain `u64`
+    /// add/sub/mul/div-ceil, so this is bit-identical).
+    #[inline]
+    fn align_up_ns(anchor: u64, slot: u64, t: u64) -> u64 {
+        if t <= anchor {
+            return anchor;
+        }
+        anchor + slot * (t - anchor).div_ceil(slot)
+    }
+
+    /// Run every lane until `horizon` (exclusive) or until no event
+    /// remains in it, returning one output per lane in seed order.
+    ///
+    /// Lanes execute as blocks — each lane's event loop runs to
+    /// completion over the shared station-SoA scratch before the next
+    /// lane starts — so the branch history of the contention state
+    /// machine stays coherent (interleaving independent lanes
+    /// event-by-event measurably regresses both debug and release
+    /// builds), while every per-replication fixed cost (station
+    /// arrays, queues, window slots, trace storage) is paid once per
+    /// batch instead of once per replication.
+    pub fn run(self, horizon: Time) -> Vec<SlottedOutput> {
+        let n_st = self.stations.len();
+        let horizon = horizon.0;
+        let slot = self.phy.slot.0;
+        let difs = self.phy.difs().0;
+        let sifs = self.phy.sifs.0;
+        let ack_air = self.phy.ack_airtime().0;
+        let ack_timeout = self.phy.ack_timeout().0;
+        let rts_air = self.phy.rts_airtime().0;
+        let rts_preface = self.phy.rts_cts_preface().0;
+        let retry_limit = self.phy.retry_limit;
+        let fer = self.options.frame_error_rate;
+        let immediate_access = self.options.immediate_access;
+        let watch = self.watch;
+        let window = self.window.map(|(f, t)| (f.0, t.0));
+        // Backoff windows per stage; `stage` never exceeds
+        // `retry_limit` at a draw site (a higher stage is reset before
+        // the next draw), but size one past it to be safe.
+        let cw: Vec<u32> = (0..=retry_limit + 1)
+            .map(|s| self.phy.cw_at_stage(s))
+            .collect();
+
+        // ---- station-SoA scratch, one lane's worth, reused across lanes ----
+        let mut src_rng: Vec<SimRng> = Vec::with_capacity(n_st);
+        let mut feed: Vec<LaneFeed> = Vec::with_capacity(n_st);
+        let mut next_time: Vec<u64> = vec![NONE; n_st];
+        let mut next_bytes: Vec<u32> = vec![0; n_st];
+        let mut next_flow: Vec<u16> = vec![0; n_st];
+        let mut queue: Vec<VecDeque<(u64, u32, u16)>> =
+            (0..n_st).map(|_| VecDeque::new()).collect();
+        let mut head_since: Vec<u64> = vec![0; n_st];
+        let mut slots_left: Vec<u32> = vec![0; n_st];
+        let mut count_start: Vec<u64> = vec![0; n_st];
+        let mut contending: Vec<bool> = vec![false; n_st];
+        let mut stage: Vec<u32> = vec![0; n_st];
+        let mut retries: Vec<u32> = vec![0; n_st];
+        // Candidate transmission instants, refreshed by the per-event
+        // scan pass (`NONE` when the station is not contending).
+        let mut tx: Vec<u64> = vec![NONE; n_st];
+
+        let flow_tags: Vec<Vec<u16>> = self
+            .stations
+            .iter()
+            .map(|st| st.flow_tags.clone())
+            .collect();
+        let stop_rule = self.stop_rule;
+        let traces = &self.traces;
+        let mut outputs: Vec<SlottedOutput> = Vec::with_capacity(self.seeds.len());
+
+        for &lane_seed in &self.seeds {
+            // ---- reset the shared scratch for this lane ----
+            src_rng.clear();
+            feed.clear();
+            for (s_idx, st) in self.stations.iter().enumerate() {
+                src_rng.push(SimRng::new(derive_seed(lane_seed, s_idx as u64 + 1)));
+                let mut sources: Vec<LaneSrc> = st.flows.iter().map(|f| f.build()).collect();
+                feed.push(if sources.len() == 1 {
+                    LaneFeed::Single(sources.pop().unwrap())
+                } else {
+                    let m = sources.len();
+                    LaneFeed::Merged {
+                        sources,
+                        pending: vec![None; m],
+                        primed: false,
+                    }
+                });
+            }
+            for s in 0..n_st {
+                queue[s].clear();
+                head_since[s] = 0;
+                slots_left[s] = 0;
+                count_start[s] = 0;
+                contending[s] = false;
+                stage[s] = 0;
+                retries[s] = 0;
+                // Prime the arrival look-ahead (the scalar kernel's
+                // first feed pull per station, in station order).
+                match feed[s].next(&mut src_rng[s], traces) {
+                    Some(p) => {
+                        next_time[s] = p.time.0;
+                        next_bytes[s] = p.bytes;
+                        next_flow[s] = p.flow;
+                    }
+                    None => next_time[s] = NONE,
+                }
+            }
+            let mut channel_free_at = 0u64;
+            let mut last_done = 0u64;
+            let mut collisions = 0u64;
+            let mut stop_remaining = stop_rule.map(|(_, _, c)| c).unwrap_or(usize::MAX);
+            let mut records: Vec<PacketRecord> = Vec::new();
+            let mut window_bits: Vec<Vec<u64>> = flow_tags
+                .iter()
+                .map(|tags| vec![0u64; tags.len()])
+                .collect();
+
+            macro_rules! draw_backoff {
+                ($s:expr, $stage:expr) => {
+                    src_rng[$s].range_inclusive(0, cw[$stage as usize] as u64) as u32
+                };
+            }
+            macro_rules! rearm {
+                ($s:expr, $done:expr) => {{
+                    stage[$s] = 0;
+                    retries[$s] = 0;
+                    if queue[$s].is_empty() {
+                        contending[$s] = false;
+                    } else {
+                        head_since[$s] = $done;
+                        slots_left[$s] = draw_backoff!($s, 0);
+                        contending[$s] = true;
+                        // count_start is set by the re-anchor pass.
+                    }
+                }};
+            }
+            macro_rules! stop_dec {
+                ($s:expr, $flow:expr) => {
+                    if let Some((ss, sf, _)) = stop_rule {
+                        if ss == $s && sf == $flow {
+                            stop_remaining = stop_remaining.saturating_sub(1);
+                        }
+                    }
+                };
+            }
+            macro_rules! credit {
+                ($s:expr, $flow:expr, $bytes:expr, $rx_end:expr) => {{
+                    let in_window = match window {
+                        Some((from, to)) => $rx_end > from && $rx_end <= to,
+                        None => true,
+                    };
+                    if in_window {
+                        if let Some(slot_idx) = flow_tags[$s].iter().position(|&tag| tag == $flow) {
+                            window_bits[$s][slot_idx] += $bytes as u64 * 8;
+                        }
+                    }
+                }};
+            }
+
+            // ---- this lane's event loop (the scalar kernel's loop
+            // over flat arrays, winners as a station bitmask) ----
+            loop {
+                if stop_remaining == 0 {
+                    break;
+                }
+
+                // Earliest pending arrival; strict `<` keeps the
+                // lowest station index on ties, as the scalar scan.
+                let mut next_arr = NONE;
+                let mut arr_st = 0usize;
+                // Earliest candidate transmission; the per-station
+                // candidates land in `tx` for the winner pass below.
+                let mut next_tx = NONE;
+                for s in 0..n_st {
+                    let ta = next_time[s];
+                    if ta < next_arr {
+                        next_arr = ta;
+                        arr_st = s;
+                    }
+                    let cand = (count_start[s] + slot * slots_left[s] as u64)
+                        | if contending[s] { 0 } else { NONE };
+                    tx[s] = cand;
+                    if cand < next_tx {
+                        next_tx = cand;
+                    }
+                }
+
+                let next_event = next_arr.min(next_tx);
+                if next_event == NONE || next_event >= horizon {
+                    break;
+                }
+
+                if next_arr <= next_tx {
+                    // ---- arrival ----
+                    let s = arr_st;
+                    let pkt_time = next_time[s];
+                    let pkt_bytes = next_bytes[s];
+                    let pkt_flow = next_flow[s];
+                    match feed[s].next(&mut src_rng[s], traces) {
+                        Some(p) => {
+                            debug_assert!(
+                                p.time.0 >= pkt_time,
+                                "flow emitted decreasing arrival times"
+                            );
+                            next_time[s] = p.time.0;
+                            next_bytes[s] = p.bytes;
+                            next_flow[s] = p.flow;
+                        }
+                        None => next_time[s] = NONE,
+                    }
+                    queue[s].push_back((pkt_time, pkt_bytes, pkt_flow));
+                    if queue[s].len() == 1 {
+                        head_since[s] = pkt_time;
+                        stage[s] = 0;
+                        retries[s] = 0;
+                        contending[s] = true;
+                        if pkt_time < channel_free_at {
+                            slots_left[s] = draw_backoff!(s, 0);
+                            count_start[s] = channel_free_at + difs;
+                        } else {
+                            let anchor = channel_free_at + difs;
+                            slots_left[s] = if immediate_access {
+                                0
+                            } else {
+                                draw_backoff!(s, 0)
+                            };
+                            count_start[s] = Self::align_up_ns(anchor, slot, pkt_time + difs);
+                        }
+                    }
+                    continue;
+                }
+
+                // ---- transmission(s) at t = next_tx ----
+                let t = next_tx;
+                // Winner set as a station bitmask, snapshotted from the
+                // scan pass before the freeze pass rewrites counters.
+                let mut winners = 0u64;
+                for (s, &cand) in tx.iter().enumerate() {
+                    winners |= ((cand == t) as u64) << s;
+                }
+                debug_assert!(winners != 0);
+
+                // Freeze every other contending station.
+                for s in 0..n_st {
+                    if winners & (1 << s) != 0 || !contending[s] {
+                        continue;
+                    }
+                    if count_start[s] <= t {
+                        let elapsed = ((t - count_start[s]) / slot) as u32;
+                        debug_assert!(
+                            slots_left[s] > elapsed,
+                            "non-winner should not have expired"
+                        );
+                        slots_left[s] -= elapsed;
+                    } else if slots_left[s] == 0 {
+                        // Lost its immediate-access opportunity to this
+                        // busy period: must back off like everyone else.
+                        slots_left[s] = draw_backoff!(s, stage[s]);
+                    }
+                }
+
+                let busy_end;
+                if winners.count_ones() == 1 {
+                    let w = winners.trailing_zeros() as usize;
+                    let failed = fer > 0.0 && src_rng[w].f64() < fer;
+                    let (arrival, bytes, flow) =
+                        *queue[w].front().expect("winner with empty queue");
+                    let preface = if self.options.uses_rts(bytes) {
+                        rts_preface
+                    } else {
+                        0
+                    };
+                    let data = self.phy.data_airtime(bytes).0;
+                    if failed {
+                        // ---- corrupted data frame: no ACK, BEB retry ----
+                        let fail_end = t + preface + data + ack_timeout;
+                        retries[w] += 1;
+                        stage[w] += 1;
+                        if retries[w] > retry_limit {
+                            if watch == Some((w, flow)) {
+                                records.push(PacketRecord {
+                                    arrival: Time(arrival),
+                                    head: Time(head_since[w]),
+                                    rx_end: Time(t + preface + data),
+                                    done: Time(fail_end),
+                                    bytes,
+                                    retries: retries[w],
+                                    dropped: true,
+                                    flow,
+                                });
+                            }
+                            stop_dec!(w, flow);
+                            last_done = last_done.max(fail_end);
+                            queue[w].pop_front();
+                            rearm!(w, fail_end);
+                        } else {
+                            slots_left[w] = draw_backoff!(w, stage[w]);
+                        }
+                        busy_end = fail_end;
+                    } else {
+                        // ---- success ----
+                        let rx_end = t + preface + data;
+                        let done = rx_end + sifs + ack_air;
+                        if watch == Some((w, flow)) {
+                            records.push(PacketRecord {
+                                arrival: Time(arrival),
+                                head: Time(head_since[w]),
+                                rx_end: Time(rx_end),
+                                done: Time(done),
+                                bytes,
+                                retries: retries[w],
+                                dropped: false,
+                                flow,
+                            });
+                        }
+                        credit!(w, flow, bytes, rx_end);
+                        stop_dec!(w, flow);
+                        last_done = last_done.max(done);
+                        queue[w].pop_front();
+                        rearm!(w, done);
+                        busy_end = done;
+                    }
+                } else {
+                    // ---- collision ----
+                    collisions += 1;
+                    let mut max_frame = 0u64;
+                    let mut m = winners;
+                    while m != 0 {
+                        let s = m.trailing_zeros() as usize;
+                        m &= m - 1;
+                        let (_, bytes, _) = *queue[s].front().unwrap();
+                        let air = if self.options.uses_rts(bytes) {
+                            // RTS/CTS: only the short RTS collides.
+                            rts_air
+                        } else {
+                            self.phy.data_airtime(bytes).0
+                        };
+                        max_frame = max_frame.max(air);
+                    }
+                    busy_end = t + max_frame + sifs + ack_air;
+                    // Ascending station order, as the scalar loop.
+                    let mut m = winners;
+                    while m != 0 {
+                        let s = m.trailing_zeros() as usize;
+                        m &= m - 1;
+                        retries[s] += 1;
+                        stage[s] += 1;
+                        if retries[s] > retry_limit {
+                            // Drop the frame.
+                            let (arrival, bytes, flow) = *queue[s].front().unwrap();
+                            if watch == Some((s, flow)) {
+                                records.push(PacketRecord {
+                                    arrival: Time(arrival),
+                                    head: Time(head_since[s]),
+                                    rx_end: Time(t + self.phy.data_airtime(bytes).0),
+                                    done: Time(busy_end),
+                                    bytes,
+                                    retries: retries[s],
+                                    dropped: true,
+                                    flow,
+                                });
+                            }
+                            stop_dec!(s, flow);
+                            last_done = last_done.max(busy_end);
+                            queue[s].pop_front();
+                            rearm!(s, busy_end);
+                        } else {
+                            slots_left[s] = draw_backoff!(s, stage[s]);
+                        }
+                    }
+                }
+
+                channel_free_at = busy_end;
+                // Re-anchor every contending station on the new idle
+                // grid (predicated store over the flat array).
+                let anchor = busy_end + difs;
+                for s in 0..n_st {
+                    if contending[s] {
+                        count_start[s] = anchor;
+                    }
+                }
+            }
+
+            outputs.push(SlottedOutput {
+                records,
+                collisions,
+                last_done: Time(last_done),
+                window_bits,
+                flow_tags: flow_tags.clone(),
+                backoffs: Vec::new(),
+            });
+        }
+        outputs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slotted::SlottedSim;
+    use csmaprobe_desim::time::Dur;
+
+    fn phy() -> Phy {
+        Phy::dsss_11mbps()
+    }
+
+    /// Scalar reference: one `SlottedSim` run per seed.
+    fn scalar_outputs(
+        seeds: &[u64],
+        stations: &[Vec<SlottedFlow>],
+        watch: Option<(usize, u16)>,
+        stop: Option<(usize, u16, usize)>,
+        window: Option<(Time, Time)>,
+        horizon: Time,
+        options: MacOptions,
+    ) -> Vec<SlottedOutput> {
+        seeds
+            .iter()
+            .map(|&seed| {
+                let mut sim = SlottedSim::new(phy(), seed).with_options(options);
+                let mut ids = Vec::new();
+                for flows in stations {
+                    ids.push(sim.add_station(flows.clone()));
+                }
+                if let Some((s, f)) = watch {
+                    sim.watch_flow(ids[s], f);
+                }
+                if let Some((s, f, c)) = stop {
+                    sim.stop_after_flow(ids[s], f, c);
+                }
+                if let Some((from, to)) = window {
+                    sim.set_window(from, to);
+                }
+                sim.run(horizon)
+            })
+            .collect()
+    }
+
+    fn batched_outputs(
+        seeds: &[u64],
+        stations: &[Vec<SlottedFlow>],
+        watch: Option<(usize, u16)>,
+        stop: Option<(usize, u16, usize)>,
+        window: Option<(Time, Time)>,
+        horizon: Time,
+        options: MacOptions,
+    ) -> Vec<SlottedOutput> {
+        let mut sim = BatchedSlottedSim::new(phy(), seeds.to_vec()).with_options(options);
+        let mut ids = Vec::new();
+        for flows in stations {
+            ids.push(sim.add_station(flows.clone()));
+        }
+        if let Some((s, f)) = watch {
+            sim.watch_flow(ids[s], f);
+        }
+        if let Some((s, f, c)) = stop {
+            sim.stop_after_flow(ids[s], f, c);
+        }
+        if let Some((from, to)) = window {
+            sim.set_window(from, to);
+        }
+        sim.run(horizon)
+    }
+
+    fn assert_lanes_match(scalar: &[SlottedOutput], batched: &[SlottedOutput]) {
+        assert_eq!(scalar.len(), batched.len());
+        for (l, (sc, ba)) in scalar.iter().zip(batched).enumerate() {
+            assert_eq!(sc.records, ba.records, "records differ in lane {l}");
+            assert_eq!(
+                sc.collisions, ba.collisions,
+                "collisions differ in lane {l}"
+            );
+            assert_eq!(sc.last_done, ba.last_done, "last_done differs in lane {l}");
+            assert_eq!(
+                sc.window_bits, ba.window_bits,
+                "window_bits differ in lane {l}"
+            );
+            assert_eq!(sc.flow_tags, ba.flow_tags, "flow_tags differ in lane {l}");
+        }
+    }
+
+    #[test]
+    fn saturated_pair_bit_identical_across_lanes() {
+        let cfg = vec![
+            vec![SlottedFlow::Saturated {
+                bytes: 1500,
+                packets: 200,
+            }],
+            vec![SlottedFlow::Saturated {
+                bytes: 1000,
+                packets: 200,
+            }],
+        ];
+        let seeds: Vec<u64> = (0..7).map(|i| 1000 + i * 17).collect();
+        let sc = scalar_outputs(
+            &seeds,
+            &cfg,
+            Some((0, 0)),
+            None,
+            None,
+            Time::MAX,
+            MacOptions::default(),
+        );
+        let ba = batched_outputs(
+            &seeds,
+            &cfg,
+            Some((0, 0)),
+            None,
+            None,
+            Time::MAX,
+            MacOptions::default(),
+        );
+        assert!(sc.iter().all(|o| o.records.len() == 200));
+        assert_lanes_match(&sc, &ba);
+    }
+
+    #[test]
+    fn cbr_probe_against_poisson_cross_bit_identical() {
+        let end = Time::from_secs_f64(2.0);
+        let cfg = vec![
+            vec![SlottedFlow::Cbr {
+                rate_bps: 5_000_000.0,
+                bytes: 1500,
+                flow: 1,
+                start: Time::from_millis(500),
+                until: end,
+            }],
+            vec![SlottedFlow::Poisson {
+                rate_bps: 4_500_000.0,
+                bytes: 1500,
+                flow: 0,
+                start: Time::ZERO,
+                until: end,
+            }],
+        ];
+        let mid = Time::from_secs_f64(1.0);
+        let seeds = [3u64, 99, 0xC0FFEE];
+        let horizon = end + Dur::from_secs(2);
+        let sc = scalar_outputs(
+            &seeds,
+            &cfg,
+            Some((0, 1)),
+            None,
+            Some((mid, end)),
+            horizon,
+            MacOptions::default(),
+        );
+        let ba = batched_outputs(
+            &seeds,
+            &cfg,
+            Some((0, 1)),
+            None,
+            Some((mid, end)),
+            horizon,
+            MacOptions::default(),
+        );
+        assert!(sc.iter().all(|o| !o.records.is_empty()));
+        assert_lanes_match(&sc, &ba);
+    }
+
+    #[test]
+    fn merged_fifo_cross_with_stop_rule_bit_identical() {
+        // The probe-train station layout: shared trace arrivals plus a
+        // Poisson FIFO cross in one queue, one contender, early stop
+        // after the train completes.
+        let probe: Vec<PacketArrival> = (0..60)
+            .map(|i| PacketArrival {
+                time: Time::from_millis(500) + Dur::from_micros(3000) * i as u64,
+                bytes: 1500,
+                flow: 1,
+            })
+            .collect();
+        let end = Time::from_secs_f64(2.0);
+        let cfg = vec![
+            vec![
+                SlottedFlow::Trace(probe),
+                SlottedFlow::Poisson {
+                    rate_bps: 1_500_000.0,
+                    bytes: 1500,
+                    flow: 2,
+                    start: Time::ZERO,
+                    until: end,
+                },
+            ],
+            vec![SlottedFlow::Poisson {
+                rate_bps: 3_000_000.0,
+                bytes: 1500,
+                flow: 0,
+                start: Time::ZERO,
+                until: end,
+            }],
+        ];
+        let seeds: Vec<u64> = (0..5).map(|i| 0xBEEF + i).collect();
+        let sc = scalar_outputs(
+            &seeds,
+            &cfg,
+            Some((0, 1)),
+            Some((0, 1, 60)),
+            None,
+            Time::MAX,
+            MacOptions::default(),
+        );
+        let ba = batched_outputs(
+            &seeds,
+            &cfg,
+            Some((0, 1)),
+            Some((0, 1, 60)),
+            None,
+            Time::MAX,
+            MacOptions::default(),
+        );
+        assert!(sc.iter().all(|o| o.records.len() == 60));
+        assert_lanes_match(&sc, &ba);
+    }
+
+    #[test]
+    fn frame_errors_and_rts_bit_identical() {
+        let opts = MacOptions::default()
+            .with_frame_error_rate(0.2)
+            .with_rts_cts(500);
+        let cfg = vec![
+            vec![SlottedFlow::Saturated {
+                bytes: 1500,
+                packets: 150,
+            }],
+            vec![SlottedFlow::Saturated {
+                bytes: 1500,
+                packets: 150,
+            }],
+        ];
+        let seeds = [13u64, 17];
+        let sc = scalar_outputs(&seeds, &cfg, Some((0, 0)), None, None, Time::MAX, opts);
+        let ba = batched_outputs(&seeds, &cfg, Some((0, 0)), None, None, Time::MAX, opts);
+        assert!(sc.iter().any(|o| o.records.iter().any(|r| r.retries > 0)));
+        assert_lanes_match(&sc, &ba);
+    }
+
+    #[test]
+    fn single_lane_degenerates_to_scalar() {
+        let cfg = vec![vec![SlottedFlow::Saturated {
+            bytes: 1500,
+            packets: 100,
+        }]];
+        let sc = scalar_outputs(
+            &[42],
+            &cfg,
+            Some((0, 0)),
+            None,
+            None,
+            Time::MAX,
+            MacOptions::default(),
+        );
+        let ba = batched_outputs(
+            &[42],
+            &cfg,
+            Some((0, 0)),
+            None,
+            None,
+            Time::MAX,
+            MacOptions::default(),
+        );
+        assert_lanes_match(&sc, &ba);
+    }
+
+    #[test]
+    fn without_immediate_access_bit_identical() {
+        let opts = MacOptions::default().without_immediate_access();
+        let end = Time::from_secs_f64(1.0);
+        let cfg = vec![vec![SlottedFlow::Poisson {
+            rate_bps: 1_000_000.0,
+            bytes: 1500,
+            flow: 0,
+            start: Time::ZERO,
+            until: end,
+        }]];
+        let seeds = [19u64, 23, 29];
+        let sc = scalar_outputs(&seeds, &cfg, Some((0, 0)), None, None, end, opts);
+        let ba = batched_outputs(&seeds, &cfg, Some((0, 0)), None, None, end, opts);
+        assert!(sc.iter().all(|o| !o.records.is_empty()));
+        assert_lanes_match(&sc, &ba);
+    }
+}

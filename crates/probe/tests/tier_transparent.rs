@@ -2,20 +2,27 @@
 //! tools never know (and must never be able to tell) which engine tier
 //! served their probes.
 //!
-//! Two guarantees, both exact:
+//! Three guarantees, all exact:
 //!
-//! * **Routing is a no-op when the oracle is pinned** — under the
-//!   default `Auto` policy probe trains route to the event core, so
-//!   forcing `Event` must change nothing, bit for bit.
+//! * **Routing is a no-op when the oracle is pinned** — on regimes the
+//!   train-delay equivalence table does not certify (FIFO cross-traffic
+//!   cells), `Auto` keeps trains on the event core, so forcing `Event`
+//!   must change nothing, bit for bit.
 //! * **The slotted kernel is invisible** — forcing `Slotted` on a
 //!   covered link yields the identical measurement, because the kernel
 //!   is trajectory-exact on trains.
+//! * **Auto-promotion is invisible** — on certified (FIFO-free,
+//!   slotted-covered) regimes `Auto` now routes trains to the kernel,
+//!   including the replication-batched chunk path, and the measurement
+//!   still fingerprints identically to the forced-event oracle.
 
-use csmaprobe_core::engine::{test_guard, EnginePolicy, EngineTier};
-use csmaprobe_core::link::{LinkConfig, WlanLink};
+use csmaprobe_core::engine::{test_guard, train_tier, EnginePolicy, EngineTier};
+use csmaprobe_core::link::{CrossShape, CrossSpec, LinkConfig, WlanLink};
 use csmaprobe_probe::{SlopsEstimator, TrainProbe};
 
-fn link() -> WlanLink {
+/// A FIFO cell: covered by the kernel but *not* certified for trains,
+/// so auto keeps the oracle.
+fn fifo_link() -> WlanLink {
     WlanLink::new(
         LinkConfig::default()
             .contending_bps(2_000_000.0)
@@ -23,9 +30,32 @@ fn link() -> WlanLink {
     )
 }
 
-fn train_fingerprint(policy: EnginePolicy) -> (f64, f64, Vec<f64>, usize) {
+/// The newly auto-routed regimes: FIFO-free cells matching the
+/// certified KS rows (`poisson-1`-like and `mixed-2`-like shapes).
+fn certified_links() -> Vec<(&'static str, WlanLink)> {
+    vec![
+        (
+            "poisson-1",
+            WlanLink::new(LinkConfig::default().contending_bps(2_000_000.0)),
+        ),
+        (
+            "mixed-2",
+            WlanLink::new(
+                LinkConfig::default()
+                    .contending_bps(2_000_000.0)
+                    .contending(CrossSpec::shaped(1_000_000.0, CrossShape::Cbr)),
+            ),
+        ),
+    ]
+}
+
+fn train_fingerprint(
+    link: &WlanLink,
+    policy: EnginePolicy,
+    reps: usize,
+) -> (f64, f64, Vec<f64>, usize) {
     let _g = test_guard(policy);
-    let m = TrainProbe::new(30, 1500, 5_000_000.0).measure(&link(), 8, 0xF00D);
+    let m = TrainProbe::new(30, 1500, 5_000_000.0).measure(link, reps, 0xF00D);
     (
         m.output_gap.mean(),
         m.output_gap.variance(),
@@ -36,20 +66,54 @@ fn train_fingerprint(policy: EnginePolicy) -> (f64, f64, Vec<f64>, usize) {
 
 #[test]
 fn train_measurement_identical_across_tiers() {
-    let auto = train_fingerprint(EnginePolicy::Auto);
-    let event = train_fingerprint(EnginePolicy::Forced(EngineTier::Event));
-    let slotted = train_fingerprint(EnginePolicy::Forced(EngineTier::Slotted));
-    // Auto routes trains to the oracle: pinning it is a no-op.
+    let link = fifo_link();
+    {
+        let _g = test_guard(EnginePolicy::Auto);
+        assert_eq!(train_tier(link.config()), EngineTier::Event);
+    }
+    let auto = train_fingerprint(&link, EnginePolicy::Auto, 8);
+    let event = train_fingerprint(&link, EnginePolicy::Forced(EngineTier::Event), 8);
+    let slotted = train_fingerprint(&link, EnginePolicy::Forced(EngineTier::Slotted), 8);
+    // Auto keeps uncertified trains on the oracle: pinning it is a no-op.
     assert_eq!(auto, event);
     // The slotted kernel is trajectory-exact: forcing it is invisible.
     assert_eq!(auto, slotted);
 }
 
 #[test]
+fn promoted_regimes_fingerprint_identically_to_oracle() {
+    for (name, link) in certified_links() {
+        {
+            let _g = test_guard(EnginePolicy::Auto);
+            assert_eq!(
+                train_tier(link.config()),
+                EngineTier::Slotted,
+                "{name} must auto-promote"
+            );
+        }
+        let auto = train_fingerprint(&link, EnginePolicy::Auto, 8);
+        let event = train_fingerprint(&link, EnginePolicy::Forced(EngineTier::Event), 8);
+        assert_eq!(auto, event, "{name}: auto vs forced-event");
+    }
+}
+
+#[test]
+fn promoted_batched_chunks_fingerprint_identically_to_oracle() {
+    // 40 replications span one full CHUNK plus a ragged tail, so the
+    // batched kernel path (one BatchedSlottedSim call per chunk) serves
+    // both chunk shapes — and must still be invisible.
+    let (_, link) = certified_links().remove(1);
+    let auto = train_fingerprint(&link, EnginePolicy::Auto, 40);
+    let event = train_fingerprint(&link, EnginePolicy::Forced(EngineTier::Event), 40);
+    assert_eq!(auto, event);
+}
+
+#[test]
 fn slops_estimate_identical_across_tiers() {
+    let link = fifo_link();
     let run = |policy: EnginePolicy| {
         let _g = test_guard(policy);
-        SlopsEstimator::default().run(&link(), 0xBEA7)
+        SlopsEstimator::default().run(&link, 0xBEA7)
     };
     let auto = run(EnginePolicy::Auto);
     let event = run(EnginePolicy::Forced(EngineTier::Event));
