@@ -15,6 +15,7 @@
 //! Set via `--scale <f>` argv or the `SCALE` env var in the binaries.
 
 pub mod bench_support;
+pub mod campaign;
 pub mod figures;
 pub mod grid;
 pub mod report;

@@ -16,8 +16,16 @@
 //! 3. **Tier-provenance rejection** — rows persisted under one engine
 //!    policy carry a run fingerprint no differently-policied grid will
 //!    accept, so `--resume` refuses to mix engine tiers silently.
+//! 4. **Shard partition soundness** — for any shard count, the
+//!    name-keyed round-robin partition covers the cell space with
+//!    pairwise-disjoint member sets, and running the shards
+//!    independently (each under an arbitrary worker count) then merging
+//!    their rows is bitwise identical to the unsharded run — the
+//!    sharded-campaign contract.
 
-use csmaprobe::core::grid::{run_grid, GridRunner, GridScenario, GridShape};
+use csmaprobe::core::grid::{
+    run_grid, shard_members, GridRunner, GridScenario, GridShape, ShardSpec,
+};
 use csmaprobe::desim::replicate;
 use csmaprobe::desim::rng::{derive_seed, SimRng};
 use csmaprobe::stats::accumulate::Accumulate;
@@ -157,6 +165,71 @@ proptest! {
             previous = Some(*flat);
             prop_assert_eq!(row.count(), full[*flat].count());
             prop_assert_eq!(row.mean().to_bits(), full[*flat].mean().to_bits());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // Shard partition soundness + merge bit-identity, for any shard
+    // count and any per-shard worker count.
+    #[test]
+    fn shard_union_covers_disjointly_and_merges_bit_identical(
+        dims in prop::collection::vec(1usize..4, 1..4),
+        seed in any::<u64>(),
+        n in 1usize..9,
+        workers in 1usize..5,
+    ) {
+        let grid = SyntheticGrid { dims: dims.clone(), seed };
+        let shape = grid.shape();
+        let total = shape.len();
+        // A name-like key (reversed coordinates) whose sort order
+        // deliberately differs from flat order, as axis-name keys do.
+        let key_of = |f: usize| {
+            let coord = shape.unflatten(f);
+            coord
+                .iter()
+                .rev()
+                .map(|c| c.to_string())
+                .collect::<Vec<_>>()
+                .join("/")
+        };
+        let full = run_grid(&grid);
+
+        let mut owner: Vec<Option<usize>> = vec![None; total];
+        let mut merged: Vec<Option<OnlineStats>> = (0..total).map(|_| None).collect();
+        for index in 0..n {
+            let members = shard_members(total, ShardSpec { index, count: n }, key_of);
+            prop_assert!(
+                members.windows(2).all(|w| w[0] < w[1]),
+                "members ascending for the runner"
+            );
+            for &f in &members {
+                prop_assert_eq!(owner[f], None, "cell {} owned by two shards", f);
+                owner[f] = Some(index);
+            }
+            // Each shard may run on a host with a different worker
+            // count; the merged result must not care.
+            replicate::set_worker_limit(workers);
+            GridRunner::new().run_cells_with(&grid, &members, |flat, row| {
+                merged[flat] = Some(row);
+            });
+        }
+        // Restore the ambient process-wide limit for the other tests.
+        replicate::set_worker_limit(
+            std::env::var("CSMAPROBE_WORKERS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0),
+        );
+
+        prop_assert!(owner.iter().all(Option::is_some), "union covers the cell space");
+        for (flat, row) in merged.into_iter().enumerate() {
+            let row = row.expect("covered cell has a row");
+            prop_assert_eq!(row.count(), full[flat].count());
+            prop_assert_eq!(row.mean().to_bits(), full[flat].mean().to_bits());
+            prop_assert_eq!(row.variance().to_bits(), full[flat].variance().to_bits());
         }
     }
 }
