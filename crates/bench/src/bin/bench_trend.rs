@@ -24,11 +24,20 @@
 //!   flags figures slower than `F ×` the checked-in baseline
 //!   (`BENCH_baseline.json`), fixed factor, default 2.0.
 //!
-//! Exit code is 0 unless the inputs are unreadable/empty (exit 2).
+//! History integrity: trajectory mode refuses a history file with
+//! malformed or torn lines (exit 4, one `::error::` annotation per bad
+//! line) — a corrupted cache silently shrinking the calibration window
+//! must fail CI loudly, not quietly "calibrate". Pass `--lenient` to
+//! restore the skip-bad-lines behaviour for local runs against
+//! hand-edited or ancient files.
+//!
+//! Exit code is 0 unless the inputs are unreadable/empty (exit 2) or
+//! the history is malformed in strict mode (exit 4). Timing
+//! regressions themselves remain warn-only.
 
 use csmaprobe_bench::report::parse_figure_timings;
 use csmaprobe_bench::trend::{
-    host_fingerprint, parse_history, trim_history, HistoryEntry, TrendGate,
+    host_fingerprint, parse_history, parse_history_checked, trim_history, HistoryEntry, TrendGate,
 };
 
 /// Most recent history entries kept when appending.
@@ -53,6 +62,7 @@ fn main() {
     let mut label = "run".to_string();
     let mut parent: Option<String> = None;
     let mut append = true;
+    let mut lenient = false;
 
     let mut i = 1;
     let bad = |what: &str, v: Option<&String>| -> ! {
@@ -106,18 +116,21 @@ fn main() {
                 i += 1;
             }
             "--no-append" => append = false,
+            "--lenient" => lenient = true,
             _ => paths.push(args[i].clone()),
         }
         i += 1;
     }
 
     match (paths.len(), &history_path) {
-        (1, Some(history)) => run_trajectory(&paths[0], history, gate, &label, parent, append),
+        (1, Some(history)) => {
+            run_trajectory(&paths[0], history, gate, &label, parent, append, lenient)
+        }
         (2, None) => run_baseline(&paths[0], &paths[1], factor),
         _ => {
             eprintln!(
                 "usage: bench_trend <current.json> --history BENCH_history.jsonl \
-                 [--window N] [--k K] [--label L] [--no-append]\n\
+                 [--window N] [--k K] [--label L] [--no-append] [--lenient]\n\
                  \x20      bench_trend <current.json> <baseline.json> [--factor F>1]"
             );
             std::process::exit(2);
@@ -126,6 +139,7 @@ fn main() {
 }
 
 /// Trajectory mode: robust gate against the stored run history.
+#[allow(clippy::too_many_arguments)]
 fn run_trajectory(
     current_path: &str,
     history_path: &str,
@@ -133,6 +147,7 @@ fn run_trajectory(
     label: &str,
     parent: Option<String>,
     append: bool,
+    lenient: bool,
 ) {
     let current = read_timings(current_path);
     if current.is_empty() {
@@ -140,7 +155,37 @@ fn run_trajectory(
         std::process::exit(2);
     }
     let history = match std::fs::read_to_string(history_path) {
-        Ok(text) => parse_history(&text),
+        Ok(text) if lenient => {
+            let parsed = parse_history(&text);
+            let lines = text.lines().filter(|l| !l.trim().is_empty()).count();
+            if parsed.len() < lines {
+                println!(
+                    "note: skipped {} malformed history line(s) (--lenient)",
+                    lines - parsed.len()
+                );
+            }
+            parsed
+        }
+        Ok(text) => match parse_history_checked(&text) {
+            Ok(parsed) => parsed,
+            Err(bad) => {
+                // A corrupted history silently shrinking the window
+                // would look like a healthy "calibrating" run; fail
+                // loudly instead (or rerun with --lenient).
+                for (lineno, what) in &bad {
+                    println!(
+                        "::error file={history_path},line={lineno},\
+                         title=malformed BENCH history::{what}"
+                    );
+                }
+                eprintln!(
+                    "error: {} malformed line(s) in {history_path}; \
+                     fix or drop the cached history, or pass --lenient",
+                    bad.len()
+                );
+                std::process::exit(4);
+            }
+        },
         Err(_) => Vec::new(), // first run: no trajectory yet
     };
 

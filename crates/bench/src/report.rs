@@ -609,7 +609,12 @@ fn assemble_table<S: AsRef<str>>(rows: impl ExactSizeIterator<Item = S>) -> Stri
 }
 
 /// JSON string literal with the escapes required by RFC 8259.
-pub(crate) fn json_str(s: &str) -> String {
+///
+/// Public because every layer that writes [`RowSink`]-compatible rows
+/// (the grid runner here, the serving layer in `csmaprobe-service`)
+/// must serialize fields identically for finalized tables to be
+/// byte-comparable.
+pub fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for ch in s.chars() {
@@ -630,8 +635,9 @@ pub(crate) fn json_str(s: &str) -> String {
 }
 
 /// JSON number for an `f64`. JSON has no NaN/Infinity; encode them as
-/// null so the output always parses.
-pub(crate) fn json_f64(v: f64) -> String {
+/// null so the output always parses. Public for the same
+/// byte-compatibility reason as [`json_str`].
+pub fn json_f64(v: f64) -> String {
     if v.is_finite() {
         // `{v:?}` round-trips f64 exactly and always includes a decimal
         // point or exponent, so the value re-parses as a float.

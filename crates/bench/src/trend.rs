@@ -83,6 +83,43 @@ pub fn parse_history(jsonl: &str) -> Vec<HistoryEntry> {
     jsonl.lines().filter_map(parse_entry).collect()
 }
 
+/// Strict variant of [`parse_history`]: every non-blank line must
+/// parse, and a malformed or torn line is reported as
+/// `(1-based line number, description)` instead of being silently
+/// dropped.
+///
+/// This is what CI runs: a corrupted cache entry silently shrinking
+/// the calibration window *looks* like a healthy trajectory while the
+/// gate quietly loses its history, so the malformation must fail the
+/// job loudly. Local/exploratory runs can keep the lenient behaviour
+/// (`bench_trend --lenient`).
+pub fn parse_history_checked(jsonl: &str) -> Result<Vec<HistoryEntry>, Vec<(usize, String)>> {
+    let mut entries = Vec::new();
+    let mut bad = Vec::new();
+    for (i, line) in jsonl.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_entry(line) {
+            Some(e) => entries.push(e),
+            None => {
+                let shown: String = line.chars().take(80).collect();
+                let what = if line.trim_start().starts_with("{\"label\":\"") {
+                    "torn or truncated history entry"
+                } else {
+                    "not a history entry"
+                };
+                bad.push((i + 1, format!("{what}: {shown:?}")));
+            }
+        }
+    }
+    if bad.is_empty() {
+        Ok(entries)
+    } else {
+        Err(bad)
+    }
+}
+
 /// The string value of a `"key":"value"` field in `json`, if present
 /// before `upto` (fields live between the label and the figure array).
 fn string_field(json: &str, key: &str, upto: usize) -> Option<String> {
@@ -284,6 +321,26 @@ mod tests {
         let jsonl = format!("not json\n{}\n{{\"label\":\"torn", good.to_json());
         let parsed = parse_history(&jsonl);
         assert_eq!(parsed, vec![good]);
+    }
+
+    #[test]
+    fn checked_parse_reports_torn_lines_with_numbers() {
+        let good = entry("ok", &[("fig01", 1.0)]);
+        let clean = format!("{}\n\n{}\n", good.to_json(), good.to_json());
+        assert_eq!(
+            parse_history_checked(&clean).unwrap(),
+            vec![good.clone(), good.clone()],
+            "blank lines are not errors"
+        );
+        let jsonl = format!("not json\n{}\n{{\"label\":\"torn", good.to_json());
+        let errs = parse_history_checked(&jsonl).unwrap_err();
+        assert_eq!(errs.len(), 2);
+        assert_eq!(errs[0].0, 1);
+        assert!(errs[0].1.contains("not a history entry"), "{}", errs[0].1);
+        assert_eq!(errs[1].0, 3);
+        assert!(errs[1].1.contains("torn or truncated"), "{}", errs[1].1);
+        // The lenient parser still accepts the same input.
+        assert_eq!(parse_history(&jsonl), vec![good]);
     }
 
     #[test]

@@ -1,0 +1,604 @@
+//! The newline-delimited JSON wire protocol.
+//!
+//! One request per line, one response line per request, in order —
+//! clients may pipeline. Requests are flat JSON objects dispatched on
+//! their `"op"` field:
+//!
+//! ```text
+//! {"op":"submit","id":"s1","cell":1,"link":"wired","train":"short","tool":"train","reps":64,"seed":7}
+//! {"op":"poll","id":"s1"}
+//! {"op":"cancel","id":"s1"}
+//! {"op":"drain"}
+//! {"op":"metrics"}
+//! ```
+//!
+//! Responses are `{"ok":true,…}` or a **typed error**
+//! `{"ok":false,"error":"<code>","detail":"…"}` — a malformed,
+//! truncated or oversized frame, a duplicate or unknown session id,
+//! cancelling a completed session, or submitting to a draining server
+//! each get their own stable code ([`WireError::code`]); the
+//! connection survives every error and resynchronises on the next
+//! newline. A connection whose first bytes are `GET ` is treated as a
+//! plain-text `/metrics` scrape instead (see
+//! [`crate::server`]).
+//!
+//! The parser is deliberately flat (strings, integers, floats, bools,
+//! null — no nesting): every request is a bounded line
+//! ([`MAX_FRAME`]), so a hostile or confused client can neither wedge
+//! a session slot nor balloon memory. It never panics on any input
+//! (fuzz-pinned in `tests/wire_fuzz.rs`).
+
+use std::io::BufRead;
+
+/// Longest accepted request line, bytes (newline included). Longer
+/// frames are answered with an `oversized_frame` error and discarded
+/// up to the next newline.
+pub const MAX_FRAME: usize = 16 * 1024;
+
+/// Largest accepted per-session replication budget — bounds a
+/// session's executor submission, not any materialised memory.
+pub const MAX_REPS: usize = 1 << 20;
+
+/// A parsed request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Open a session.
+    Submit(SubmitRequest),
+    /// Read a session's current (possibly partial) estimate.
+    Poll { id: String },
+    /// Cancel a session that has not completed yet.
+    Cancel { id: String },
+    /// Block until every accepted session has finished.
+    Drain,
+    /// Metrics snapshot (JSON form; `GET /metrics` is the text form).
+    Metrics,
+}
+
+/// The payload of a `submit` request. Axis fields are still names
+/// here; [`crate::session::SessionSpec::resolve`] binds them to the
+/// catalog (or inline-spec) axis points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubmitRequest {
+    /// Client-chosen session id — the row key of the session table.
+    pub id: String,
+    /// Client-chosen table cell index: the finalized table sorts by
+    /// it, which is what makes the table independent of completion
+    /// order. Must be unique among accepted sessions.
+    pub cell: u64,
+    /// Link-axis name (catalog or inline spec, as `--links` accepts).
+    pub link: String,
+    /// Train-axis name.
+    pub train: String,
+    /// Tool family name.
+    pub tool: String,
+    /// Independent tool runs to replicate (1..=[`MAX_REPS`]).
+    pub reps: usize,
+    /// Session master seed: replication `i` runs under
+    /// `derive_seed(seed, i)`, exactly as `run_reduce` derives them.
+    pub seed: u64,
+}
+
+/// Every way a request can be refused, as a stable typed code.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireError {
+    /// Line exceeded [`MAX_FRAME`] bytes.
+    Oversized { len: usize },
+    /// Not a parseable flat JSON object (truncated frames land here).
+    Malformed { detail: String },
+    /// Valid object, unknown `"op"`.
+    UnknownOp { op: String },
+    /// A field is missing, has the wrong type, or an invalid value.
+    BadField { field: &'static str, detail: String },
+    /// Submit with an id an accepted session already uses.
+    DuplicateId { id: String },
+    /// Submit with a cell index an accepted session already uses.
+    DuplicateCell { cell: u64 },
+    /// Poll/cancel of an id no accepted session uses.
+    UnknownId { id: String },
+    /// Cancel of a session that already completed.
+    AlreadyComplete { id: String },
+    /// Submit refused because the server is draining for shutdown.
+    Draining,
+}
+
+impl WireError {
+    /// The stable error code clients dispatch on.
+    pub fn code(&self) -> &'static str {
+        match self {
+            WireError::Oversized { .. } => "oversized_frame",
+            WireError::Malformed { .. } => "malformed_request",
+            WireError::UnknownOp { .. } => "unknown_op",
+            WireError::BadField { .. } => "bad_field",
+            WireError::DuplicateId { .. } => "duplicate_id",
+            WireError::DuplicateCell { .. } => "duplicate_cell",
+            WireError::UnknownId { .. } => "unknown_id",
+            WireError::AlreadyComplete { .. } => "already_complete",
+            WireError::Draining => "draining",
+        }
+    }
+
+    /// Human detail for the response line.
+    pub fn detail(&self) -> String {
+        match self {
+            WireError::Oversized { len } => {
+                format!("frame of {len}+ bytes exceeds the {MAX_FRAME}-byte limit")
+            }
+            WireError::Malformed { detail } => detail.clone(),
+            WireError::UnknownOp { op } => format!("unknown op {op:?}"),
+            WireError::BadField { field, detail } => format!("field {field:?}: {detail}"),
+            WireError::DuplicateId { id } => format!("session id {id:?} already accepted"),
+            WireError::DuplicateCell { cell } => {
+                format!("cell index {cell} already used by an accepted session")
+            }
+            WireError::UnknownId { id } => format!("no accepted session with id {id:?}"),
+            WireError::AlreadyComplete { id } => {
+                format!("session {id:?} already completed; nothing to cancel")
+            }
+            WireError::Draining => "server is draining; no new sessions".to_string(),
+        }
+    }
+
+    /// The `{"ok":false,…}` response line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"ok\":false,\"error\":{},\"detail\":{}}}",
+            json_str(self.code()),
+            json_str(&self.detail())
+        )
+    }
+}
+
+pub use csmaprobe_bench::report::{json_f64, json_str};
+
+/// A flat JSON scalar.
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Str(String),
+    /// Raw number text (kept raw so u64 seeds round-trip exactly).
+    Num(String),
+    Bool(bool),
+    Null,
+}
+
+/// Parse a strict flat JSON object: `{"key":scalar,…}` with nothing
+/// but whitespace around it. Nested arrays/objects are refused — no
+/// request needs them and flatness is what bounds the parser.
+fn parse_object(line: &str) -> Result<Vec<(String, Value)>, WireError> {
+    let malformed = |detail: &str| WireError::Malformed {
+        detail: detail.to_string(),
+    };
+    let bytes = line.as_bytes();
+    let mut i = 0usize;
+    let skip_ws = |i: &mut usize| {
+        while *i < bytes.len() && bytes[*i].is_ascii_whitespace() {
+            *i += 1;
+        }
+    };
+    skip_ws(&mut i);
+    if i >= bytes.len() || bytes[i] != b'{' {
+        return Err(malformed("expected a JSON object"));
+    }
+    i += 1;
+    let mut fields = Vec::new();
+    skip_ws(&mut i);
+    if i < bytes.len() && bytes[i] == b'}' {
+        i += 1;
+    } else {
+        loop {
+            skip_ws(&mut i);
+            let key = parse_string(line, &mut i)?;
+            skip_ws(&mut i);
+            if i >= bytes.len() || bytes[i] != b':' {
+                return Err(malformed("expected ':' after object key"));
+            }
+            i += 1;
+            skip_ws(&mut i);
+            let value = parse_scalar(line, &mut i)?;
+            fields.push((key, value));
+            skip_ws(&mut i);
+            match bytes.get(i) {
+                Some(b',') => i += 1,
+                Some(b'}') => {
+                    i += 1;
+                    break;
+                }
+                _ => return Err(malformed("expected ',' or '}' after value")),
+            }
+        }
+    }
+    skip_ws(&mut i);
+    if i != bytes.len() {
+        return Err(malformed("trailing bytes after the JSON object"));
+    }
+    Ok(fields)
+}
+
+/// Parse one scalar value at `*i`.
+fn parse_scalar(line: &str, i: &mut usize) -> Result<Value, WireError> {
+    let malformed = |detail: &str| WireError::Malformed {
+        detail: detail.to_string(),
+    };
+    let bytes = line.as_bytes();
+    match bytes.get(*i) {
+        Some(b'"') => Ok(Value::Str(parse_string(line, i)?)),
+        Some(b't') if line[*i..].starts_with("true") => {
+            *i += 4;
+            Ok(Value::Bool(true))
+        }
+        Some(b'f') if line[*i..].starts_with("false") => {
+            *i += 5;
+            Ok(Value::Bool(false))
+        }
+        Some(b'n') if line[*i..].starts_with("null") => {
+            *i += 4;
+            Ok(Value::Null)
+        }
+        Some(b'[') | Some(b'{') => Err(malformed("nested values are not part of the protocol")),
+        Some(c) if c.is_ascii_digit() || *c == b'-' || *c == b'+' => {
+            let start = *i;
+            while *i < bytes.len()
+                && (bytes[*i].is_ascii_digit()
+                    || matches!(bytes[*i], b'-' | b'+' | b'.' | b'e' | b'E'))
+            {
+                *i += 1;
+            }
+            let text = &line[start..*i];
+            // Validate through the f64 grammar; the raw text is kept
+            // for exact integer extraction.
+            text.parse::<f64>()
+                .map_err(|_| malformed("unparseable number"))?;
+            Ok(Value::Num(text.to_string()))
+        }
+        _ => Err(malformed("expected a scalar value")),
+    }
+}
+
+/// Parse a JSON string literal at `*i` (which must point at `"`),
+/// advancing past the closing quote.
+fn parse_string(line: &str, i: &mut usize) -> Result<String, WireError> {
+    let malformed = |detail: &str| WireError::Malformed {
+        detail: detail.to_string(),
+    };
+    let bytes = line.as_bytes();
+    if bytes.get(*i) != Some(&b'"') {
+        return Err(malformed("expected a string"));
+    }
+    *i += 1;
+    let mut out = String::new();
+    loop {
+        let Some(&b) = bytes.get(*i) else {
+            return Err(malformed("unterminated string (truncated frame?)"));
+        };
+        match b {
+            b'"' => {
+                *i += 1;
+                return Ok(out);
+            }
+            b'\\' => {
+                *i += 1;
+                let Some(&esc) = bytes.get(*i) else {
+                    return Err(malformed("unterminated escape"));
+                };
+                *i += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'u' => {
+                        let hex = line
+                            .get(*i..*i + 4)
+                            .ok_or_else(|| malformed("truncated \\u escape"))?;
+                        let cp = u32::from_str_radix(hex, 16)
+                            .map_err(|_| malformed("bad \\u escape"))?;
+                        *i += 4;
+                        // Surrogates would need pairing; the protocol
+                        // has no use for them, so refuse instead of
+                        // guessing.
+                        let ch = char::from_u32(cp)
+                            .ok_or_else(|| malformed("\\u escape is not a scalar value"))?;
+                        out.push(ch);
+                    }
+                    _ => return Err(malformed("unknown escape")),
+                }
+            }
+            _ if b < 0x20 => return Err(malformed("raw control byte in string")),
+            _ => {
+                // Consume one full UTF-8 scalar (the line is &str, so
+                // boundaries are valid).
+                let ch_len = line[*i..].chars().next().map(|c| c.len_utf8()).unwrap_or(1);
+                out.push_str(&line[*i..*i + ch_len]);
+                *i += ch_len;
+            }
+        }
+    }
+}
+
+/// Field accessors over the parsed object.
+struct Fields(Vec<(String, Value)>);
+
+impl Fields {
+    fn get(&self, key: &str) -> Option<&Value> {
+        self.0.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    fn str_field(&self, field: &'static str) -> Result<String, WireError> {
+        match self.get(field) {
+            Some(Value::Str(s)) => Ok(s.clone()),
+            Some(_) => Err(WireError::BadField {
+                field,
+                detail: "expected a string".to_string(),
+            }),
+            None => Err(WireError::BadField {
+                field,
+                detail: "required field missing".to_string(),
+            }),
+        }
+    }
+
+    fn u64_field(&self, field: &'static str) -> Result<u64, WireError> {
+        match self.get(field) {
+            Some(Value::Num(raw)) => raw.parse::<u64>().map_err(|_| WireError::BadField {
+                field,
+                detail: format!("{raw:?} is not an unsigned 64-bit integer"),
+            }),
+            Some(_) => Err(WireError::BadField {
+                field,
+                detail: "expected an unsigned integer".to_string(),
+            }),
+            None => Err(WireError::BadField {
+                field,
+                detail: "required field missing".to_string(),
+            }),
+        }
+    }
+}
+
+impl Request {
+    /// Parse one request line into a [`Request`] or a typed error.
+    /// Never panics, for any input.
+    pub fn parse(line: &str) -> Result<Request, WireError> {
+        let fields = Fields(parse_object(line)?);
+        let op = fields.str_field("op").map_err(|_| WireError::Malformed {
+            detail: "missing string field \"op\"".to_string(),
+        })?;
+        match op.as_str() {
+            "submit" => {
+                let id = fields.str_field("id")?;
+                if id.is_empty() || id.len() > 256 {
+                    return Err(WireError::BadField {
+                        field: "id",
+                        detail: "must be 1..=256 bytes".to_string(),
+                    });
+                }
+                let reps = fields.u64_field("reps")?;
+                if reps == 0 || reps as usize > MAX_REPS {
+                    return Err(WireError::BadField {
+                        field: "reps",
+                        detail: format!("must be 1..={MAX_REPS}"),
+                    });
+                }
+                Ok(Request::Submit(SubmitRequest {
+                    id,
+                    cell: fields.u64_field("cell")?,
+                    link: fields.str_field("link")?,
+                    train: fields.str_field("train")?,
+                    tool: fields.str_field("tool")?,
+                    reps: reps as usize,
+                    seed: fields.u64_field("seed")?,
+                }))
+            }
+            "poll" => Ok(Request::Poll {
+                id: fields.str_field("id")?,
+            }),
+            "cancel" => Ok(Request::Cancel {
+                id: fields.str_field("id")?,
+            }),
+            "drain" => Ok(Request::Drain),
+            "metrics" => Ok(Request::Metrics),
+            _ => Err(WireError::UnknownOp { op }),
+        }
+    }
+}
+
+/// Read one frame (up to and including the next newline) from `r`.
+///
+/// * `Ok(None)` — clean EOF before any byte of a new frame.
+/// * `Ok(Some(Ok(line)))` — one complete line, newline stripped.
+/// * `Ok(Some(Err(Oversized)))` — the frame exceeded [`MAX_FRAME`];
+///   the rest of the line has been discarded, so the stream is
+///   resynchronised for the next call.
+/// * `Err(io)` — transport error.
+///
+/// Bytes that are not valid UTF-8 surface as a `Malformed` frame
+/// rather than an I/O error: a binary-garbage client gets a typed
+/// response, not a dropped connection.
+pub fn read_frame(r: &mut impl BufRead) -> std::io::Result<Option<Result<String, WireError>>> {
+    let mut buf: Vec<u8> = Vec::new();
+    read_line_capped(r, &mut buf, MAX_FRAME)?;
+    if buf.is_empty() {
+        return Ok(None);
+    }
+    if !buf.ends_with(b"\n") && buf.len() >= MAX_FRAME {
+        // Oversized: discard the rest of the line to resynchronise.
+        let mut total = buf.len();
+        let mut sink: Vec<u8> = Vec::new();
+        loop {
+            sink.clear();
+            read_line_capped(r, &mut sink, MAX_FRAME)?;
+            total += sink.len();
+            if sink.is_empty() || sink.ends_with(b"\n") {
+                break;
+            }
+        }
+        return Ok(Some(Err(WireError::Oversized { len: total })));
+    }
+    while buf.last() == Some(&b'\n') || buf.last() == Some(&b'\r') {
+        buf.pop();
+    }
+    match String::from_utf8(buf) {
+        Ok(line) => Ok(Some(Ok(line))),
+        Err(_) => Ok(Some(Err(WireError::Malformed {
+            detail: "frame is not valid UTF-8".to_string(),
+        }))),
+    }
+}
+
+/// Append bytes from `r` to `buf` up to and including the next
+/// newline, reading at most `cap - buf.len()` bytes. Stops early at
+/// EOF. (`Read::take` consumes its reader, so the cap is enforced by
+/// hand over `fill_buf`/`consume`.)
+fn read_line_capped(r: &mut impl BufRead, buf: &mut Vec<u8>, cap: usize) -> std::io::Result<()> {
+    while buf.len() < cap {
+        let available = match r.fill_buf() {
+            Ok(b) => b,
+            Err(ref e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        if available.is_empty() {
+            return Ok(()); // EOF
+        }
+        let room = cap - buf.len();
+        if let Some(pos) = available.iter().take(room).position(|&b| b == b'\n') {
+            buf.extend_from_slice(&available[..=pos]);
+            r.consume(pos + 1);
+            return Ok(());
+        }
+        let n = available.len().min(room);
+        buf.extend_from_slice(&available[..n]);
+        r.consume(n);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn submit_round_trip() {
+        let line = "{\"op\":\"submit\",\"id\":\"s1\",\"cell\":4,\"link\":\"wired\",\
+                    \"train\":\"short\",\"tool\":\"train\",\"reps\":64,\"seed\":18446744073709551615}";
+        let req = Request::parse(line).unwrap();
+        assert_eq!(
+            req,
+            Request::Submit(SubmitRequest {
+                id: "s1".to_string(),
+                cell: 4,
+                link: "wired".to_string(),
+                train: "short".to_string(),
+                tool: "train".to_string(),
+                reps: 64,
+                seed: u64::MAX, // u64 seeds round-trip exactly (raw text, not f64)
+            })
+        );
+    }
+
+    #[test]
+    fn simple_ops_parse() {
+        assert_eq!(
+            Request::parse("{\"op\":\"poll\",\"id\":\"x\"}").unwrap(),
+            Request::Poll {
+                id: "x".to_string()
+            }
+        );
+        assert_eq!(
+            Request::parse(" {\"op\":\"drain\"} ").unwrap(),
+            Request::Drain
+        );
+        assert_eq!(
+            Request::parse("{\"op\":\"metrics\"}").unwrap(),
+            Request::Metrics
+        );
+    }
+
+    #[test]
+    fn typed_errors() {
+        let code = |line: &str| Request::parse(line).unwrap_err().code();
+        assert_eq!(code(""), "malformed_request");
+        assert_eq!(code("{\"op\":\"submit\",\"id\":\"s"), "malformed_request"); // truncated
+        assert_eq!(code("{\"op\":\"fly\"}"), "unknown_op");
+        assert_eq!(code("{\"op\":\"poll\"}"), "bad_field");
+        assert_eq!(code("{\"op\":\"poll\",\"id\":7}"), "bad_field");
+        assert_eq!(code("[1,2]"), "malformed_request");
+        assert_eq!(code("{\"op\":\"submit\",\"id\":\"a\",\"cell\":0,\"link\":\"wired\",\"train\":\"short\",\"tool\":\"train\",\"reps\":0,\"seed\":1}"), "bad_field");
+        assert_eq!(
+            code("{\"op\":\"poll\",\"id\":\"x\"} trailing"),
+            "malformed_request"
+        );
+        assert_eq!(
+            code("{\"op\":\"poll\",\"id\":\"x\",\"extra\":{\"nested\":1}}"),
+            "malformed_request"
+        );
+    }
+
+    #[test]
+    fn string_escapes_and_unicode() {
+        let req = Request::parse("{\"op\":\"poll\",\"id\":\"a\\\"b\\u00e9ç\"}").unwrap();
+        assert_eq!(
+            req,
+            Request::Poll {
+                id: "a\"béç".to_string()
+            }
+        );
+        assert_eq!(
+            Request::parse("{\"op\":\"poll\",\"id\":\"\\ud800\"}")
+                .unwrap_err()
+                .code(),
+            "malformed_request"
+        );
+    }
+
+    #[test]
+    fn error_responses_are_parseable_json() {
+        for err in [
+            WireError::Oversized { len: 99999 },
+            WireError::Malformed {
+                detail: "x\"y".to_string(),
+            },
+            WireError::Draining,
+            WireError::DuplicateId {
+                id: "s\n1".to_string(),
+            },
+        ] {
+            let line = err.to_json();
+            assert!(line.starts_with("{\"ok\":false,\"error\":\""), "{line}");
+            // Our own parser accepts every error line we emit.
+            parse_object(&line).unwrap();
+        }
+    }
+
+    #[test]
+    fn read_frame_caps_and_resyncs() {
+        use std::io::BufReader;
+        let mut payload = vec![b'x'; MAX_FRAME * 2 + 10];
+        payload.push(b'\n');
+        payload.extend_from_slice(b"{\"op\":\"drain\"}\n");
+        let mut r = BufReader::new(&payload[..]);
+        match read_frame(&mut r).unwrap().unwrap() {
+            Err(WireError::Oversized { len }) => assert!(len > MAX_FRAME),
+            other => panic!("expected oversized, got {other:?}"),
+        }
+        // Resynchronised: the next frame parses normally.
+        let line = read_frame(&mut r).unwrap().unwrap().unwrap();
+        assert_eq!(Request::parse(&line).unwrap(), Request::Drain);
+        assert!(read_frame(&mut r).unwrap().is_none());
+    }
+
+    #[test]
+    fn read_frame_handles_binary_garbage() {
+        use std::io::BufReader;
+        let payload = b"\xff\xfe\x00garbage\n{\"op\":\"metrics\"}\n";
+        let mut r = BufReader::new(&payload[..]);
+        match read_frame(&mut r).unwrap().unwrap() {
+            Err(e) => assert_eq!(e.code(), "malformed_request"),
+            Ok(l) => panic!("garbage accepted: {l:?}"),
+        }
+        let line = read_frame(&mut r).unwrap().unwrap().unwrap();
+        assert_eq!(Request::parse(&line).unwrap(), Request::Metrics);
+    }
+}

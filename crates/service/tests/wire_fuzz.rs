@@ -1,0 +1,196 @@
+//! Property/fuzz suite for the wire protocol and the session-slot
+//! life cycle: arbitrary bytes, truncated frames, oversized payloads,
+//! duplicate ids, cancel-after-complete and random pipelined op
+//! sequences must always produce a typed error or a valid response —
+//! never a panic, and never a session slot stuck non-terminal.
+
+use csmaprobe_service::session::{SessionManager, SessionSpec};
+use csmaprobe_service::wire::{read_frame, Request, SubmitRequest, WireError, MAX_FRAME};
+use proptest::prelude::*;
+use std::io::BufReader;
+
+/// A valid submit line to mutate.
+const VALID_SUBMIT: &str = "{\"op\":\"submit\",\"id\":\"s1\",\"cell\":1,\"link\":\"wired\",\
+                            \"train\":\"short\",\"tool\":\"train\",\"reps\":8,\"seed\":7}";
+
+const KNOWN_CODES: &[&str] = &[
+    "oversized_frame",
+    "malformed_request",
+    "unknown_op",
+    "bad_field",
+    "duplicate_id",
+    "duplicate_cell",
+    "unknown_id",
+    "already_complete",
+    "draining",
+];
+
+fn assert_typed(err: &WireError) {
+    assert!(
+        KNOWN_CODES.contains(&err.code()),
+        "unknown error code {:?}",
+        err.code()
+    );
+    // Every error serializes to a parseable single-line response.
+    let line = err.to_json();
+    assert!(!line.contains('\n'));
+    assert!(line.starts_with("{\"ok\":false,\"error\":\""));
+}
+
+proptest! {
+    // Arbitrary bytes (lossily decoded) never panic the parser.
+    #[test]
+    fn parse_never_panics_on_garbage(bytes in prop::collection::vec(0u16..256, 0..160)) {
+        let raw: Vec<u8> = bytes.iter().map(|&b| b as u8).collect();
+        let text = String::from_utf8_lossy(&raw);
+        if let Err(e) = Request::parse(&text) {
+            assert_typed(&e);
+        }
+    }
+
+    // Truncations and point mutations of a valid request are either
+    // still valid or a typed error — truncated frames must not wedge.
+    #[test]
+    fn truncations_and_mutations_stay_typed(
+        cut in 0usize..120,
+        pos in 0usize..120,
+        byte in 0u16..256,
+    ) {
+        let truncated = &VALID_SUBMIT[..cut.min(VALID_SUBMIT.len())];
+        if let Err(e) = Request::parse(truncated) {
+            assert_typed(&e);
+        }
+        let mut mutated = VALID_SUBMIT.as_bytes().to_vec();
+        let at = pos.min(mutated.len() - 1);
+        mutated[at] = byte as u8;
+        let text = String::from_utf8_lossy(&mutated).into_owned();
+        if let Err(e) = Request::parse(&text) {
+            assert_typed(&e);
+        }
+    }
+
+    // Random byte streams through the framer: every frame is Ok or a
+    // typed error, the reader always terminates, and no accepted line
+    // exceeds the cap.
+    #[test]
+    fn framer_survives_random_streams(bytes in prop::collection::vec(0u16..256, 0..4096)) {
+        let raw: Vec<u8> = bytes.iter().map(|&b| b as u8).collect();
+        let mut r = BufReader::new(&raw[..]);
+        let mut frames = 0usize;
+        while let Some(frame) = read_frame(&mut r).expect("memory reads cannot fail") {
+            match frame {
+                Ok(line) => assert!(line.len() <= MAX_FRAME),
+                Err(e) => assert_typed(&e),
+            }
+            frames += 1;
+            assert!(frames <= raw.len() + 1, "framer failed to make progress");
+        }
+    }
+
+    // Oversized payloads: typed oversized_frame error, then the stream
+    // resynchronises and the next pipelined request parses.
+    #[test]
+    fn oversized_payloads_resync(extra in 0usize..40_000, fill in 32u16..127) {
+        let mut payload = vec![fill as u8; MAX_FRAME + extra];
+        payload.push(b'\n');
+        payload.extend_from_slice(VALID_SUBMIT.as_bytes());
+        payload.push(b'\n');
+        let mut r = BufReader::new(&payload[..]);
+        match read_frame(&mut r).unwrap().unwrap() {
+            Err(e) => assert_eq!(e.code(), "oversized_frame"),
+            Ok(l) => panic!("oversized line accepted ({} bytes)", l.len()),
+        }
+        let line = read_frame(&mut r).unwrap().unwrap().unwrap();
+        assert!(Request::parse(&line).is_ok());
+        assert!(read_frame(&mut r).unwrap().is_none());
+    }
+}
+
+/// Build a tiny resolvable spec (cheap wired sessions).
+fn spec(id: u64, cell: u64) -> SessionSpec {
+    SessionSpec::resolve(&SubmitRequest {
+        id: format!("f{id}"),
+        cell,
+        link: "wired".to_string(),
+        train: "short".to_string(),
+        tool: "train".to_string(),
+        reps: 4,
+        seed: 0xF00D + id,
+    })
+    .expect("valid spec")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // Random interleaved op sequences against a live manager: every
+    // refusal is typed, and after a drain no slot is left non-terminal
+    // (`accepted == done + cancelled` — the no-wedged-slot invariant).
+    #[test]
+    fn random_op_sequences_never_wedge_a_slot(ops in prop::collection::vec(0u64..6, 1..60)) {
+        let mgr = SessionManager::new(2, None);
+        let mut next = 0u64;
+        let mut submitted: Vec<String> = Vec::new();
+        for (step, op) in ops.iter().enumerate() {
+            match op {
+                0 | 1 => {
+                    // Fresh submit.
+                    let s = spec(next, next);
+                    submitted.push(s.id.clone());
+                    next += 1;
+                    mgr.submit(s).expect("fresh id/cell must be accepted");
+                }
+                2 => {
+                    // Duplicate id resubmit.
+                    if let Some(id) = submitted.first() {
+                        let dup_id = id.trim_start_matches('f').parse().unwrap();
+                        let err = mgr.submit(spec(dup_id, 10_000 + step as u64)).unwrap_err();
+                        assert_eq!(err.code(), "duplicate_id");
+                    }
+                }
+                3 => {
+                    // Duplicate cell under a fresh id.
+                    if !submitted.is_empty() {
+                        let err = mgr.submit(spec(20_000 + step as u64, 0)).unwrap_err();
+                        assert_eq!(err.code(), "duplicate_cell");
+                    }
+                }
+                4 => {
+                    // Cancel something (maybe racing completion).
+                    if let Some(id) = submitted.get(step % submitted.len().max(1)) {
+                        match mgr.cancel(id) {
+                            Ok(()) => {}
+                            Err(e) => assert_eq!(e.code(), "already_complete"),
+                        }
+                    }
+                    assert_eq!(mgr.cancel("missing").unwrap_err().code(), "unknown_id");
+                }
+                _ => {
+                    // Poll everything; phases are always coherent.
+                    for id in &submitted {
+                        let snap = mgr.poll(id).expect("accepted ids poll");
+                        assert!(snap.reps_done <= snap.reps);
+                    }
+                    assert_eq!(mgr.poll("missing").unwrap_err().code(), "unknown_id");
+                }
+            }
+        }
+        mgr.drain();
+        let counts = mgr.counts();
+        assert_eq!(counts.accepted, submitted.len());
+        assert_eq!(
+            counts.done + counts.cancelled,
+            counts.accepted,
+            "a session slot was left non-terminal"
+        );
+        assert_eq!(counts.in_flight, 0);
+        // Every slot is individually terminal, and cancel-after-complete
+        // is now always the typed already_complete error.
+        for id in &submitted {
+            let snap = mgr.poll(id).unwrap();
+            assert!(snap.phase.terminal());
+            assert_eq!(mgr.cancel(id).unwrap_err().code(), "already_complete");
+        }
+        mgr.shutdown();
+    }
+}

@@ -12,6 +12,8 @@
 //! csmaprobe topp      [link options]
 //! csmaprobe chirp     [link options]
 //! csmaprobe transient --rate 5.0 --n 300 --reps 1000 [link options]
+//! csmaprobe serve     [--addr H:P] [--out-dir D] [--shards K] [--drivers N]
+//!                     [--table FILE] [--port-file FILE] [--workers W]
 //!
 //! link options:
 //!   --cross <Mb/s>       contending Poisson cross-traffic (repeatable)
@@ -51,15 +53,65 @@ fn usage() -> ! {
     eprintln!(
         "usage: csmaprobe <capacity|steady|train|pair|slops|topp|chirp|transient> \
          [--cross M]... [--fifo-cross M] [--wired C] [--rate M] [--n N] \
-         [--reps R] [--pairs P] [--bytes B] [--seed S]"
+         [--reps R] [--pairs P] [--bytes B] [--seed S]\n\
+         \x20      csmaprobe serve [--addr H:P] [--out-dir D] [--shards K] [--drivers N] \
+         [--table FILE] [--port-file FILE] [--workers W]"
     );
     std::process::exit(2);
+}
+
+/// `csmaprobe serve`: run the resident session daemon until SIGTERM,
+/// then drain, finalize the session table, and exit 0 iff the drain
+/// audit held (every accepted session done-and-persisted or
+/// cancelled).
+fn serve_main(argv: &[String]) -> ! {
+    let mut cfg = csmaprobe::service::server::ServeConfig::default();
+    let mut workers: Option<usize> = None;
+    let mut i = 0;
+    while i < argv.len() {
+        let need = |i: usize| -> &str {
+            argv.get(i + 1)
+                .map(|s| s.as_str())
+                .unwrap_or_else(|| usage())
+        };
+        match argv[i].as_str() {
+            "--addr" => cfg.addr = need(i).to_string(),
+            "--out-dir" => cfg.out_dir = need(i).into(),
+            "--shards" => cfg.shards = need(i).parse().unwrap_or_else(|_| usage()),
+            "--drivers" => cfg.drivers = need(i).parse().unwrap_or_else(|_| usage()),
+            "--table" => cfg.table = Some(need(i).into()),
+            "--port-file" => cfg.port_file = Some(need(i).into()),
+            "--workers" => workers = Some(need(i).parse().unwrap_or_else(|_| usage())),
+            _ => usage(),
+        }
+        i += 2;
+    }
+    if let Some(w) = workers {
+        csmaprobe::desim::executor::set_worker_limit(w);
+    }
+    match csmaprobe::service::server::serve(cfg) {
+        Ok(summary) if summary.consistent => std::process::exit(0),
+        Ok(summary) => {
+            eprintln!(
+                "csmaprobe serve: drain audit FAILED: accepted={} done={} cancelled={} persisted={}",
+                summary.accepted, summary.done, summary.cancelled, summary.persisted
+            );
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("csmaprobe serve: {e}");
+            std::process::exit(1);
+        }
+    }
 }
 
 fn parse() -> Args {
     let argv: Vec<String> = std::env::args().collect();
     if argv.len() < 2 {
         usage();
+    }
+    if argv[1] == "serve" {
+        serve_main(&argv[2..]);
     }
     let mut args = Args {
         cmd: argv[1].clone(),

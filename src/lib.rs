@@ -16,6 +16,7 @@
 //! | [`stats`] | KS test, MSER-m, histograms, transient-length estimation |
 //! | [`core`] | the paper's models: rate-response curves, dispersion bounds |
 //! | [`probe`] | measurement tools: packet pair/train, scanners, estimators |
+//! | [`service`] | resident probe-session daemon (`csmaprobe serve`) |
 //!
 //! ## Quickstart
 //!
@@ -39,5 +40,6 @@ pub use csmaprobe_mac as mac;
 pub use csmaprobe_phy as phy;
 pub use csmaprobe_probe as probe;
 pub use csmaprobe_queueing as queueing;
+pub use csmaprobe_service as service;
 pub use csmaprobe_stats as stats;
 pub use csmaprobe_traffic as traffic;

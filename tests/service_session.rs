@@ -1,0 +1,83 @@
+//! Golden determinism gate for the serving layer: a session's final
+//! estimate through the resident [`SessionManager`] is **bit-identical**
+//! to the equivalent one-shot `run_reduce` batch — for worker counts 1,
+//! 4 and 8, with well over 100 sessions in flight at once, and with the
+//! chunk pool interleaving every session's chunks freely.
+//!
+//! This is the acceptance criterion of the serve PR; the `service-smoke`
+//! CI job proves the same thing end-to-end over TCP by byte-comparing
+//! finalized session tables.
+
+use csmaprobe::desim::executor;
+use csmaprobe::service::mix::{session_specs, MixConfig};
+use csmaprobe::service::session::{one_shot, Phase, SessionAcc, SessionManager};
+use std::sync::Mutex;
+
+/// Serializes tests that pin the process-wide worker limit.
+static WORKER_LOCK: Mutex<()> = Mutex::new(());
+
+/// A mix heavy on the cheap wired link so 120 sessions replicate
+/// quickly, but still crossing every tool family.
+fn mix() -> MixConfig {
+    MixConfig {
+        trains: vec!["short".into()],
+        reps: 16,
+        ..MixConfig::default()
+    }
+}
+
+fn key_bits(acc: &SessionAcc) -> (u64, u64, u64, u64, u64, usize) {
+    (
+        acc.est.count(),
+        acc.est.mean().to_bits(),
+        acc.est.std_dev().to_bits(),
+        acc.p50.value().to_bits(),
+        acc.p95.value().to_bits(),
+        acc.failed,
+    )
+}
+
+#[test]
+fn resident_sessions_match_one_shot_bitwise_for_any_worker_count() {
+    let _guard = WORKER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    const SESSIONS: u64 = 120;
+    let specs = session_specs(&mix(), 0xC5AA_2009, SESSIONS).expect("mix resolves");
+
+    // One-shot references, computed under the default worker limit —
+    // run_reduce's own contract makes them worker-count independent.
+    let references: Vec<_> = specs.iter().map(one_shot).collect();
+
+    for workers in [1usize, 4, 8] {
+        executor::set_worker_limit(workers);
+        // 6 drivers: at least 100 sessions queued (in flight) while
+        // the first ones replicate, and several sessions' chunks
+        // interleave in the shared pool at any instant.
+        let mgr = SessionManager::new(6, None);
+        for spec in &specs {
+            mgr.submit(spec.clone()).expect("submit");
+        }
+        mgr.drain();
+        for (spec, reference) in specs.iter().zip(&references) {
+            let snap = mgr.poll(&spec.id).expect("poll");
+            assert_eq!(
+                snap.phase,
+                Phase::Done,
+                "{} under {workers} workers",
+                spec.id
+            );
+            assert_eq!(snap.reps_done, spec.reps);
+            assert_eq!(
+                key_bits(&snap.acc),
+                key_bits(reference),
+                "session {} diverged from its one-shot reference under {workers} worker(s)",
+                spec.id
+            );
+        }
+        let counts = mgr.counts();
+        assert_eq!(counts.accepted, SESSIONS as usize);
+        assert_eq!(counts.done, SESSIONS as usize);
+        assert_eq!(counts.cancelled, 0);
+        mgr.shutdown();
+    }
+    executor::set_worker_limit(0);
+}
