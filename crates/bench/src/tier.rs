@@ -113,11 +113,12 @@ impl TierRegime {
 }
 
 /// The regime matrix the tier figures sweep: offered loads below /
-/// around / above the fair share, 1–4 contending stations, with and
-/// without FIFO cross-traffic, plus saturated symmetric cells the
-/// analytic tier covers. Every cell is slotted-covered except where a
-/// name says otherwise; only the `analytic-*` cells are
-/// analytic-covered.
+/// around / above the fair share, with and without FIFO cross-traffic,
+/// saturated symmetric cells (`analytic-*`, served by the Bianchi
+/// model) and the finite-load cells of the non-saturated fixed point's
+/// certified matrix (`nonsat-*`: sub-knee / knee / above-knee loads at
+/// 2–10 stations). Every cell is slotted-covered; `fifo-1` and
+/// `mixed-2` (CBR contender) are the simulation-only shapes.
 pub fn regime_matrix() -> Vec<TierRegime> {
     vec![
         // Light load, one Poisson contender: identity region.
@@ -149,7 +150,7 @@ pub fn regime_matrix() -> Vec<TierRegime> {
                 .contending(CrossSpec::shaped(1_000_000.0, CrossShape::Cbr)),
             9_000_000.0,
         ),
-        // Saturated symmetric cells — the analytic tier's home turf.
+        // Saturated symmetric cells — the saturation model's home turf.
         TierRegime::new(
             "analytic-2",
             LinkConfig::default().contending(CrossSpec::poisson_sized(12_000_000.0, FRAME)),
@@ -162,6 +163,57 @@ pub fn regime_matrix() -> Vec<TierRegime> {
                 .contending(CrossSpec::poisson_sized(12_000_000.0, FRAME))
                 .contending(CrossSpec::poisson_sized(12_000_000.0, FRAME)),
             12_000_000.0,
+        ),
+        // Finite-load cells — the non-saturated fixed point's regime
+        // matrix (sub-knee / knee / above-knee × station count, names
+        // counting total stations as in bianchi_nonsat_oracle.rs).
+        TierRegime::new(
+            "nonsat-sub-2",
+            LinkConfig::default().contending_bps(2_000_000.0),
+            1_000_000.0,
+        ),
+        TierRegime::new(
+            "nonsat-knee-2",
+            LinkConfig::default().contending_bps(4_500_000.0),
+            1_000_000.0,
+        ),
+        TierRegime::new(
+            "nonsat-above-2",
+            LinkConfig::default().contending_bps(4_500_000.0),
+            9_000_000.0,
+        ),
+        TierRegime::new(
+            "nonsat-sub-5",
+            {
+                let mut cfg = LinkConfig::default();
+                for _ in 0..4 {
+                    cfg = cfg.contending_bps(700_000.0);
+                }
+                cfg
+            },
+            700_000.0,
+        ),
+        TierRegime::new(
+            "nonsat-knee-5",
+            {
+                let mut cfg = LinkConfig::default();
+                for _ in 0..4 {
+                    cfg = cfg.contending_bps(1_200_000.0);
+                }
+                cfg
+            },
+            1_500_000.0,
+        ),
+        TierRegime::new(
+            "nonsat-above-10",
+            {
+                let mut cfg = LinkConfig::default();
+                for _ in 0..9 {
+                    cfg = cfg.contending_bps(550_000.0);
+                }
+                cfg
+            },
+            4_000_000.0,
         ),
     ]
 }
@@ -180,7 +232,37 @@ mod tests {
             .filter(|r| r.covered_by(EngineTier::Analytic))
             .map(|r| r.name)
             .collect();
-        assert_eq!(analytic, ["analytic-2", "analytic-4"]);
+        // `light-1`/`knee-1` are Poisson finite-load shapes, so the
+        // non-saturated fixed point now covers them too; `fifo-1` and
+        // `mixed-2` (CBR contender) remain simulation-only.
+        assert_eq!(
+            analytic,
+            [
+                "light-1",
+                "knee-1",
+                "analytic-2",
+                "analytic-4",
+                "nonsat-sub-2",
+                "nonsat-knee-2",
+                "nonsat-above-2",
+                "nonsat-sub-5",
+                "nonsat-knee-5",
+                "nonsat-above-10",
+            ]
+        );
+        // The `nonsat-*` cells must reach the finite-load model (not
+        // the saturation model the dispatch prefers when both cover).
+        for r in &regimes {
+            let cfg = r.link.config();
+            let sat = engine::saturation_covers(cfg, r.ri_bps);
+            let nonsat = engine::nonsat_certified(cfg, r.ri_bps);
+            if r.name.starts_with("nonsat-") {
+                assert!(nonsat && !sat, "{} should be finite-load-covered", r.name);
+            }
+            if r.name.starts_with("analytic-") {
+                assert!(sat, "{} should be saturation-covered", r.name);
+            }
+        }
     }
 
     #[test]

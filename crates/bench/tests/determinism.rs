@@ -5,10 +5,12 @@
 //! ones), and across figure-level concurrency (`--jobs`, which turns
 //! every figure into a task on the shared work-stealing executor) —
 //! modulo the wall-clock `elapsed_s` and `wallclock` fields. A second
-//! leg pins the engine router: `CSMAPROBE_ENGINE=event` (oracle
-//! forced everywhere) reproduces the auto-routed payload byte for
-//! byte, because the slotted tier is trajectory-exact where auto uses
-//! it.
+//! leg pins the engine router across all three policies:
+//! `CSMAPROBE_ENGINE=analytic` reproduces the auto payload byte for
+//! byte (auto promotes exactly what the tier certifies), and
+//! `CSMAPROBE_ENGINE=event` reproduces it on every figure except the
+//! analytic-promoted rate-response sweep (`fig01`), which must differ
+//! — the fixed point replacing the simulation there is the point.
 //!
 //! This is the executable form of what README/rustdoc promise in
 //! prose: chunk-gridded reduction makes floating-point results
@@ -136,18 +138,43 @@ fn experiments_json_identical_across_worker_counts() {
     let _ = std::fs::remove_dir_all(&base);
 }
 
-/// Engine-routing transparency, end to end: a full `all_figures` run
-/// with `CSMAPROBE_ENGINE=event` (every cell pinned to the oracle) is
-/// byte-identical — modulo the non-deterministic timing fields — to the
-/// auto-routed run. Auto mode sends covered steady cells to the
-/// trajectory-exact slotted kernel and keeps trains on the oracle, so
-/// pinning the oracle must be a provable no-op on the payload; the tier
-/// figures time each tier explicitly and are policy-independent by
-/// construction.
+/// Split a stripped payload into per-figure lines keyed by `"id"` —
+/// `reports_to_json` writes one report object per line, so a line-wise
+/// split is exact for this crate's own serialisation.
+fn figure_lines(payload: &str) -> Vec<(String, String)> {
+    payload
+        .lines()
+        .filter_map(|line| {
+            let at = line.find("\"id\":\"")?;
+            let rest = &line[at + "\"id\":\"".len()..];
+            let end = rest.find('"')?;
+            Some((rest[..end].to_string(), line.to_string()))
+        })
+        .collect()
+}
+
+/// Engine-routing transparency, end to end, across all three policies:
+///
+/// * **auto vs forced-analytic**: byte-identical (modulo timing
+///   fields) on the *whole* payload — auto promotes exactly the cells
+///   the analytic tier certifies, and the slotted kernel serving the
+///   rest is trajectory-exact, so forcing `analytic` is a provable
+///   no-op against auto.
+/// * **auto vs forced-event**: byte-identical on every figure except
+///   `fig01` — the paper's rate-response sweep, whose Poisson
+///   finite-load cells the non-saturated fixed point now certifies, so
+///   auto takes the whole curve off the simulators. That figure MUST
+///   differ (the promotion being a silent no-op would mean the fixed
+///   point never engaged); its own 5 % tolerance gates live in the
+///   oracle tests and the `tier_equivalence` figure, not here.
 #[test]
-fn experiments_json_identical_with_forced_event_engine() {
+fn experiments_json_identical_with_forced_engines() {
     let base = std::env::temp_dir().join(format!("csmaprobe-engine-{}", std::process::id()));
-    let legs: [(&str, Option<&str>); 2] = [("auto", None), ("event", Some("event"))];
+    let legs: [(&str, Option<&str>); 3] = [
+        ("auto", None),
+        ("event", Some("event")),
+        ("analytic", Some("analytic")),
+    ];
     let payloads: Vec<String> = legs
         .iter()
         .map(|&(label, engine)| {
@@ -165,10 +192,34 @@ fn experiments_json_identical_with_forced_event_engine() {
     // The wallclock channel must exist (the speedup figure always
     // records it) and must be the *only* difference besides elapsed_s.
     assert!(payloads[0].contains("\"wallclock\":["), "wallclock gone?");
+    let auto = strip_elapsed(&payloads[0]);
+    let event = strip_elapsed(&payloads[1]);
+    let analytic = strip_elapsed(&payloads[2]);
     assert_eq!(
-        strip_elapsed(&payloads[0]),
-        strip_elapsed(&payloads[1]),
-        "forcing the event oracle changed the payload: routing is not a no-op"
+        auto, analytic,
+        "forcing the analytic tier changed the payload: auto promotion \
+         and the forced tier disagree on some cell"
+    );
+    let auto_figs = figure_lines(&auto);
+    let event_figs = figure_lines(&event);
+    assert_eq!(auto_figs.len(), event_figs.len(), "figure sets differ");
+    let mut promoted_differs = false;
+    for ((id_a, line_a), (id_e, line_e)) in auto_figs.iter().zip(&event_figs) {
+        assert_eq!(id_a, id_e, "figure order differs between legs");
+        if id_a == "fig01" {
+            promoted_differs = line_a != line_e;
+        } else {
+            assert_eq!(
+                line_a, line_e,
+                "{id_a}: auto run differs from the forced-event oracle on a \
+                 figure with no analytic-promoted cells"
+            );
+        }
+    }
+    assert!(
+        promoted_differs,
+        "fig01 is byte-identical to the forced-event run: the finite-load \
+         promotion never engaged on the rate-response sweep"
     );
     let _ = std::fs::remove_dir_all(&base);
 }

@@ -7,16 +7,21 @@
 //! |------|----------------|--------|
 //! | `Event` | [`csmaprobe_mac::WlanSim`] | everything (the oracle) |
 //! | `Slotted` | [`csmaprobe_mac::SlottedSim`] | Poisson/CBR/trace flows, fixed frame sizes |
-//! | `Analytic` | [`csmaprobe_mac::BianchiModel`] | fully saturated symmetric cells |
+//! | `Analytic` | [`csmaprobe_mac::BianchiModel`] / [`csmaprobe_mac::NonSatModel`] | saturated symmetric cells / certified Poisson finite-load cells |
 //!
 //! The slotted kernel shares the event core's seeded RNG contract and
 //! is **trajectory-exact** on its covered regimes (bit-for-bit the same
 //! packet schedule per seed — pinned by `crates/mac/src/slotted.rs`
 //! unit tests and, distributionally on disjoint seeds, by the
 //! `tests/tier_equivalence.rs` KS harness). The analytic tier replaces
-//! simulation entirely and is only trusted for throughput/fair-share
-//! scalars of saturated symmetric cells, within the tolerance pinned by
-//! `crates/mac/tests/bianchi_oracle.rs` (±5 %).
+//! simulation entirely and is only trusted for throughput scalars,
+//! within the tolerances pinned by `crates/mac/tests/bianchi_oracle.rs`
+//! (saturated symmetric cells, ±5 %) and
+//! `crates/mac/tests/bianchi_nonsat_oracle.rs` (certified Poisson
+//! finite-load cells, ±5 %); the finite-load fixed point additionally
+//! requires its per-cell convergence certificate
+//! ([`nonsat_certified`]), so an unconverged cell can never leave the
+//! simulators.
 //!
 //! # Selection policy
 //!
@@ -45,6 +50,7 @@
 //! * **Forced `analytic`**: analytic where covered, else `Event`.
 
 use crate::link::{CrossShape, LinkConfig};
+use csmaprobe_mac::{NonSatModel, NonSatStation};
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::{Mutex, MutexGuard, OnceLock};
 
@@ -118,6 +124,15 @@ pub fn set_policy(policy: EnginePolicy) {
     POLICY.store(v, Ordering::Relaxed);
 }
 
+/// Routing-rules revision, folded into run-config fingerprints next to
+/// [`policy_token`]: bumped whenever a coverage predicate changes what
+/// a policy *means* (r2: the finite-load fixed point extended
+/// `analytic_covers` beyond saturation). Two campaigns under the same
+/// `auto` token can still route cells differently across revisions;
+/// the revision token lets resume refuse that mix even when the
+/// per-cell tier resolution happens to agree.
+pub const ROUTER_REVISION: &str = "r2-nonsat";
+
 /// Stable lowercase token naming the active policy (`auto`, `event`,
 /// `slotted`, `analytic`) — folded into run-config fingerprints so
 /// resumable campaigns refuse to silently mix rows produced under
@@ -188,19 +203,26 @@ pub fn slotted_covers(cfg: &LinkConfig) -> bool {
             .unwrap_or(true)
 }
 
-/// Whether the analytic (Bianchi) tier's error bound covers a
+/// Structural preconditions shared by both analytic models: no FIFO
+/// cross-traffic in the probe queue, at least one contender, and none
+/// of the MAC ablations (frame errors, RTS/CTS) the fixed points do
+/// not model.
+fn analytic_shape_ok(cfg: &LinkConfig) -> bool {
+    cfg.fifo_cross.is_none()
+        && !cfg.contending.is_empty()
+        && cfg.mac.frame_error_rate == 0.0
+        && !cfg.mac.uses_rts(cfg.probe_bytes)
+}
+
+/// Whether the **saturation** (Bianchi) model's error bound covers a
 /// steady-state cell at probe input rate `ri_bps`: the cell must be a
 /// **fully saturated symmetric** collision domain — every station
 /// (probe included) offers at least the stand-alone capacity of its
 /// frame size, all frames are the probe size, no FIFO cross-traffic
 /// shares the probe queue, and none of the MAC ablations (frame
-/// errors, RTS/CTS) are active. Anything less saturated leaves the
-/// fixed point's assumptions and routes to a simulation tier.
-pub fn analytic_covers(cfg: &LinkConfig, ri_bps: f64) -> bool {
-    if cfg.fifo_cross.is_some() || cfg.contending.is_empty() {
-        return false;
-    }
-    if cfg.mac.frame_error_rate > 0.0 || cfg.mac.uses_rts(cfg.probe_bytes) {
+/// errors, RTS/CTS) are active.
+pub fn saturation_covers(cfg: &LinkConfig, ri_bps: f64) -> bool {
+    if !analytic_shape_ok(cfg) {
         return false;
     }
     let capacity = cfg.phy.standalone_capacity_bps(cfg.probe_bytes);
@@ -210,6 +232,63 @@ pub fn analytic_covers(cfg: &LinkConfig, ri_bps: f64) -> bool {
     cfg.contending
         .iter()
         .all(|s| shape_slotted(s.shape) && s.bytes == cfg.probe_bytes && s.rate_bps >= capacity)
+}
+
+/// Whether the **finite-load** fixed point
+/// ([`csmaprobe_mac::NonSatModel`]) structurally covers a steady-state
+/// cell: the measured ±5 % throughput tolerance table
+/// (`crates/mac/tests/bianchi_nonsat_oracle.rs`) describes cells with
+/// **Poisson** contenders of the probe's frame size, 2–10 stations
+/// total, positive offered loads, and the same no-FIFO / no-ablation
+/// shape as the saturation tier. CBR or bursty contenders, asymmetric
+/// frame sizes and larger domains have no certified rows and stay on
+/// the simulators.
+///
+/// This is the *structural* predicate; actual routing additionally
+/// requires the solver's convergence certificate
+/// ([`nonsat_certified`]).
+pub fn nonsat_covers(cfg: &LinkConfig, ri_bps: f64) -> bool {
+    analytic_shape_ok(cfg)
+        && ri_bps > 0.0
+        && cfg.contending.len() <= 9
+        && cfg.contending.iter().all(|s| {
+            s.shape == CrossShape::Poisson && s.bytes == cfg.probe_bytes && s.rate_bps > 0.0
+        })
+}
+
+/// The station vector the finite-load fixed point solves for a covered
+/// cell: the probe (station 0, offered `ri_bps`) followed by the
+/// contenders in configuration order — the station layout of
+/// `WlanLink::steady_state_event`.
+pub fn nonsat_stations(cfg: &LinkConfig, ri_bps: f64) -> Vec<NonSatStation> {
+    let mut v = Vec::with_capacity(cfg.contending.len() + 1);
+    v.push(NonSatStation {
+        rate_bps: ri_bps,
+        bytes: cfg.probe_bytes,
+    });
+    v.extend(cfg.contending.iter().map(|s| NonSatStation {
+        rate_bps: s.rate_bps,
+        bytes: s.bytes,
+    }));
+    v
+}
+
+/// Whether the finite-load tier actually certifies this cell: it must
+/// be structurally covered ([`nonsat_covers`]) *and* the fixed point
+/// must converge with its residual certificate — a cell the solver
+/// refuses routes to a simulation tier, never to an uncertified
+/// number.
+pub fn nonsat_certified(cfg: &LinkConfig, ri_bps: f64) -> bool {
+    nonsat_covers(cfg, ri_bps)
+        && NonSatModel::solve(&cfg.phy, &nonsat_stations(cfg, ri_bps)).is_ok()
+}
+
+/// Whether *some* analytic model's error bound covers a steady-state
+/// cell at probe input rate `ri_bps`: the saturation (Bianchi) model
+/// for fully saturated symmetric cells, or the finite-load fixed point
+/// ([`nonsat_certified`]) for Poisson finite-load cells it certifies.
+pub fn analytic_covers(cfg: &LinkConfig, ri_bps: f64) -> bool {
+    saturation_covers(cfg, ri_bps) || nonsat_certified(cfg, ri_bps)
 }
 
 /// The tier a **steady-state** cell routes to under the active policy.
@@ -286,7 +365,12 @@ mod tests {
     fn auto_routes_steady_and_certified_trains_to_slotted() {
         let _g = test_guard(EnginePolicy::Auto);
         let cfg = steady_cfg();
-        assert_eq!(steady_tier(&cfg, 1.5e6), EngineTier::Slotted);
+        // Certified finite-load steady cells now go all the way to the
+        // fixed point; an *uncertifiable shape* (CBR contender) is what
+        // exercises the steady slotted path.
+        assert_eq!(steady_tier(&cfg, 1.5e6), EngineTier::Analytic);
+        let cbr = LinkConfig::default().contending(CrossSpec::shaped(2e6, CrossShape::Cbr));
+        assert_eq!(steady_tier(&cbr, 1.5e6), EngineTier::Slotted);
         // FIFO-free covered cells are certified by the train-delay KS
         // table and promote in auto mode…
         assert!(train_slotted_certified(&cfg));
@@ -323,10 +407,56 @@ mod tests {
     fn auto_routes_saturated_symmetric_to_analytic() {
         let _g = test_guard(EnginePolicy::Auto);
         let cfg = saturated_cfg();
+        assert!(saturation_covers(&cfg, 9e6));
         assert!(analytic_covers(&cfg, 9e6));
         assert_eq!(steady_tier(&cfg, 9e6), EngineTier::Analytic);
-        // An unsaturated probe keeps the same cell on the kernel.
-        assert_eq!(steady_tier(&cfg, 1e6), EngineTier::Slotted);
+        // An unsaturated probe leaves the saturation model's coverage —
+        // the cell now belongs to the finite-load fixed point instead.
+        assert!(!saturation_covers(&cfg, 1e6));
+        assert!(nonsat_certified(&cfg, 1e6));
+        assert_eq!(steady_tier(&cfg, 1e6), EngineTier::Analytic);
+    }
+
+    #[test]
+    fn auto_routes_certified_finite_load_to_analytic() {
+        let _g = test_guard(EnginePolicy::Auto);
+        // A finite-load Poisson cell (nobody saturated) is the
+        // fixed point's home regime.
+        let cfg = steady_cfg();
+        assert!(!saturation_covers(&cfg, 1.5e6));
+        assert!(nonsat_covers(&cfg, 1.5e6));
+        assert!(nonsat_certified(&cfg, 1.5e6));
+        assert_eq!(steady_tier(&cfg, 1.5e6), EngineTier::Analytic);
+        // The station vector mirrors the event layout: probe first.
+        let st = nonsat_stations(&cfg, 1.5e6);
+        assert_eq!(st.len(), 2);
+        assert_eq!(st[0].rate_bps, 1.5e6);
+        assert_eq!(st[1].rate_bps, 2_000_000.0);
+    }
+
+    #[test]
+    fn finite_load_coverage_requires_certified_shape() {
+        let _g = test_guard(EnginePolicy::Auto);
+        // CBR contenders have no certified oracle rows: only Poisson
+        // arrivals match the fixed point's queue model.
+        let cbr = LinkConfig::default().contending(CrossSpec::shaped(2e6, CrossShape::Cbr));
+        assert!(!nonsat_covers(&cbr, 1.5e6));
+        assert_eq!(steady_tier(&cbr, 1.5e6), EngineTier::Slotted);
+        // Asymmetric frame sizes, FIFO cross-traffic and idle probes
+        // stay structural exclusions.
+        let asym = LinkConfig::default().contending(CrossSpec::poisson_sized(2e6, 500));
+        assert!(!nonsat_covers(&asym, 1.5e6));
+        let fifo = steady_cfg().fifo_cross_bps(1e6);
+        assert!(!nonsat_covers(&fifo, 1.5e6));
+        assert!(!nonsat_covers(&steady_cfg(), 0.0));
+        // Domains beyond the certified 10-station matrix keep the
+        // simulators.
+        let mut big = LinkConfig::default();
+        for _ in 0..10 {
+            big = big.contending_bps(300_000.0);
+        }
+        assert!(!nonsat_covers(&big, 1.5e6));
+        assert_eq!(steady_tier(&big, 1.5e6), EngineTier::Slotted);
     }
 
     #[test]

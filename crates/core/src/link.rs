@@ -25,7 +25,7 @@ use csmaprobe_desim::time::{Dur, Time};
 use csmaprobe_mac::options::MacOptions;
 use csmaprobe_mac::sim::{PacketRecord, StationId, WlanSim};
 use csmaprobe_mac::slotted::{SlottedFlow, SlottedSim};
-use csmaprobe_mac::{BatchedSlottedSim, BianchiModel};
+use csmaprobe_mac::{BatchedSlottedSim, BianchiModel, NonSatModel};
 use csmaprobe_phy::Phy;
 use csmaprobe_queueing::fifo::{fifo_serve, Job};
 use csmaprobe_traffic::probe::ProbeTrain;
@@ -545,19 +545,34 @@ impl WlanLink {
         }
     }
 
-    /// Analytic-tier steady-state point for a fully saturated symmetric
-    /// cell: every station (probe + contenders) receives the Bianchi
-    /// fair share. Only called when [`crate::engine::analytic_covers`]
-    /// holds; accuracy is pinned against the saturated event sim in
-    /// `crates/mac/tests/bianchi_oracle.rs` (±5 %).
+    /// Analytic-tier steady-state point. Fully saturated symmetric
+    /// cells get the Bianchi fair share; certified Poisson finite-load
+    /// cells get the non-saturated fixed point's per-station delivered
+    /// rates. Only called when [`crate::engine::analytic_covers`]
+    /// holds; accuracy is pinned against the event sim in
+    /// `crates/mac/tests/bianchi_oracle.rs` and
+    /// `crates/mac/tests/bianchi_nonsat_oracle.rs` (±5 %).
     pub fn steady_state_analytic(&self, ri_bps: f64) -> SteadyPoint {
         debug_assert!(engine::analytic_covers(&self.cfg, ri_bps));
-        let n = self.cfg.contending.len() + 1;
-        let model = BianchiModel::solve(&self.cfg.phy, n, self.cfg.probe_bytes);
+        if engine::saturation_covers(&self.cfg, ri_bps) {
+            let n = self.cfg.contending.len() + 1;
+            let model = BianchiModel::solve(&self.cfg.phy, n, self.cfg.probe_bytes);
+            return SteadyPoint {
+                input_rate_bps: ri_bps,
+                output_rate_bps: model.fair_share_bps,
+                contending_bps: vec![model.fair_share_bps; n - 1],
+                fifo_cross_bps: 0.0,
+            };
+        }
+        let model = NonSatModel::solve(&self.cfg.phy, &engine::nonsat_stations(&self.cfg, ri_bps))
+            .expect("nonsat_certified gated this cell on convergence");
         SteadyPoint {
             input_rate_bps: ri_bps,
-            output_rate_bps: model.fair_share_bps,
-            contending_bps: vec![model.fair_share_bps; n - 1],
+            output_rate_bps: model.per_station[0].throughput_bps,
+            contending_bps: model.per_station[1..]
+                .iter()
+                .map(|s| s.throughput_bps)
+                .collect(),
             fifo_cross_bps: 0.0,
         }
     }

@@ -50,12 +50,14 @@
 //! ```
 
 pub mod bianchi;
+pub mod bianchi_nonsat;
 pub mod options;
 pub mod sim;
 pub mod slotted;
 pub mod slotted_batch;
 
 pub use bianchi::BianchiModel;
+pub use bianchi_nonsat::{NonSatError, NonSatModel, NonSatStation};
 pub use options::MacOptions;
 pub use sim::{ChannelStats, PacketRecord, SimOutput, StationId, WlanSim};
 pub use slotted::{BackoffDraw, SlottedFlow, SlottedOutput, SlottedSim};

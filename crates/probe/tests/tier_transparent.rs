@@ -2,7 +2,7 @@
 //! tools never know (and must never be able to tell) which engine tier
 //! served their probes.
 //!
-//! Three guarantees, all exact:
+//! Four guarantees, all exact:
 //!
 //! * **Routing is a no-op when the oracle is pinned** — on regimes the
 //!   train-delay equivalence table does not certify (FIFO cross-traffic
@@ -15,6 +15,10 @@
 //!   slotted-covered) regimes `Auto` now routes trains to the kernel,
 //!   including the replication-batched chunk path, and the measurement
 //!   still fingerprints identically to the forced-event oracle.
+//! * **The analytic tier never reaches the tools** — the finite-load
+//!   fixed point serves steady-state cells only; forcing it on trains
+//!   or SLoPS degrades to the event oracle, bit for bit, on certified
+//!   and uncertified shapes alike.
 
 use csmaprobe_core::engine::{test_guard, train_tier, EnginePolicy, EngineTier};
 use csmaprobe_core::link::{CrossShape, CrossSpec, LinkConfig, WlanLink};
@@ -106,6 +110,50 @@ fn promoted_batched_chunks_fingerprint_identically_to_oracle() {
     let auto = train_fingerprint(&link, EnginePolicy::Auto, 40);
     let event = train_fingerprint(&link, EnginePolicy::Forced(EngineTier::Event), 40);
     assert_eq!(auto, event);
+}
+
+#[test]
+fn forced_analytic_never_leaks_into_trains() {
+    // The finite-load fixed point serves *steady-state* cells only —
+    // trains are per-frame trajectories no closed form reproduces, so
+    // `train_tier` must refuse the analytic tier even when it is
+    // forced, on every shape: the FIFO cell the tier does not certify
+    // AND the Poisson cells whose steady points it does. The forced-
+    // analytic fingerprint therefore equals the forced-event one, bit
+    // for bit.
+    let mut links = certified_links();
+    links.push(("fifo-1", fifo_link()));
+    for (name, link) in links {
+        {
+            let _g = test_guard(EnginePolicy::Forced(EngineTier::Analytic));
+            assert_eq!(
+                train_tier(link.config()),
+                EngineTier::Event,
+                "{name}: trains must never route analytic"
+            );
+        }
+        let auto = train_fingerprint(&link, EnginePolicy::Auto, 8);
+        let forced = train_fingerprint(&link, EnginePolicy::Forced(EngineTier::Analytic), 8);
+        let event = train_fingerprint(&link, EnginePolicy::Forced(EngineTier::Event), 8);
+        assert_eq!(forced, event, "{name}: forced-analytic vs forced-event");
+        assert_eq!(auto, event, "{name}: auto vs forced-event");
+    }
+}
+
+#[test]
+fn forced_analytic_slops_identical_to_oracle() {
+    // SLoPS drives probe trains underneath; the analytic tier must be
+    // equally invisible there, certified steady cell or not.
+    for (name, link) in certified_links() {
+        let run = |policy: EnginePolicy| {
+            let _g = test_guard(policy);
+            SlopsEstimator::default().run(&link, 0xBEA7)
+        };
+        let forced = run(EnginePolicy::Forced(EngineTier::Analytic));
+        let event = run(EnginePolicy::Forced(EngineTier::Event));
+        assert_eq!(forced.estimate_bps, event.estimate_bps, "{name}");
+        assert_eq!(forced.trace, event.trace, "{name}");
+    }
 }
 
 #[test]

@@ -172,6 +172,135 @@ fn access_delay_distributions_equivalent_on_disjoint_seeds() {
     }
 }
 
+/// Measured tolerance rows for the finite-load analytic tier — the
+/// non-saturated fixed point vs a seed-averaged event mean on the
+/// `nonsat-*` cells the router certifies (sub-knee / knee / above-knee
+/// × station count). The KS legs above already include these cells on
+/// the slotted/event axis; the analytic tier is deterministic, so its
+/// row in the equivalence table is a tolerance band, not a KS score.
+#[test]
+fn finite_load_fixed_point_tolerance_rows() {
+    let duration = Dur::from_secs_f64(2.0);
+    let reps = 8u64;
+    header("n   analytic_mbps  event_mbps  rel_err");
+    for r in regime_matrix() {
+        let cfg = r.link.config();
+        if !engine::nonsat_certified(cfg, r.ri_bps) || engine::saturation_covers(cfg, r.ri_bps) {
+            continue;
+        }
+        let analytic = r
+            .steady_with_tier(EngineTier::Analytic, duration, 0)
+            .expect("certified cell is analytic-covered");
+        let total = |p: &csmaprobe::core::link::SteadyPoint| {
+            p.output_rate_bps + p.contending_bps.iter().sum::<f64>() + p.fifo_cross_bps
+        };
+        let event_mean = (0..reps)
+            .map(|i| {
+                total(
+                    &r.steady_with_tier(EngineTier::Event, duration, EVENT_SEED_BASE + i)
+                        .expect("covered"),
+                )
+            })
+            .sum::<f64>()
+            / reps as f64;
+        let rel = (total(&analytic) - event_mean).abs() / event_mean;
+        println!(
+            "nonsat/{:<17} {:>3} {:>13.4} {:>11.4}  {rel:.4}",
+            r.name,
+            reps,
+            total(&analytic) / 1e6,
+            event_mean / 1e6
+        );
+        assert!(
+            rel < 0.05,
+            "{}: fixed point drifted from the event mean ({rel:.4})",
+            r.name
+        );
+    }
+}
+
+/// Negative routing: cells the solver does not certify must stay on
+/// simulation — `analytic_covers` refuses them, the auto router never
+/// hands them to the fixed point, and the auto steady point stays
+/// bit-identical to the forced run of the tier it actually picks.
+#[test]
+fn uncertified_cells_stay_on_simulation() {
+    let duration = Dur::from_secs_f64(0.5);
+    let uncovered: Vec<(&str, WlanLink, f64)> = vec![
+        (
+            "cbr-contender",
+            WlanLink::new(
+                LinkConfig::default().contending(CrossSpec::shaped(1_000_000.0, CrossShape::Cbr)),
+            ),
+            2_000_000.0,
+        ),
+        (
+            "fifo-cross",
+            WlanLink::new(
+                LinkConfig::default()
+                    .contending_bps(2_000_000.0)
+                    .fifo_cross_bps(1_000_000.0),
+            ),
+            2_000_000.0,
+        ),
+        (
+            "asymmetric-bytes",
+            WlanLink::new(
+                LinkConfig::default().contending(CrossSpec::poisson_sized(2_000_000.0, 400)),
+            ),
+            2_000_000.0,
+        ),
+        (
+            "eleven-stations",
+            WlanLink::new({
+                let mut cfg = LinkConfig::default();
+                for _ in 0..10 {
+                    cfg = cfg.contending_bps(400_000.0);
+                }
+                cfg
+            }),
+            1_000_000.0,
+        ),
+    ];
+    for (name, link, ri) in &uncovered {
+        assert!(
+            !engine::analytic_covers(link.config(), *ri),
+            "{name}: must not be analytic-covered"
+        );
+        let auto_tier = {
+            let _g = engine::test_guard(EnginePolicy::Auto);
+            engine::steady_tier(link.config(), *ri)
+        };
+        assert_ne!(
+            auto_tier,
+            EngineTier::Analytic,
+            "{name}: auto router leaked an uncertified cell to the fixed point"
+        );
+        // The tier auto picks is simulation, and the auto point is
+        // bit-identical to forcing that same tier explicitly.
+        let auto_pt = {
+            let _g = engine::test_guard(EnginePolicy::Auto);
+            link.steady_state(*ri, duration, 0xBAD5EED)
+        };
+        let forced_pt = match auto_tier {
+            EngineTier::Event => link.steady_state_event(*ri, duration, 0xBAD5EED),
+            EngineTier::Slotted => link.steady_state_slotted(*ri, duration, 0xBAD5EED),
+            EngineTier::Analytic => unreachable!(),
+        };
+        assert_eq!(
+            auto_pt.output_rate_bps.to_bits(),
+            forced_pt.output_rate_bps.to_bits(),
+            "{name}"
+        );
+        assert_eq!(auto_pt.contending_bps, forced_pt.contending_bps, "{name}");
+        assert_eq!(
+            auto_pt.fifo_cross_bps.to_bits(),
+            forced_pt.fifo_cross_bps.to_bits(),
+            "{name}"
+        );
+    }
+}
+
 #[test]
 fn forced_slotted_trains_are_trajectory_exact() {
     // Same seed across tiers must stay bit-identical — the sharper
